@@ -1,0 +1,56 @@
+"""Ablation: adaptive active-tile size T_a vs fixed small tiles.
+
+DESIGN.md calls out the GSU's adaptive tile sizing as a design decision to
+ablate: the GSU grows T_a to the largest tile whose output window fits
+BUFout, amortizing weight loads.  This bench compares against fixed-T_a
+variants (the kind of static tiling prior accelerators use) on the SPP2
+backbone, plus a buffer-size sweep showing where the adaptivity stops
+mattering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.analysis import format_table
+from repro.core import SPADE_HE, SpadeAccelerator
+
+
+def _run(traces):
+    trace = traces("SPP2")
+    rows = []
+    # Adaptive (paper) vs shrinking BUFin, which caps T_a.
+    for label, buf_in in (
+        ("adaptive Ta, 32KB BUFin (paper)", 32 * 1024),
+        ("Ta capped by 8KB BUFin", 8 * 1024),
+        ("Ta capped by 2KB BUFin", 2 * 1024),
+        ("Ta capped by 512B BUFin", 512),
+    ):
+        config = replace(SPADE_HE, buf_in_bytes=buf_in)
+        result = SpadeAccelerator(config).run_trace(trace)
+        breakdown = result.breakdown()
+        rows.append((
+            label,
+            result.latency_ms,
+            100 * result.utilization(config),
+            breakdown["load_wgt"] / 1e3,
+            breakdown["copy_psum"] / 1e3,
+        ))
+    return rows
+
+
+def test_ablation_active_tile_size(benchmark, traces):
+    rows = benchmark.pedantic(_run, args=(traces,), rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["tiling", "latency ms", "utilization %", "load_wgt kcyc",
+         "copy_psum kcyc"],
+        rows,
+        title="Ablation - adaptive T_a vs constrained tiles on SPP2"
+              " (smaller tiles => more weight reloads and psum copies)",
+    ))
+    latencies = [row[1] for row in rows]
+    load_cycles = [row[3] for row in rows]
+    # Shrinking T_a monotonically hurts: more weight-load stalls, slower.
+    assert latencies[0] <= latencies[1] <= latencies[3]
+    assert load_cycles[0] < load_cycles[3]

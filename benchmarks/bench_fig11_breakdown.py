@@ -1,0 +1,130 @@
+"""Fig. 11: sources of SPADE's performance gain.
+
+(a,b) latency breakdown of PP + SPP1-3 across platforms and SPADE (HE and
+      LE) — paper shape: platforms drown in mapping, SPADE does not;
+(c)   OPs savings vs achieved speedup per sparse-convolution type —
+      paper: speedup aligns with OPs savings;
+(d)   MXU utilization with / without dataflow optimization per conv type —
+      paper: SpConv >90%; SpStConv/SpDeconv <70% without, ~90% with.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import dense_counterpart, format_table
+from repro.baselines import HIGH_END_PLATFORMS, PlatformModel
+from repro.core import (
+    SPADE_HE,
+    SPADE_LE,
+    DenseAccelerator,
+    SpadeAccelerator,
+    schedule_sparse_layer,
+)
+from repro.models import SPARSE_MODELS
+
+MODELS = ("PP", "SPP1", "SPP2", "SPP3")
+
+
+def test_fig11ab_latency_breakdown(benchmark, traces):
+    def run():
+        rows = []
+        for name in MODELS:
+            trace = traces(name)
+            for platform in HIGH_END_PLATFORMS:
+                result = PlatformModel(platform).run_trace(trace)
+                rows.append((name, platform.name, result.conv_ms,
+                             result.mapping_ms, result.gather_scatter_ms,
+                             result.latency_ms))
+            spade = SpadeAccelerator(SPADE_HE).run_trace(trace)
+            breakdown = spade.breakdown()
+            to_ms = 1.0 / (SPADE_HE.clock_ghz * 1e6)
+            rows.append((
+                name, "SPADE.HE",
+                (breakdown["mxu"] + breakdown["load_wgt"]) * to_ms,
+                breakdown["rulegen"] * to_ms,
+                (breakdown["gather_inp"] + breakdown["scatter_out"]
+                 + breakdown["copy_psum"] + breakdown["gather_wgt"]) * to_ms,
+                spade.latency_ms,
+            ))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["model", "platform", "conv ms", "mapping ms", "data-move ms",
+         "total ms"],
+        rows,
+        title="Fig 11(a) - latency breakdown, high-end (paper: SPADE"
+              " spends minimal time on mapping)",
+    ))
+    spade_rows = [row for row in rows if row[1] == "SPADE.HE"]
+    for row in spade_rows:
+        assert row[3] < 0.25 * row[5]  # mapping is a small fraction
+
+
+def test_fig11c_ops_savings_vs_speedup(benchmark, traces):
+    def run():
+        rows = []
+        for name in SPARSE_MODELS:
+            trace = traces(name)
+            dense_trace = traces(dense_counterpart(name))
+            savings = trace.savings_vs(dense_trace)
+            for config in (SPADE_HE, SPADE_LE):
+                spade = SpadeAccelerator(config).run_trace(trace)
+                dense = DenseAccelerator(config).run_trace(dense_trace)
+                speedup = dense.total_cycles / spade.total_cycles
+                ops_ratio = 1.0 / (1.0 - savings)
+                rows.append((config.name, name, ops_ratio, speedup,
+                             speedup / ops_ratio))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["config", "model", "OPs-savings x", "speedup x", "alignment"],
+        rows,
+        title="Fig 11(c) - OPs savings vs speedup (paper: aligned)",
+    ))
+    alignments = [row[4] for row in rows]
+    assert 0.5 < np.mean(alignments) < 1.3
+
+
+def test_fig11d_mxu_utilization(benchmark, traces):
+    def run():
+        trace = traces("SPP2")
+        conv_type_of = {
+            "SpConv": "B2C2",
+            "SpStConv": "B2C1",
+            "SpDeconv": "D3",
+        }
+        rows = []
+        for label, layer_name in conv_type_of.items():
+            layer = trace.layer(layer_name)
+            base = schedule_sparse_layer(
+                layer.rules, layer.spec.in_channels,
+                layer.spec.out_channels, SPADE_HE, optimize=False,
+            )
+            opt = schedule_sparse_layer(
+                layer.rules, layer.spec.in_channels,
+                layer.spec.out_channels, SPADE_HE, optimize=True,
+            )
+            rows.append((
+                label,
+                100 * (1 - base.overhead_fraction),
+                100 * (1 - opt.overhead_fraction),
+            ))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["conv type", "MXU busy % (no opt)", "MXU busy % (optimized)"],
+        rows,
+        title="Fig 11(d) - utilization from dataflow optimization (paper:"
+              " SpConv >90%; strided/deconv <70% -> ~90%)",
+    ))
+    by_type = {row[0]: row for row in rows}
+    assert by_type["SpConv"][1] > 75.0
+    assert by_type["SpStConv"][2] > by_type["SpStConv"][1]
+    assert by_type["SpDeconv"][2] > by_type["SpDeconv"][1]

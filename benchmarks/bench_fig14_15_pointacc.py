@@ -1,0 +1,83 @@
+"""Figs. 14 and 15: SPADE vs the PointAcc performance simulator.
+
+Fig. 14: normalized DRAM access volume on SPP2 (paper: PointAcc needs
+~20% more accesses from cache misses).  Fig. 15: latency breakdown on
+SPP1-3 with no dataflow overlap applied to either side (paper: SPADE
+1.88-1.95x faster via reduced mapping and gather-scatter).
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.baselines import PointAccSimulator, spade_no_overlap
+from repro.core import SPADE_HE
+
+MODELS = ("SPP1", "SPP2", "SPP3")
+
+
+def test_fig14_dram_access_volume(benchmark, traces):
+    def run():
+        trace = traces("SPP2")
+        pointacc = PointAccSimulator(SPADE_HE).run_trace(trace)
+        spade = spade_no_overlap(trace, SPADE_HE)
+        layer_rows = []
+        for pa_layer, trace_layer in zip(pointacc.layers, trace.layers):
+            if trace_layer.rules is None:
+                continue
+            spec = trace_layer.spec
+            spade_bytes = (
+                trace_layer.rules.num_inputs * spec.in_channels
+                + trace_layer.rules.num_outputs * spec.out_channels
+            )
+            layer_rows.append((pa_layer.name, pa_layer.dram_bytes,
+                               spade_bytes,
+                               pa_layer.dram_bytes / max(spade_bytes, 1)))
+        return layer_rows, pointacc, spade
+
+    layer_rows, pointacc, spade = benchmark.pedantic(run, rounds=1,
+                                                     iterations=1)
+    print()
+    print(format_table(
+        ["layer", "PointAcc bytes", "SPADE bytes", "ratio"],
+        layer_rows,
+        title="Fig 14 - DRAM access volume on SPP2 (paper: PointAcc ~20%"
+              " more on average)",
+    ))
+    total_ratio = pointacc.total_dram_bytes / spade.dram_bytes
+    print(f"total DRAM ratio (PointAcc / SPADE): {total_ratio:.2f}")
+    assert total_ratio >= 0.95
+    sparse_ratios = [row[3] for row in layer_rows]
+    assert max(sparse_ratios) > 1.0
+
+
+def test_fig15_latency_vs_pointacc(benchmark, traces):
+    def run():
+        rows = []
+        for name in MODELS:
+            trace = traces(name)
+            pointacc = PointAccSimulator(SPADE_HE).run_trace(trace)
+            spade = spade_no_overlap(trace, SPADE_HE)
+            pa_phases = pointacc.phase_totals()
+            spade_phases = spade.phase_totals()
+            rows.append((
+                name,
+                pa_phases["mapping"] / 1e6,
+                pa_phases["gather_scatter"] / 1e6,
+                pa_phases["mxu"] / 1e6,
+                spade_phases["mapping"] / 1e6,
+                spade_phases["gather_scatter"] / 1e6,
+                spade_phases["mxu"] / 1e6,
+                pointacc.total_cycles / spade.total_cycles,
+            ))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["model", "PA map Mcyc", "PA g/s Mcyc", "PA mxu Mcyc",
+         "SPADE map Mcyc", "SPADE g/s Mcyc", "SPADE mxu Mcyc", "speedup"],
+        rows,
+        title="Fig 15 - latency vs PointAcc (paper: 1.88-1.95x)",
+    ))
+    for row in rows:
+        assert 1.3 < row[7] < 3.5

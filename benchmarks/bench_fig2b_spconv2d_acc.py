@@ -1,0 +1,37 @@
+"""Fig. 2(b): conventional SpConv2D-Acc inefficiency under vector sparsity.
+
+Sweeps computation sparsity and reports PE utilization and bank-conflict
+rate of the outer-product element-sparse baseline.  Paper shape: both
+problems amplify as sparsity increases.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.baselines import SpConv2DAccModel
+
+SPARSITY_LEVELS = (0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 0.99)
+
+
+def _sweep():
+    model = SpConv2DAccModel(pe_rows=16, pe_cols=16, num_banks=16)
+    return model.sweep_sparsity((128, 128), SPARSITY_LEVELS, seed=0)
+
+
+def test_fig2b_utilization_and_conflicts(benchmark):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    rows = [
+        (f"{sparsity:.0%}", report.utilization,
+         report.bank_conflict_rate)
+        for sparsity, report in results
+    ]
+    print()
+    print(format_table(
+        ["computation sparsity", "PE utilization", "bank conflicts/group"],
+        rows,
+        title="Fig 2(b) - SpConv2D-Acc under vector sparsity",
+    ))
+    utils = [report.utilization for _, report in results]
+    conflicts = [report.bank_conflict_rate for _, report in results]
+    assert utils[0] > utils[-1]
+    assert conflicts[-1] > conflicts[0]

@@ -1,0 +1,47 @@
+"""Fig. 2(c): PP vs SPP latency breakdown on a GPU platform.
+
+Paper shape: dense PP time is dominated by Conv2D matrix multiplication;
+the SPP variants do not get faster despite the reduced convolution work,
+because sparse-library mapping overhead takes over.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.baselines import RTX_2080TI, PlatformModel
+
+MODELS = ("PP", "SPP1", "SPP2", "SPP3")
+
+
+def _breakdowns(traces):
+    platform = PlatformModel(RTX_2080TI)
+    return {name: platform.run_trace(traces(name)) for name in MODELS}
+
+
+def test_fig2c_gpu_latency_breakdown(benchmark, traces):
+    results = benchmark.pedantic(_breakdowns, args=(traces,), rounds=1,
+                                 iterations=1)
+    rows = [
+        (
+            name,
+            result.conv_ms,
+            result.mapping_ms,
+            result.gather_scatter_ms,
+            result.overhead_ms,
+            result.latency_ms,
+        )
+        for name, result in results.items()
+    ]
+    print()
+    print(format_table(
+        ["model", "conv ms", "mapping ms", "gather/scatter ms",
+         "launch ms", "total ms"],
+        rows,
+        title="Fig 2(c) - latency breakdown on 2080Ti (paper: SPP does not"
+              " beat PP)",
+    ))
+    dense_total = results["PP"].latency_ms
+    # Sparse variants gain little to nothing on the GPU (paper's point).
+    for name in ("SPP1", "SPP2"):
+        assert results[name].latency_ms > 0.6 * dense_total
+    assert results["PP"].conv_ms > results["PP"].mapping_ms

@@ -1,0 +1,46 @@
+"""Fig. 2(d-f): per-layer IOPR and sparsity of SPP1 / SPP2 / SPP3.
+
+Paper shape: SpConv (SPP1) dilation IOPR decays toward 1 as density
+saturates; SpConv-P (SPP2) rebounds after every stage-start pruning;
+SpConv-S (SPP3) holds IOPR = 1 on all submanifold layers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import format_table, iopr_series
+
+MODELS = ("SPP1", "SPP2", "SPP3")
+
+
+def _series(traces):
+    return {name: iopr_series(traces(name)) for name in MODELS}
+
+
+def test_fig2def_iopr_series(benchmark, traces):
+    series = benchmark.pedantic(_series, args=(traces,), rounds=1,
+                                iterations=1)
+    for name in MODELS:
+        rows = [
+            (layer, iopr, 1.0 - density)
+            for layer, iopr, density in series[name]
+            if layer.startswith("B")
+        ]
+        print()
+        print(format_table(
+            ["layer", "IOPR", "sparsity"],
+            rows,
+            title=f"Fig 2({'def'[MODELS.index(name)]}) - {name}",
+        ))
+
+    spp1 = {layer: iopr for layer, iopr, _ in series["SPP1"]}
+    spp2 = {layer: iopr for layer, iopr, _ in series["SPP2"]}
+    spp3 = {layer: iopr for layer, iopr, _ in series["SPP3"]}
+    # SPP1: dilation decays across each stage.
+    assert spp1["B2C2"] >= spp1["B2C6"]
+    # SPP2: pruning at stage starts restores room to dilate.
+    assert spp2["B2C2"] > spp1["B2C6"] * 0.9
+    # SPP3: submanifold layers never dilate.
+    assert spp3["B2C2"] == pytest.approx(1.0)
+    assert spp3["B3C4"] == pytest.approx(1.0)

@@ -1,0 +1,51 @@
+"""Fig. 5(b): mapping cycles of hash table vs merge sorter vs RGU.
+
+Sweeps active pillar count up to 100k (the paper's range) and reports
+normalized mapping cycles.  Paper result: RGU is on average 5.9x faster
+than the hash table and 3.7x faster than the merge sorter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.core import RGUModel, SPADE_HE
+from repro.hw import BitonicMergeRuleGen, HashTableRuleGen
+from repro.sparse import unflatten
+
+PILLAR_COUNTS = (1_000, 5_000, 10_000, 25_000, 50_000, 100_000)
+SHAPE = (1024, 1024)
+
+
+def _sweep():
+    rng = np.random.default_rng(0)
+    hash_gen = HashTableRuleGen()
+    sort_gen = BitonicMergeRuleGen()
+    rgu = RGUModel(SPADE_HE)
+    rows = []
+    for count in PILLAR_COUNTS:
+        flat = np.sort(rng.choice(SHAPE[0] * SHAPE[1], count, replace=False))
+        coords = unflatten(flat, SHAPE)
+        hash_cycles = hash_gen.run(coords, SHAPE).cycles
+        sort_cycles = sort_gen.run(count).cycles
+        rgu_cycles = rgu.cycles_for_count(count)
+        rows.append((count, hash_cycles, sort_cycles, rgu_cycles,
+                     hash_cycles / rgu_cycles, sort_cycles / rgu_cycles))
+    return rows
+
+
+def test_fig5b_rulegen_comparison(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print()
+    print(format_table(
+        ["pillars", "hash cycles", "sorter cycles", "RGU cycles",
+         "hash/RGU", "sorter/RGU"],
+        rows,
+        title="Fig 5(b) - mapping cycles (paper: hash 5.9x, sorter 3.7x"
+              " slower than RGU on average)",
+    ))
+    hash_ratios = [row[4] for row in rows]
+    sort_ratios = [row[5] for row in rows]
+    assert 3.0 < np.mean(hash_ratios) < 10.0
+    assert 2.0 < np.mean(sort_ratios) < 6.0

@@ -1,0 +1,49 @@
+"""Table I: model GOPs and computation savings, paper vs measured.
+
+Regenerates the sparsity/computation columns of Table I on the synthetic
+frames: average GOPs per frame and computation savings relative to the
+dense counterpart, for all seven sparse models plus the dense baselines.
+(The mAP columns are covered by bench_fig13a_accuracy_sparsity.py, which
+runs the scaled-down accuracy pipeline.)
+"""
+
+from __future__ import annotations
+
+from repro.analysis import dense_counterpart, format_table
+from repro.models import TABLE1_MODELS, TABLE1_PAPER
+
+
+def _table1_rows(traces):
+    rows = []
+    for name in TABLE1_MODELS:
+        trace = traces(name)
+        dense_trace = traces(dense_counterpart(name))
+        savings = trace.savings_vs(dense_trace)
+        paper = TABLE1_PAPER[name]
+        rows.append(
+            (
+                name,
+                paper.avg_gops,
+                trace.total_ops / 1e9,
+                paper.sparsity_pct,
+                100.0 * savings,
+            )
+        )
+    return rows
+
+
+def test_table1_gops_and_sparsity(benchmark, traces):
+    rows = benchmark.pedantic(_table1_rows, args=(traces,), rounds=1,
+                              iterations=1)
+    print()
+    print(format_table(
+        ["model", "paper GOPs", "measured GOPs", "paper savings %",
+         "measured savings %"],
+        rows,
+        title="Table I - computation and sparsity (paper vs measured)",
+    ))
+    # Shape assertions: savings ordering within each family.
+    savings = {row[0]: row[4] for row in rows}
+    assert savings["SPP1"] < savings["SPP2"] < savings["SPP3"]
+    assert savings["SCP1"] < savings["SCP2"] < savings["SCP3"]
+    assert savings["PN"] < savings["SPN"]

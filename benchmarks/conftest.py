@@ -1,0 +1,67 @@
+"""Shared frame/trace fixtures for the benchmark harness.
+
+Every experiment runs on the same deterministic synthetic frames so
+numbers are comparable across benches and across runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data import (
+    KITTI_GRID,
+    KITTI_SCENE,
+    NUSCENES_FINE_GRID,
+    NUSCENES_GRID,
+    SceneGenerator,
+    nuscenes_scene_config,
+    voxelize,
+)
+from repro.analysis import trace_model
+from repro.models import TABLE1_MODELS, build_model_spec, grid_for
+
+
+@pytest.fixture(scope="session")
+def kitti_frame():
+    sweep = SceneGenerator(KITTI_SCENE, seed=0).generate()
+    return voxelize(sweep, KITTI_GRID)
+
+
+@pytest.fixture(scope="session")
+def nuscenes_frames():
+    sweep = SceneGenerator(nuscenes_scene_config(), seed=1).generate()
+    return {
+        "coarse": voxelize(sweep, NUSCENES_GRID),
+        "fine": voxelize(sweep, NUSCENES_FINE_GRID),
+    }
+
+
+@pytest.fixture(scope="session")
+def frame_for(kitti_frame, nuscenes_frames):
+    def lookup(model_name):
+        grid = grid_for(model_name)
+        if grid.name == "kitti":
+            return kitti_frame
+        if grid.name == "nuscenes-fine":
+            return nuscenes_frames["fine"]
+        return nuscenes_frames["coarse"]
+
+    return lookup
+
+
+@pytest.fixture(scope="session")
+def traces(frame_for):
+    """Geometric traces of every Table I model on its benchmark frame."""
+    cache = {}
+
+    def lookup(model_name):
+        if model_name not in cache:
+            frame = frame_for(model_name)
+            cache[model_name] = trace_model(
+                build_model_spec(model_name),
+                frame.coords,
+                frame.point_counts.astype(float),
+            )
+        return cache[model_name]
+
+    return lookup

@@ -1,0 +1,80 @@
+"""Design-space exploration of the SPADE accelerator.
+
+A hardware architect adopting SPADE would sweep the microarchitecture:
+PE array size, buffer capacities, and the dataflow optimizations.  This
+example evaluates a grid of configurations on the SPP2 workload and
+prints latency / energy / area / efficiency so the Pareto frontier is
+visible — including the paper's HE and LE design points.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+from dataclasses import replace
+
+from repro.analysis import format_table, trace_model
+from repro.core import (
+    SPADE_HE,
+    SPADE_LE,
+    SpadeAccelerator,
+    SpadeConfig,
+    accelerator_area,
+)
+from repro.data import KITTI_GRID, KITTI_SCENE, SceneGenerator, voxelize
+from repro.models import build_model_spec
+
+
+def candidate_configs():
+    """The sweep: array sizes around the paper's HE/LE points."""
+    yield "LE (paper)", SPADE_LE
+    yield "32x32", SpadeConfig(name="32x32", pe_rows=32, pe_cols=32,
+                               buf_in_bytes=32 * 1024,
+                               buf_out_bytes=128 * 1024,
+                               dram_bytes_per_cycle=32)
+    yield "HE (paper)", SPADE_HE
+    yield "HE small-buf", replace(SPADE_HE, buf_in_bytes=8 * 1024,
+                                  buf_out_bytes=64 * 1024)
+    yield "128x128", SpadeConfig(name="128x128", pe_rows=128, pe_cols=128,
+                                 buf_in_bytes=64 * 1024,
+                                 buf_out_bytes=512 * 1024,
+                                 dram_bytes_per_cycle=128)
+
+
+def main():
+    sweep = SceneGenerator(KITTI_SCENE, seed=3).generate()
+    batch = voxelize(sweep, KITTI_GRID)
+    trace = trace_model(build_model_spec("SPP2"), batch.coords,
+                        batch.point_counts.astype(float))
+
+    rows = []
+    for label, config in candidate_configs():
+        for optimize in (True, False):
+            result = SpadeAccelerator(config, optimize=optimize).run_trace(
+                trace
+            )
+            area = accelerator_area(config).total_mm2
+            rows.append((
+                label + ("" if optimize else " (no opt)"),
+                config.peak_tops,
+                result.latency_ms,
+                result.fps,
+                result.energy_mj,
+                area,
+                result.fps / area,
+                result.utilization(config),
+            ))
+
+    print(format_table(
+        ["config", "peak TOPS", "latency ms", "FPS", "energy mJ",
+         "area mm2", "FPS/mm2", "utilization"],
+        rows,
+        title="SPADE design-space exploration on SPP2 (one KITTI frame)",
+    ))
+    best = max(rows, key=lambda row: row[6])
+    print(f"\nBest FPS/mm2: {best[0]} ({best[6]:.1f} FPS/mm2) — "
+          "small arrays win on area efficiency, large on raw latency; "
+          "dataflow optimizations matter most for the strided/deconv "
+          "layers (compare the 'no opt' rows).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""SPADE (HPCA 2024) reproduction: sparse pillar-based 3D detection accelerator.
+
+Package layout:
+
+* :mod:`repro.data`      — point clouds, synthetic LiDAR scenes, pillars;
+* :mod:`repro.sparse`    — vector-sparse convolution library (CPR, rules);
+* :mod:`repro.nn`        — numpy NN framework + dynamic-pruning training;
+* :mod:`repro.models`    — detector workloads, functional nets, metrics;
+* :mod:`repro.hw`        — DRAM/SRAM/cache/sorter/hash substrates;
+* :mod:`repro.core`      — the SPADE accelerator simulator (RGU/GSU/MXU);
+* :mod:`repro.baselines` — SpConv2D-Acc, PointAcc, GPU/CPU/Jetson models;
+* :mod:`repro.analysis`  — sparsity traces, trade-off studies, reports.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,72 @@
+"""Report formatting shared by all benchmarks.
+
+Every bench prints the same kind of artifact the paper shows — a table of
+rows or a series of (x, y) points — through these helpers, so output
+formatting lives in exactly one place.
+"""
+
+from __future__ import annotations
+
+
+def format_table(headers: list, rows: list, title: str = "") -> str:
+    """Fixed-width text table."""
+    columns = len(headers)
+    widths = [len(str(h)) for h in headers]
+    text_rows = []
+    for row in rows:
+        cells = [_format_cell(cell) for cell in row]
+        while len(cells) < columns:
+            cells.append("")
+        for index in range(columns):
+            widths[index] = max(widths[index], len(cells[index]))
+        text_rows.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        str(h).ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for cells in text_rows:
+        lines.append(
+            "  ".join(cells[i].ljust(widths[i]) for i in range(columns))
+        )
+    return "\n".join(lines)
+
+
+def _format_cell(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def format_series(name: str, points: list, x_label: str = "x",
+                  y_label: str = "y") -> str:
+    """A figure series as an aligned two-column listing."""
+    rows = [(x, y) for x, y in points]
+    return format_table([x_label, y_label], rows, title=name)
+
+
+def paper_vs_measured(experiment: str, rows: list) -> str:
+    """Standard paper-vs-measured table: (label, paper, measured) rows."""
+    return format_table(
+        ["label", "paper", "measured", "ratio"],
+        [
+            (
+                label,
+                paper,
+                measured,
+                (measured / paper) if isinstance(paper, (int, float))
+                and isinstance(measured, (int, float)) and paper else "-",
+            )
+            for label, paper, measured in rows
+        ],
+        title=experiment,
+    )

@@ -1,0 +1,326 @@
+"""Sparsity analysis: propagate active sets through a model workload.
+
+Given a :class:`~repro.models.specs.ModelSpec` and the active pillar
+coordinates of one frame, :func:`trace_model` walks the layer graph
+(backbone chain, deconvolution branches, head fan-out), generating rules
+for every sparse layer and counting MACs for every layer.  The resulting
+:class:`ModelTrace` carries everything downstream consumers need:
+
+* Table I: total GOPs and computation savings vs. the dense counterpart;
+* Fig. 2(d-f): per-layer IOPR and sparsity;
+* the SPADE / DenseAcc / PointAcc simulators: per-layer rules and counts.
+
+Dynamic pruning (SpConv-P) is applied geometrically using an *importance*
+value per pillar, defaulting to the pillar's point count propagated by
+max through the network — a stand-in for the trained magnitude ranking
+that keeps dense clusters (foreground objects) and drops isolated
+background pillars, matching the behaviour shown in paper Fig. 13(b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..models.specs import LayerOp, LayerSpec, ModelSpec, build_model_spec
+from ..sparse.coords import flatten, unflatten
+from ..sparse.rulegen import ConvType, Rules, build_rules
+
+
+@dataclass
+class StreamState:
+    """Active-set state flowing between layers."""
+
+    shape: tuple
+    coords: np.ndarray = None          # None means the stream is dense
+    importance: np.ndarray = None
+
+    @property
+    def is_dense(self) -> bool:
+        return self.coords is None
+
+    @property
+    def num_active(self) -> int:
+        if self.is_dense:
+            return self.shape[0] * self.shape[1]
+        return len(self.coords)
+
+    @property
+    def density(self) -> float:
+        total = self.shape[0] * self.shape[1]
+        return self.num_active / total if total else 0.0
+
+
+@dataclass
+class LayerTrace:
+    """Everything recorded about one executed layer."""
+
+    spec: LayerSpec
+    in_shape: tuple
+    out_shape: tuple
+    in_count: int
+    out_count: int
+    out_count_after_prune: int
+    sparse_macs: int
+    rules: Rules = None
+
+    @property
+    def iopr(self) -> float:
+        """Input-output pillar ratio before pruning (Fig. 2(d-f))."""
+        return self.out_count / self.in_count if self.in_count else 0.0
+
+    @property
+    def out_density(self) -> float:
+        total = self.out_shape[0] * self.out_shape[1]
+        return self.out_count_after_prune / total if total else 0.0
+
+
+@dataclass
+class ModelTrace:
+    """Per-layer traces plus model-level aggregates for one frame."""
+
+    spec: ModelSpec
+    layers: list = field(default_factory=list)
+    input_active: int = 0
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.sparse_macs for layer in self.layers)
+
+    @property
+    def total_ops(self) -> int:
+        """Operations = 2 x MACs (multiply + accumulate), the GOPs unit."""
+        return 2 * self.total_macs
+
+    def layer(self, name: str) -> LayerTrace:
+        for layer in self.layers:
+            if layer.spec.name == name:
+                return layer
+        raise KeyError(f"no layer named {name!r} in trace of {self.spec.name}")
+
+    def savings_vs(self, dense_trace: "ModelTrace") -> float:
+        """Computation savings fraction vs. a dense counterpart trace."""
+        dense = dense_trace.total_macs
+        if dense == 0:
+            return 0.0
+        return 1.0 - self.total_macs / dense
+
+
+def _dense_out_shape(spec: LayerSpec, in_shape: tuple) -> tuple:
+    if spec.upsample:
+        return (in_shape[0] * spec.stride, in_shape[1] * spec.stride)
+    if spec.stride > 1:
+        return (
+            (in_shape[0] + spec.stride - 1) // spec.stride,
+            (in_shape[1] + spec.stride - 1) // spec.stride,
+        )
+    return in_shape
+
+
+def _propagate_importance(rules: Rules, importance: np.ndarray) -> np.ndarray:
+    """Max-propagate pillar importance from inputs to outputs through rules."""
+    out_importance = np.zeros(rules.num_outputs, dtype=np.float64)
+    for pair in rules.pairs:
+        if len(pair):
+            np.maximum.at(out_importance, pair.out_idx, importance[pair.in_idx])
+    return out_importance
+
+
+def _prune_state(
+    coords: np.ndarray, importance: np.ndarray, keep_ratio: float
+) -> tuple:
+    """Keep the top ``keep_ratio`` fraction of pillars by importance."""
+    keep = int(round(len(coords) * keep_ratio))
+    if keep >= len(coords):
+        return coords, importance
+    if keep <= 0:
+        return coords[:0], importance[:0]
+    kept = np.argpartition(importance, -keep)[-keep:]
+    kept = np.sort(kept)
+    return coords[kept], importance[kept]
+
+
+def _execute_sparse_layer(spec: LayerSpec, state: StreamState) -> tuple:
+    """Run one sparse layer geometrically; returns (LayerTrace, new state)."""
+    rules = build_rules(
+        state.coords,
+        state.shape,
+        spec.conv_type,
+        kernel_size=spec.kernel_size,
+        stride=spec.stride,
+    )
+    out_importance = _propagate_importance(rules, state.importance)
+    out_coords = rules.out_coords
+    out_after = len(out_coords)
+    if spec.prune_keep is not None:
+        out_coords, out_importance = _prune_state(
+            out_coords, out_importance, spec.prune_keep
+        )
+        out_after = len(out_coords)
+    trace = LayerTrace(
+        spec=spec,
+        in_shape=state.shape,
+        out_shape=rules.out_shape,
+        in_count=rules.num_inputs,
+        out_count=rules.num_outputs,
+        out_count_after_prune=out_after,
+        sparse_macs=rules.macs(spec.in_channels, spec.out_channels),
+        rules=rules,
+    )
+    new_state = StreamState(
+        shape=rules.out_shape, coords=out_coords, importance=out_importance
+    )
+    return trace, new_state
+
+
+def _execute_dense_layer(spec: LayerSpec, state: StreamState) -> tuple:
+    out_shape = _dense_out_shape(spec, state.shape)
+    macs = spec.dense_macs(out_shape[0], out_shape[1])
+    trace = LayerTrace(
+        spec=spec,
+        in_shape=state.shape,
+        out_shape=out_shape,
+        in_count=state.shape[0] * state.shape[1],
+        out_count=out_shape[0] * out_shape[1],
+        out_count_after_prune=out_shape[0] * out_shape[1],
+        sparse_macs=macs,
+        rules=None,
+    )
+    return trace, StreamState(shape=out_shape, coords=None)
+
+
+def _union_states(states: list) -> StreamState:
+    """Merge branch outputs (channel concat): union of active sets."""
+    shape = states[0].shape
+    if any(state.is_dense for state in states):
+        return StreamState(shape=shape, coords=None)
+    flats = [flatten(state.coords, shape) for state in states]
+    merged, inverse_start = np.unique(np.concatenate(flats)), 0
+    importance = np.zeros(len(merged), dtype=np.float64)
+    for state, flat in zip(states, flats):
+        index = np.searchsorted(merged, flat)
+        np.maximum.at(importance, index, state.importance)
+    return StreamState(
+        shape=shape, coords=unflatten(merged, shape), importance=importance
+    )
+
+
+def trace_model(
+    spec: ModelSpec,
+    coords: np.ndarray,
+    importance: np.ndarray = None,
+    grid_shape: tuple = None,
+) -> ModelTrace:
+    """Execute a model spec geometrically on one frame's active pillars.
+
+    Args:
+        spec: The workload layer graph.
+        coords: (P, 2) CPR-sorted active pillar coordinates on ``spec.grid``
+            (or on ``grid_shape`` when given).
+        importance: Optional per-pillar importance for dynamic pruning
+            (defaults to all-ones; pass pillar point counts for
+            foreground-preserving pruning).
+        grid_shape: Override the input grid shape, e.g. to run a
+            full-scale layer graph on a reduced grid in tests.
+
+    Returns:
+        A :class:`ModelTrace` with one :class:`LayerTrace` per layer.
+    """
+    coords = np.asarray(coords, dtype=np.int32)
+    if importance is None:
+        importance = np.ones(len(coords), dtype=np.float64)
+    importance = np.asarray(importance, dtype=np.float64)
+
+    trace = ModelTrace(spec=spec, input_active=len(coords))
+    state = StreamState(
+        shape=grid_shape or spec.grid.shape,
+        coords=coords,
+        importance=importance,
+    )
+    stage_snapshots = {}
+    deconv_outputs = []
+    head_input = None
+    head_shared_output = None
+    current_stage = None
+
+    for layer in spec.layers:
+        is_deconv = layer.name.startswith("D")
+        is_head = layer.name.startswith("H")
+
+        if not is_deconv and not is_head:
+            # Backbone / encoder chain layer.
+            if layer.op is LayerOp.SPARSE:
+                layer_trace, state = _execute_sparse_layer(layer, state)
+            else:
+                layer_trace, state = _execute_dense_layer(layer, state)
+            stage_snapshots[layer.stage] = state
+            current_stage = layer.stage
+            trace.layers.append(layer_trace)
+            continue
+
+        if is_deconv:
+            source = stage_snapshots.get(layer.stage)
+            if source is None:
+                raise ValueError(
+                    f"deconv {layer.name} references unknown stage {layer.stage}"
+                )
+            if layer.op is LayerOp.SPARSE:
+                layer_trace, out_state = _execute_sparse_layer(layer, source)
+            else:
+                layer_trace, out_state = _execute_dense_layer(layer, source)
+            deconv_outputs.append(out_state)
+            trace.layers.append(layer_trace)
+            continue
+
+        # Head layer: first head consumes the concat of deconv branches
+        # (or, for PillarNet-style specs without deconv fan-in recorded,
+        # the current stream).
+        if head_input is None:
+            head_input = (
+                _union_states(deconv_outputs) if deconv_outputs else state
+            )
+        source = head_shared_output if head_shared_output is not None else head_input
+        if layer.op is LayerOp.SPARSE:
+            layer_trace, out_state = _execute_sparse_layer(layer, source)
+        else:
+            layer_trace, out_state = _execute_dense_layer(layer, source)
+        if layer.name == "Hshared":
+            head_shared_output = out_state
+        trace.layers.append(layer_trace)
+
+    return trace
+
+
+def dense_counterpart(name: str) -> str:
+    """Table I dense baseline for each model."""
+    if name.startswith("SPP") or name == "PP":
+        return "PP"
+    if name.startswith("SCP") or name == "CP":
+        return "CP"
+    return "PN-Dense"
+
+
+def compute_savings(
+    model_name: str, coords: np.ndarray, importance: np.ndarray = None
+) -> tuple:
+    """Convenience: (model trace, dense trace, savings fraction)."""
+    spec = build_model_spec(model_name)
+    dense_spec = build_model_spec(dense_counterpart(model_name))
+    model_trace = trace_model(spec, coords, importance)
+    dense_trace = trace_model(dense_spec, coords, importance)
+    return model_trace, dense_trace, model_trace.savings_vs(dense_trace)
+
+
+def iopr_series(trace: ModelTrace) -> list:
+    """(layer name, IOPR, output density) for backbone sparse layers.
+
+    This is the Fig. 2(d-f) series; dense layers are skipped since IOPR
+    is a sparse-layer concept.
+    """
+    series = []
+    for layer in trace.layers:
+        if layer.rules is None:
+            continue
+        series.append((layer.spec.name, layer.iopr, layer.out_density))
+    return series

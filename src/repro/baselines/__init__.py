@@ -1,0 +1,42 @@
+"""Comparison baselines: SpConv2D-Acc, PointAcc simulator, platforms."""
+
+from .platforms import (
+    A6000,
+    HIGH_END_PLATFORMS,
+    JETSON_NANO,
+    JETSON_NX,
+    LOW_END_PLATFORMS,
+    RTX_2080TI,
+    XEON_5115,
+    PlatformModel,
+    PlatformResult,
+    PlatformSpec,
+)
+from .pointacc import (
+    PointAccLayerResult,
+    PointAccModelResult,
+    PointAccSimulator,
+    SpadeNoOverlapResult,
+    spade_no_overlap,
+)
+from .spconv2d_acc import SpConv2DAccModel, SpConv2DAccReport
+
+__all__ = [
+    "A6000",
+    "HIGH_END_PLATFORMS",
+    "JETSON_NANO",
+    "JETSON_NX",
+    "LOW_END_PLATFORMS",
+    "RTX_2080TI",
+    "XEON_5115",
+    "PlatformModel",
+    "PlatformResult",
+    "PlatformSpec",
+    "PointAccLayerResult",
+    "PointAccModelResult",
+    "PointAccSimulator",
+    "SpConv2DAccModel",
+    "SpConv2DAccReport",
+    "SpadeNoOverlapResult",
+    "spade_no_overlap",
+]

@@ -1,0 +1,52 @@
+"""SPADE accelerator core: RGU, GSU, MXU dataflow, energy, area."""
+
+from .accelerator import LayerResult, ModelResult, SpadeAccelerator
+from .area import (
+    AreaBreakdown,
+    accelerator_area,
+    pointacc_like_area,
+    sram_kilobytes,
+)
+from .config import SPADE_HE, SPADE_LE, SpadeConfig
+from .dataflow import (
+    INSTRUCTIONS,
+    LayerSchedule,
+    schedule_dense_layer,
+    schedule_sparse_layer,
+)
+from .dense import DenseAccelerator
+from .energy import EnergyBreakdown, EnergyModel
+from .mxu import SystolicArray, SystolicRunResult, pipeline_cycles
+from .gsu import GSUTraffic, TilePlan, TileSchedule, layer_traffic, plan_tiles
+from .rgu import RGUCycleReport, RGUModel, streaming_rulegen
+
+__all__ = [
+    "INSTRUCTIONS",
+    "SPADE_HE",
+    "SPADE_LE",
+    "AreaBreakdown",
+    "DenseAccelerator",
+    "EnergyBreakdown",
+    "EnergyModel",
+    "GSUTraffic",
+    "LayerResult",
+    "LayerSchedule",
+    "ModelResult",
+    "RGUCycleReport",
+    "RGUModel",
+    "SpadeAccelerator",
+    "SpadeConfig",
+    "TilePlan",
+    "TileSchedule",
+    "accelerator_area",
+    "layer_traffic",
+    "plan_tiles",
+    "pointacc_like_area",
+    "schedule_dense_layer",
+    "schedule_sparse_layer",
+    "sram_kilobytes",
+    "streaming_rulegen",
+    "SystolicArray",
+    "SystolicRunResult",
+    "pipeline_cycles",
+]

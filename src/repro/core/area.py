@@ -1,0 +1,88 @@
+"""Area model at 32 nm (paper Fig. 10(a,b)).
+
+The paper synthesizes SPADE with Synopsys DC at SAED 32 nm; this model
+reproduces the area *accounting*: PEs, activation/weight SRAMs, and the
+sparse-management additions (RGU, GSU/ATM, pruning SFU, rule buffers)
+that Fig. 10(b) shows occupy only ~4% of SPADE.HE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hw.sram import SRAMModel
+from .config import SpadeConfig
+
+#: One int8 MAC PE with weight register and pipeline latch, mm^2 @ 32 nm.
+PE_AREA_MM2 = 6.0e-4
+#: RGU: FIFO chain, merge comparators, dilation adders.
+RGU_AREA_MM2 = 0.045
+#: GSU: active tile manager, address generators, gather/scatter engines.
+GSU_AREA_MM2 = 0.040
+#: Pruning SFU: magnitude compare + compaction.
+SFU_AREA_MM2 = 0.015
+#: Rule buffer: double-buffered per-tile rules (~9 * T_a entries, 6 B each).
+RULE_BUFFER_BYTES = 2 * 9 * 512 * 6
+#: Control / NoC overhead fraction on top of all blocks.
+CONTROL_OVERHEAD = 0.12
+
+
+@dataclass
+class AreaBreakdown:
+    """Component areas in mm^2."""
+
+    components: dict = field(default_factory=dict)
+
+    @property
+    def total_mm2(self) -> float:
+        return sum(self.components.values()) * (1.0 + CONTROL_OVERHEAD)
+
+    def fraction(self, *names) -> float:
+        """Fraction of total area taken by the named components."""
+        selected = sum(self.components.get(name, 0.0) for name in names)
+        return selected * (1.0 + CONTROL_OVERHEAD) / self.total_mm2
+
+
+def accelerator_area(config: SpadeConfig, sparse_support: bool = True) -> AreaBreakdown:
+    """Area of a SPADE instance (or DenseAcc when ``sparse_support=False``)."""
+    breakdown = AreaBreakdown()
+    breakdown.components["pe_array"] = (
+        config.pe_rows * config.pe_cols * PE_AREA_MM2
+    )
+    breakdown.components["buf_in"] = SRAMModel(config.buf_in_bytes).area_mm2
+    breakdown.components["buf_out"] = SRAMModel(config.buf_out_bytes).area_mm2
+    breakdown.components["buf_wgt"] = SRAMModel(config.buf_wgt_bytes).area_mm2
+    if sparse_support:
+        breakdown.components["rgu"] = RGU_AREA_MM2
+        breakdown.components["gsu"] = GSU_AREA_MM2
+        breakdown.components["sfu"] = SFU_AREA_MM2
+        breakdown.components["rule_buffer"] = SRAMModel(RULE_BUFFER_BYTES).area_mm2
+    return breakdown
+
+
+def sram_kilobytes(config: SpadeConfig, sparse_support: bool = True) -> float:
+    """Total on-chip SRAM capacity in KB."""
+    total = config.buf_in_bytes + config.buf_out_bytes + config.buf_wgt_bytes
+    if sparse_support:
+        total += RULE_BUFFER_BYTES
+    return total / 1024.0
+
+
+def pointacc_like_area(config: SpadeConfig) -> AreaBreakdown:
+    """Area of a PointAcc-style accelerator matched in MXU form factor.
+
+    PointAcc replaces SPADE's RGU/GSU with a 64-wide bitonic merge sorter
+    and a much larger cache hierarchy (its mapping unit requires sorting
+    storage and the gather/scatter path needs a sizeable cache to survive
+    irregular accesses).
+    """
+    breakdown = AreaBreakdown()
+    breakdown.components["pe_array"] = (
+        config.pe_rows * config.pe_cols * PE_AREA_MM2
+    )
+    cache_bytes = 768 * 1024
+    breakdown.components["cache"] = SRAMModel(cache_bytes).area_mm2
+    breakdown.components["buf_wgt"] = SRAMModel(config.buf_wgt_bytes).area_mm2
+    breakdown.components["merge_sorter"] = 0.30
+    breakdown.components["mapping_buffers"] = SRAMModel(128 * 1024).area_mm2
+    return breakdown

@@ -1,0 +1,112 @@
+"""Energy model: compute, SRAM, DRAM and sparse-management components.
+
+Per-component energies follow the paper's methodology: MAC energy from
+the synthesized PE at 32 nm, SRAM energies from the CACTI-substitute
+(:mod:`repro.hw.sram`), DRAM energy from the DRAM model's per-byte and
+per-activate costs.  Fig. 12 reports savings per component (Compute /
+SRAM / DRAM), which is exactly the breakdown this module produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hw.dram import DRAMConfig
+from ..hw.sram import SRAMModel
+from .config import SpadeConfig
+from .dataflow import LayerSchedule
+
+
+@dataclass
+class EnergyBreakdown:
+    """Picojoule totals per component for one layer or one model."""
+
+    compute_pj: float = 0.0
+    sram_pj: float = 0.0
+    dram_pj: float = 0.0
+    rgu_pj: float = 0.0
+    pruning_pj: float = 0.0
+    static_pj: float = 0.0
+
+    @property
+    def total_pj(self) -> float:
+        return (
+            self.compute_pj
+            + self.sram_pj
+            + self.dram_pj
+            + self.rgu_pj
+            + self.pruning_pj
+            + self.static_pj
+        )
+
+    @property
+    def total_mj(self) -> float:
+        return self.total_pj * 1e-9
+
+    def add(self, other: "EnergyBreakdown") -> None:
+        self.compute_pj += other.compute_pj
+        self.sram_pj += other.sram_pj
+        self.dram_pj += other.dram_pj
+        self.rgu_pj += other.rgu_pj
+        self.pruning_pj += other.pruning_pj
+        self.static_pj += other.static_pj
+
+
+class EnergyModel:
+    """Maps a :class:`LayerSchedule` to an energy breakdown."""
+
+    def __init__(self, config: SpadeConfig, dram: DRAMConfig = None):
+        self.config = config
+        self.dram = dram or DRAMConfig()
+        self._buf_in = SRAMModel(config.buf_in_bytes, width_bytes=config.pe_rows)
+        self._buf_out = SRAMModel(
+            config.buf_out_bytes, width_bytes=config.pe_cols * config.psum_bytes
+        )
+        self._buf_wgt = SRAMModel(config.buf_wgt_bytes, width_bytes=config.pe_rows)
+        total_kb = (
+            config.buf_in_bytes + config.buf_out_bytes + config.buf_wgt_bytes
+        ) / 1024
+        self._leakage_pj_per_cycle = 0.012 * total_kb / config.clock_ghz
+
+    def layer_energy(
+        self,
+        schedule: LayerSchedule,
+        in_channels: int,
+        out_channels: int,
+    ) -> EnergyBreakdown:
+        """Energy of one scheduled layer."""
+        cfg = self.config
+        macs = schedule.macs
+        n_c = -(-max(in_channels, 1) // cfg.pe_rows)
+        n_m = -(-max(out_channels, 1) // cfg.pe_cols)
+
+        # Every rule entry streams one input vector through the array once
+        # per output-channel tile, and read-modify-writes one psum vector
+        # once per input-channel tile.
+        if schedule.rule_entries:
+            input_bytes = schedule.rule_entries * in_channels * cfg.act_bytes * n_m
+            psum_bytes = (
+                schedule.rule_entries * out_channels * cfg.psum_bytes * 2 * n_c
+            )
+        else:
+            # Dense layer: same counting with pixels * kernel as entries.
+            entries = macs // max(in_channels * out_channels, 1)
+            input_bytes = entries * in_channels * cfg.act_bytes * n_m
+            psum_bytes = entries * out_channels * cfg.psum_bytes * 2 * n_c
+        weight_bytes = schedule.breakdown.get("load_wgt", 0) * cfg.pe_cols
+
+        sram_pj = (
+            self._buf_in.energy_for_bytes(input_bytes)
+            + self._buf_out.energy_for_bytes(psum_bytes // 2)
+            + self._buf_out.energy_for_bytes(psum_bytes // 2, is_write=True)
+            + self._buf_wgt.energy_for_bytes(weight_bytes)
+        )
+        dram_pj = schedule.dram_bytes * self.dram.energy_rw_pj_per_byte
+        return EnergyBreakdown(
+            compute_pj=macs * cfg.mac_energy_pj,
+            sram_pj=sram_pj,
+            dram_pj=dram_pj,
+            rgu_pj=schedule.rule_entries * cfg.rgu_energy_per_rule_pj,
+            pruning_pj=schedule.pruned_outputs * cfg.pruning_energy_per_pillar_pj,
+            static_pj=schedule.total_cycles * self._leakage_pj_per_cycle,
+        )

@@ -1,0 +1,165 @@
+"""Gather-Scatter Unit: active tile management (paper Sec. III-C).
+
+The ATM exploits the monotonicity of CPR rule indices: as the input index
+range of a tile advances, every per-offset output index range advances
+too, so the outputs touched by a contiguous input tile form one
+contiguous window.  Loading that window into BUFout guarantees *full
+reuse* — each input and each output travels on/off chip exactly once —
+which is why GSU traffic matches the ideal all-reuse DRAM latency in
+Fig. 6(c).
+
+Outputs whose accumulation spans two consecutive input tiles are the
+``Copy_psum`` overlap the dataflow has to pay for (Fig. 7(b))."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sparse.rulegen import Rules
+from .config import SpadeConfig
+
+
+@dataclass
+class TilePlan:
+    """One active input tile and its output window.
+
+    Attributes:
+        in_start / in_end: Input index range [start, end).
+        out_start / out_end: Output window the tile's partial sums touch.
+        pairs_per_offset: Rule entries of this tile per kernel offset.
+        overlap_with_prev: Outputs shared with the previous tile's window
+            (they require a partial-sum copy).
+    """
+
+    in_start: int
+    in_end: int
+    out_start: int
+    out_end: int
+    pairs_per_offset: list
+    overlap_with_prev: int = 0
+
+    @property
+    def num_inputs(self) -> int:
+        return self.in_end - self.in_start
+
+    @property
+    def num_outputs(self) -> int:
+        return self.out_end - self.out_start
+
+    @property
+    def total_pairs(self) -> int:
+        return int(sum(self.pairs_per_offset))
+
+
+@dataclass
+class TileSchedule:
+    """All tiles of one layer plus aggregate traffic statistics."""
+
+    tiles: list = field(default_factory=list)
+    total_copy_psum: int = 0
+
+    @property
+    def num_tiles(self) -> int:
+        return len(self.tiles)
+
+
+def _output_window(rules: Rules, in_start: int, in_end: int) -> tuple:
+    """Output index window touched by inputs [in_start, in_end).
+
+    Relies on per-offset in_idx/out_idx being ascending (CPR property).
+    """
+    lo, hi = None, None
+    counts = []
+    for pair in rules.pairs:
+        left = np.searchsorted(pair.in_idx, in_start, side="left")
+        right = np.searchsorted(pair.in_idx, in_end, side="left")
+        counts.append(int(right - left))
+        if right > left:
+            first, last = int(pair.out_idx[left]), int(pair.out_idx[right - 1])
+            lo = first if lo is None else min(lo, first)
+            hi = last if hi is None else max(hi, last)
+    if lo is None:
+        return 0, 0, counts
+    return lo, hi + 1, counts
+
+
+def plan_tiles(
+    rules: Rules, max_inputs: int, max_outputs: int
+) -> TileSchedule:
+    """Greedy ATM tiling: largest input tile whose output window fits.
+
+    Args:
+        rules: Layer mapping (indices ascending per offset).
+        max_inputs: BUFin capacity in pillars (T_a bound).
+        max_outputs: BUFout capacity in pillars.
+
+    Returns:
+        A :class:`TileSchedule` covering all inputs.
+    """
+    schedule = TileSchedule()
+    num_inputs = rules.num_inputs
+    if num_inputs == 0:
+        return schedule
+    in_start = 0
+    prev_out_end = None
+    prev_out_start = None
+    while in_start < num_inputs:
+        in_end = min(in_start + max_inputs, num_inputs)
+        out_start, out_end, counts = _output_window(rules, in_start, in_end)
+        # Shrink until the output window fits BUFout (binary search).
+        while out_end - out_start > max_outputs and in_end - in_start > 1:
+            in_end = in_start + max(1, (in_end - in_start) // 2)
+            out_start, out_end, counts = _output_window(rules, in_start, in_end)
+        overlap = 0
+        if prev_out_end is not None and out_end > out_start:
+            overlap = max(0, min(prev_out_end, out_end) - max(prev_out_start,
+                                                              out_start))
+        schedule.tiles.append(
+            TilePlan(
+                in_start=in_start,
+                in_end=in_end,
+                out_start=out_start,
+                out_end=out_end,
+                pairs_per_offset=counts,
+                overlap_with_prev=overlap,
+            )
+        )
+        schedule.total_copy_psum += overlap
+        if out_end > out_start:
+            prev_out_start, prev_out_end = out_start, out_end
+        in_start = in_end
+    return schedule
+
+
+@dataclass
+class GSUTraffic:
+    """DRAM traffic of one layer under GSU management (full reuse)."""
+
+    gather_bytes: int
+    scatter_bytes: int
+    weight_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.gather_bytes + self.scatter_bytes + self.weight_bytes
+
+
+def layer_traffic(
+    rules: Rules,
+    in_channels: int,
+    out_channels: int,
+    config: SpadeConfig,
+    weight_refetches: int = 1,
+) -> GSUTraffic:
+    """Off-chip bytes moved for one sparse layer (each datum once)."""
+    kernel_elems = len(rules.pairs)
+    return GSUTraffic(
+        gather_bytes=rules.num_inputs * in_channels * config.act_bytes,
+        scatter_bytes=rules.num_outputs * out_channels * config.act_bytes,
+        weight_bytes=(
+            kernel_elems * in_channels * out_channels * config.wgt_bytes
+            * weight_refetches
+        ),
+    )

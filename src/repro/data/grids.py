@@ -1,0 +1,114 @@
+"""Bird's-eye-view grid specifications for the benchmark datasets.
+
+Pillar-based detectors discretize the LiDAR range into an X x Y grid of
+pillars (vertical columns).  The grid geometry fixes the size of the dense
+pseudo-image and therefore the dense computation cost; the *active* subset
+of pillars fixes the sparse cost.  The constants below follow the standard
+OpenPCDet configurations for PointPillars on KITTI and CenterPoint-Pillar /
+PillarNet on nuScenes, which the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Geometry of a BEV pillar grid.
+
+    Attributes:
+        name: Human-readable dataset tag.
+        x_range: (min, max) of the forward axis, meters.
+        y_range: (min, max) of the lateral axis, meters.
+        z_range: (min, max) of the vertical axis, meters.
+        pillar_size: Edge length of one square pillar, meters.
+    """
+
+    name: str
+    x_range: tuple
+    y_range: tuple
+    z_range: tuple
+    pillar_size: float
+
+    @property
+    def nx(self) -> int:
+        """Number of pillar columns along x."""
+        return int(round((self.x_range[1] - self.x_range[0]) / self.pillar_size))
+
+    @property
+    def ny(self) -> int:
+        """Number of pillar rows along y."""
+        return int(round((self.y_range[1] - self.y_range[0]) / self.pillar_size))
+
+    @property
+    def shape(self) -> tuple:
+        """Grid shape as (rows, cols) = (ny, nx)."""
+        return (self.ny, self.nx)
+
+    @property
+    def num_pillars(self) -> int:
+        """Total number of grid cells in the dense pseudo-image."""
+        return self.nx * self.ny
+
+    def contains(self, xyz) -> bool:
+        """Return True when a 3D point falls inside the detection range."""
+        x, y, z = xyz
+        return (
+            self.x_range[0] <= x < self.x_range[1]
+            and self.y_range[0] <= y < self.y_range[1]
+            and self.z_range[0] <= z < self.z_range[1]
+        )
+
+
+#: KITTI configuration used by PointPillars: 432 x 496 pillar grid.
+KITTI_GRID = GridSpec(
+    name="kitti",
+    x_range=(0.0, 69.12),
+    y_range=(-39.68, 39.68),
+    z_range=(-3.0, 1.0),
+    pillar_size=0.16,
+)
+
+#: nuScenes configuration used by CenterPoint-Pillar: 512 x 512 pillar grid.
+NUSCENES_GRID = GridSpec(
+    name="nuscenes",
+    x_range=(-51.2, 51.2),
+    y_range=(-51.2, 51.2),
+    z_range=(-5.0, 3.0),
+    pillar_size=0.2,
+)
+
+#: Finer nuScenes grid used by PillarNet's sparse encoder (0.1 m pillars).
+NUSCENES_FINE_GRID = GridSpec(
+    name="nuscenes-fine",
+    x_range=(-51.2, 51.2),
+    y_range=(-51.2, 51.2),
+    z_range=(-5.0, 3.0),
+    pillar_size=0.1,
+)
+
+#: Reduced grid for accuracy experiments where numpy training must be fast.
+MINI_GRID = GridSpec(
+    name="mini",
+    x_range=(0.0, 20.48),
+    y_range=(-10.24, 10.24),
+    z_range=(-3.0, 1.0),
+    pillar_size=0.32,
+)
+
+GRIDS = {
+    grid.name: grid
+    for grid in (KITTI_GRID, NUSCENES_GRID, NUSCENES_FINE_GRID, MINI_GRID)
+}
+
+
+def get_grid(name: str) -> GridSpec:
+    """Look up a registered grid by name.
+
+    Raises:
+        KeyError: If ``name`` is not a registered grid.
+    """
+    if name not in GRIDS:
+        raise KeyError(f"unknown grid {name!r}; known: {sorted(GRIDS)}")
+    return GRIDS[name]

@@ -1,0 +1,22 @@
+"""Hardware substrates: DRAM, SRAM, caches, hash tables, sorters."""
+
+from .bitonic import BitonicMergeRuleGen, MergeSortRuleGenResult, bitonic_sort
+from .cache import CacheStats, DirectMappedCache
+from .dram import DRAMConfig, DRAMModel, DRAMStats, streaming_trace
+from .hashtable import HashRuleGenResult, HashTableRuleGen
+from .sram import SRAMModel
+
+__all__ = [
+    "BitonicMergeRuleGen",
+    "CacheStats",
+    "DRAMConfig",
+    "DRAMModel",
+    "DRAMStats",
+    "DirectMappedCache",
+    "HashRuleGenResult",
+    "HashTableRuleGen",
+    "MergeSortRuleGenResult",
+    "SRAMModel",
+    "bitonic_sort",
+    "streaming_trace",
+]

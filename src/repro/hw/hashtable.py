@@ -1,0 +1,111 @@
+"""Hash-table rule-generation cycle model (SpConv-library baseline).
+
+GPU sparse-convolution libraries build the input-output mapping with a
+hash table over output coordinates.  Following the paper's comparison
+setup (Sec. III-B3): main table sized ``2 x P`` with chained overflow
+storage for up to ``K x P`` entries (K = 9 for a 3x3 kernel).
+
+Every candidate output coordinate (one per active input per kernel
+offset) must probe the table; collisions walk the chain.  The model
+computes the exact expected probe count from the real bucket occupancy of
+the frame's coordinates, so collision behaviour — the reason the RGU wins
+by ~5.9x — comes from data, not a fudge factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sparse.coords import flatten, kernel_offsets
+
+
+@dataclass
+class HashRuleGenResult:
+    """Outcome of hash-based rule generation for one layer."""
+
+    num_inputs: int
+    num_candidates: int
+    num_unique_outputs: int
+    table_size: int
+    max_chain: int
+    total_probes: int
+    cycles: int
+
+
+class HashTableRuleGen:
+    """Cycle model of hash-table based mapping generation.
+
+    Args:
+        table_scale: Main-table slots per active pillar (paper: 2).
+        probe_cycles: Average cycles per probe step; above 1 because each
+            chain step is a dependent memory access and the chained
+            overflow storage suffers bank conflicts under parallel probes.
+        insert_cycles: Extra cycles to append a chain entry.
+    """
+
+    def __init__(self, table_scale: int = 2, probe_cycles: float = 1.7,
+                 insert_cycles: int = 2):
+        self.table_scale = table_scale
+        self.probe_cycles = probe_cycles
+        self.insert_cycles = insert_cycles
+
+    def run(self, in_coords: np.ndarray, shape: tuple,
+            kernel_size: int = 3) -> HashRuleGenResult:
+        """Simulate mapping generation for a dilating sparse convolution."""
+        in_coords = np.asarray(in_coords, dtype=np.int64)
+        num_inputs = len(in_coords)
+        if num_inputs == 0:
+            return HashRuleGenResult(0, 0, 0, 0, 0, 0, 0)
+
+        offsets = kernel_offsets(kernel_size).astype(np.int64)
+        candidates = (in_coords[None, :, :] + offsets[:, None, :]).reshape(-1, 2)
+        in_bounds = (
+            (candidates[:, 0] >= 0)
+            & (candidates[:, 0] < shape[0])
+            & (candidates[:, 1] >= 0)
+            & (candidates[:, 1] < shape[1])
+        )
+        keys = flatten(candidates[in_bounds], shape)
+        table_size = self.table_scale * num_inputs
+        buckets = keys % table_size
+
+        # Group candidates by (bucket, key).  Within a bucket, the i-th
+        # distinct key sits at chain depth i; every probe for that key
+        # walks depth+1 steps.  This is the exact cost of chained probing
+        # with first-come insertion order (ties broken by key id, which
+        # only permutes depths and leaves the total cost distribution
+        # equivalent in expectation).
+        order = np.lexsort((keys, buckets))
+        sorted_buckets = buckets[order]
+        sorted_keys = keys[order]
+        new_key = np.ones(len(sorted_keys), dtype=bool)
+        new_key[1:] = (sorted_keys[1:] != sorted_keys[:-1]) | (
+            sorted_buckets[1:] != sorted_buckets[:-1]
+        )
+        new_bucket = np.ones(len(sorted_buckets), dtype=bool)
+        new_bucket[1:] = sorted_buckets[1:] != sorted_buckets[:-1]
+        # Chain depth of each distinct key = running count of distinct keys
+        # seen in its bucket so far.
+        distinct_counter = np.cumsum(new_key)
+        bucket_start_counter = np.where(new_bucket, distinct_counter - 1, 0)
+        np.maximum.accumulate(bucket_start_counter, out=bucket_start_counter)
+        depth = distinct_counter - 1 - bucket_start_counter  # 0-based depth
+        probes_per_candidate = depth + 1
+        total_probes = int(probes_per_candidate.sum())
+        num_unique = int(new_key.sum())
+        max_chain = int(depth.max()) + 1 if len(depth) else 0
+
+        cycles = int(
+            total_probes * self.probe_cycles + num_unique * self.insert_cycles
+        )
+        return HashRuleGenResult(
+            num_inputs=num_inputs,
+            num_candidates=len(keys),
+            num_unique_outputs=num_unique,
+            table_size=table_size,
+            max_chain=max_chain,
+            total_probes=total_probes,
+            cycles=cycles,
+        )

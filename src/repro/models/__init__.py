@@ -1,0 +1,67 @@
+"""Detector workloads: specs, functional networks, heads, metrics, zoo."""
+
+from .metrics import (
+    average_precision,
+    bev_iou,
+    evaluate_map,
+    iou_3d,
+    match_detections,
+    polygon_intersection_area,
+)
+from .centerpoint import (
+    MiniCenterPoint,
+    center_loss,
+    decode_centers,
+    gaussian_heatmap_targets,
+)
+from .pillarnet import SparseBackboneRunner, SparseLayerRecord, SparseRunResult
+from .pointpillars import (
+    BOX_DIM,
+    DetectionTargets,
+    MiniPointPillars,
+    build_targets,
+    decode_detections,
+    detection_loss,
+)
+from .specs import (
+    SPARSE_MODELS,
+    TABLE1_MODELS,
+    LayerOp,
+    LayerSpec,
+    ModelSpec,
+    build_model_spec,
+)
+from .zoo import TABLE1_PAPER, PaperRow, grid_for, load_model, scene_config_for
+
+__all__ = [
+    "BOX_DIM",
+    "SPARSE_MODELS",
+    "TABLE1_MODELS",
+    "TABLE1_PAPER",
+    "DetectionTargets",
+    "LayerOp",
+    "LayerSpec",
+    "MiniCenterPoint",
+    "MiniPointPillars",
+    "ModelSpec",
+    "PaperRow",
+    "SparseBackboneRunner",
+    "SparseLayerRecord",
+    "SparseRunResult",
+    "average_precision",
+    "bev_iou",
+    "build_model_spec",
+    "build_targets",
+    "center_loss",
+    "decode_centers",
+    "gaussian_heatmap_targets",
+    "decode_detections",
+    "detection_loss",
+    "evaluate_map",
+    "grid_for",
+    "iou_3d",
+    "load_model",
+    "match_detections",
+    "polygon_intersection_area",
+    "scene_config_for",
+]

@@ -1,0 +1,182 @@
+"""Detection metrics: rotated BEV IoU, 3D IoU, average precision.
+
+Implements the evaluation pipeline behind the paper's mAP(BEV) / mAP(3D)
+columns: polygon intersection of rotated boxes (Sutherland-Hodgman
+clipping), height-overlap 3D IoU, greedy matching and interpolated AP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.pointcloud import BoundingBox3D
+
+
+def _polygon_area(polygon: np.ndarray) -> float:
+    """Shoelace area of a (N, 2) polygon (positive for CCW order)."""
+    if len(polygon) < 3:
+        return 0.0
+    x, y = polygon[:, 0], polygon[:, 1]
+    return 0.5 * abs(
+        float(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1)))
+    )
+
+
+def _clip_polygon(subject: np.ndarray, edge_start, edge_end) -> np.ndarray:
+    """Clip a polygon against one half-plane (Sutherland-Hodgman step)."""
+    if len(subject) == 0:
+        return subject
+    clipped = []
+    ex, ey = edge_end[0] - edge_start[0], edge_end[1] - edge_start[1]
+
+    def inside(point):
+        return (ex * (point[1] - edge_start[1])
+                - ey * (point[0] - edge_start[0])) >= -1e-12
+
+    def intersection(p1, p2):
+        dx, dy = p2[0] - p1[0], p2[1] - p1[1]
+        denom = ex * dy - ey * dx
+        if abs(denom) < 1e-12:
+            return p2
+        t = (ex * (edge_start[1] - p1[1]) - ey * (edge_start[0] - p1[0])) / denom
+        return (p1[0] + t * dx, p1[1] + t * dy)
+
+    previous = subject[-1]
+    for current in subject:
+        if inside(current):
+            if not inside(previous):
+                clipped.append(intersection(previous, current))
+            clipped.append(tuple(current))
+        elif inside(previous):
+            clipped.append(intersection(previous, current))
+        previous = current
+    return np.array(clipped) if clipped else np.zeros((0, 2))
+
+
+def _signed_area(polygon: np.ndarray) -> float:
+    x, y = polygon[:, 0], polygon[:, 1]
+    return 0.5 * float(np.dot(x, np.roll(y, -1)) - np.dot(y, np.roll(x, -1)))
+
+
+def _ensure_ccw(polygon: np.ndarray) -> np.ndarray:
+    """Return the polygon in counter-clockwise winding."""
+    return polygon[::-1] if _signed_area(polygon) < 0 else polygon
+
+
+def polygon_intersection_area(poly_a: np.ndarray, poly_b: np.ndarray) -> float:
+    """Intersection area of two convex polygons (any winding)."""
+    clipped = _ensure_ccw(np.asarray(poly_a, dtype=np.float64))
+    poly_b = _ensure_ccw(np.asarray(poly_b, dtype=np.float64))
+    for index in range(len(poly_b)):
+        clipped = _clip_polygon(clipped, poly_b[index],
+                                poly_b[(index + 1) % len(poly_b)])
+        if len(clipped) == 0:
+            return 0.0
+    return _polygon_area(clipped)
+
+
+def bev_iou(box_a: BoundingBox3D, box_b: BoundingBox3D) -> float:
+    """Rotated bird's-eye-view IoU."""
+    poly_a = box_a.bev_corners()
+    poly_b = box_b.bev_corners()
+    inter = polygon_intersection_area(poly_a, poly_b)
+    area_a = box_a.size[0] * box_a.size[1]
+    area_b = box_b.size[0] * box_b.size[1]
+    union = area_a + area_b - inter
+    return inter / union if union > 0 else 0.0
+
+
+def iou_3d(box_a: BoundingBox3D, box_b: BoundingBox3D) -> float:
+    """3D IoU: rotated BEV intersection times vertical overlap."""
+    inter_bev = polygon_intersection_area(box_a.bev_corners(),
+                                          box_b.bev_corners())
+    za0 = box_a.center[2] - box_a.size[2] / 2
+    za1 = box_a.center[2] + box_a.size[2] / 2
+    zb0 = box_b.center[2] - box_b.size[2] / 2
+    zb1 = box_b.center[2] + box_b.size[2] / 2
+    overlap_z = max(0.0, min(za1, zb1) - max(za0, zb0))
+    inter = inter_bev * overlap_z
+    vol_a = box_a.size[0] * box_a.size[1] * box_a.size[2]
+    vol_b = box_b.size[0] * box_b.size[1] * box_b.size[2]
+    union = vol_a + vol_b - inter
+    return inter / union if union > 0 else 0.0
+
+
+def match_detections(
+    predictions: list,
+    ground_truth: list,
+    iou_threshold: float = 0.5,
+    iou_fn=bev_iou,
+) -> tuple:
+    """Greedy score-ordered matching of predictions to ground truth.
+
+    Returns:
+        (tp_flags aligned with score-sorted predictions, sorted scores,
+        num ground truth).
+    """
+    order = np.argsort([-p.score for p in predictions])
+    matched = [False] * len(ground_truth)
+    tp_flags = np.zeros(len(predictions), dtype=bool)
+    scores = np.zeros(len(predictions))
+    for rank, pred_index in enumerate(order):
+        prediction = predictions[pred_index]
+        scores[rank] = prediction.score
+        best_iou, best_gt = 0.0, -1
+        for gt_index, gt_box in enumerate(ground_truth):
+            if matched[gt_index]:
+                continue
+            iou = iou_fn(prediction, gt_box)
+            if iou > best_iou:
+                best_iou, best_gt = iou, gt_index
+        if best_gt >= 0 and best_iou >= iou_threshold:
+            matched[best_gt] = True
+            tp_flags[rank] = True
+    return tp_flags, scores, len(ground_truth)
+
+
+def average_precision(
+    tp_flags: np.ndarray, num_ground_truth: int, num_points: int = 40
+) -> float:
+    """Interpolated AP (KITTI-style 40-point) from ordered TP flags."""
+    if num_ground_truth == 0:
+        return 0.0
+    if len(tp_flags) == 0:
+        return 0.0
+    tp_cum = np.cumsum(tp_flags)
+    fp_cum = np.cumsum(~tp_flags)
+    recall = tp_cum / num_ground_truth
+    precision = tp_cum / (tp_cum + fp_cum)
+    # Precision envelope (monotone non-increasing from the right).
+    envelope = np.maximum.accumulate(precision[::-1])[::-1]
+    samples = np.linspace(0.0, 1.0, num_points + 1)[1:]
+    total = 0.0
+    for sample in samples:
+        reachable = recall >= sample
+        total += float(envelope[reachable].max()) if reachable.any() else 0.0
+    return total / num_points
+
+
+def evaluate_map(
+    frame_predictions: list,
+    frame_ground_truth: list,
+    iou_threshold: float = 0.5,
+    iou_fn=bev_iou,
+) -> float:
+    """mAP over a list of frames (single-class: AP of pooled detections)."""
+    all_flags = []
+    all_scores = []
+    total_gt = 0
+    for predictions, ground_truth in zip(frame_predictions,
+                                         frame_ground_truth):
+        flags, scores, num_gt = match_detections(
+            predictions, ground_truth, iou_threshold, iou_fn
+        )
+        all_flags.append(flags)
+        all_scores.append(scores)
+        total_gt += num_gt
+    if not all_flags:
+        return 0.0
+    flags = np.concatenate(all_flags)
+    scores = np.concatenate(all_scores)
+    order = np.argsort(-scores)
+    return average_precision(flags[order], total_gt)

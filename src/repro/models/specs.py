@@ -1,0 +1,389 @@
+"""Workload specifications for the paper's benchmark networks.
+
+A :class:`ModelSpec` is the layer graph of one detector variant: every
+convolution with its channels, kernel, stride, sparse-execution type and
+optional dynamic-pruning keep ratio.  Specs drive three consumers:
+
+* GOPs / sparsity accounting (Table I) via :mod:`repro.analysis.sparsity`;
+* the SPADE / DenseAcc / PointAcc cycle simulators, which schedule one
+  layer at a time;
+* the functional sparse runner, which executes the graph on real pillar
+  batches to obtain per-layer active sets.
+
+Layer graphs follow the OpenPCDet configurations the paper evaluates:
+PointPillars on KITTI (496 x 432 grid), CenterPoint-Pillar and PillarNet
+on nuScenes (512 x 512 / 1024 x 1024 grids).  The seven sparse variants
+(SPP1-3, SCP1-3, SPN) replace dense Conv2D with the sparse-conv types in
+Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ..data.grids import KITTI_GRID, NUSCENES_FINE_GRID, NUSCENES_GRID, GridSpec
+from ..sparse.rulegen import ConvType
+
+
+class LayerOp(Enum):
+    """How a layer executes."""
+
+    DENSE = "dense"            # plain Conv2D on the dense pseudo-image
+    SPARSE = "sparse"          # sparse convolution (see conv_type)
+    DENSE_DECONV = "dense_deconv"
+
+
+@dataclass
+class LayerSpec:
+    """One convolution layer of a detector.
+
+    Attributes:
+        name: Paper-style label, e.g. ``"B1C1"`` (stage 1, conv 1).
+        op: Dense or sparse execution.
+        conv_type: Sparse variant when ``op`` is SPARSE.
+        in_channels / out_channels: Feature widths.
+        kernel_size: Kernel edge (deconvs use kernel = stride).
+        stride: 1 for same-size, >=2 for down/upsampling.
+        upsample: True when the layer is a deconvolution.
+        prune_keep: If set, dynamic vector pruning keeps this fraction of
+            active output pillars (SpConv-P layers only).
+        stage: Backbone stage index (for per-stage reporting).
+    """
+
+    name: str
+    op: LayerOp
+    in_channels: int
+    out_channels: int
+    kernel_size: int = 3
+    stride: int = 1
+    conv_type: ConvType = None
+    upsample: bool = False
+    prune_keep: float = None
+    stage: int = 0
+
+    def dense_macs(self, out_height: int, out_width: int) -> int:
+        """MACs of executing this layer densely at the given output size."""
+        if self.upsample:
+            # Transposed conv: every input produces K*K outputs.
+            in_height = out_height // self.stride
+            in_width = out_width // self.stride
+            return (
+                self.kernel_size
+                * self.kernel_size
+                * self.in_channels
+                * self.out_channels
+                * in_height
+                * in_width
+            )
+        return (
+            self.kernel_size
+            * self.kernel_size
+            * self.in_channels
+            * self.out_channels
+            * out_height
+            * out_width
+        )
+
+
+@dataclass
+class ModelSpec:
+    """A complete detector workload.
+
+    Attributes:
+        name: Table I model tag (PP, SPP1, ..., SPN).
+        base: The dense family (``"pointpillars"`` etc.).
+        grid: BEV grid of the pillar encoder input.
+        pillar_channels: Pillar feature width C.
+        layers: Backbone + neck + head layers in execution order.
+        description: One-line summary (backbone / head types, Table I row).
+    """
+
+    name: str
+    base: str
+    grid: GridSpec
+    pillar_channels: int
+    layers: list = field(default_factory=list)
+    description: str = ""
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layers)
+
+    def layers_in_stage(self, stage: int) -> list:
+        return [layer for layer in self.layers if layer.stage == stage]
+
+
+def _stage(
+    prefix: str,
+    stage: int,
+    num_layers: int,
+    in_channels: int,
+    out_channels: int,
+    conv_type,
+    strided_type,
+    stride: int = 2,
+    prune_keep: float = None,
+) -> list:
+    """One backbone stage: strided conv then (num_layers - 1) same-size convs."""
+    op = LayerOp.DENSE if conv_type is None else LayerOp.SPARSE
+    layers = [
+        LayerSpec(
+            name=f"{prefix}{stage}C1",
+            op=op,
+            in_channels=in_channels,
+            out_channels=out_channels,
+            stride=stride,
+            conv_type=strided_type,
+            prune_keep=prune_keep,
+            stage=stage,
+        )
+    ]
+    for index in range(2, num_layers + 1):
+        layers.append(
+            LayerSpec(
+                name=f"{prefix}{stage}C{index}",
+                op=op,
+                in_channels=out_channels,
+                out_channels=out_channels,
+                conv_type=conv_type,
+                stage=stage,
+            )
+        )
+    return layers
+
+
+def _deconv(name, stage, in_channels, out_channels, stride, conv_type) -> LayerSpec:
+    if stride == 1:
+        # A stride-1 "deconv" is a 1x1 projection.
+        return LayerSpec(
+            name=name,
+            op=LayerOp.DENSE if conv_type is None else LayerOp.SPARSE,
+            in_channels=in_channels,
+            out_channels=out_channels,
+            kernel_size=1,
+            conv_type=ConvType.SUBM if conv_type is not None else None,
+            stage=stage,
+        )
+    return LayerSpec(
+        name=name,
+        op=LayerOp.DENSE_DECONV if conv_type is None else LayerOp.SPARSE,
+        in_channels=in_channels,
+        out_channels=out_channels,
+        kernel_size=stride,
+        stride=stride,
+        conv_type=ConvType.DECONV if conv_type is not None else None,
+        upsample=True,
+        stage=stage,
+    )
+
+
+def _pp_variant(name, conv_type, strided_type, head_type=None, prune_keep=None,
+                description="") -> ModelSpec:
+    """PointPillars family on KITTI: 3-stage backbone, 3 deconvs, SSD head."""
+    layers = []
+    layers += _stage("B", 1, 4, 64, 64, conv_type, strided_type,
+                     prune_keep=prune_keep)
+    layers += _stage("B", 2, 6, 64, 128, conv_type, strided_type,
+                     prune_keep=prune_keep)
+    layers += _stage("B", 3, 6, 128, 256, conv_type, strided_type,
+                     prune_keep=prune_keep)
+    layers.append(_deconv("D1", 1, 64, 128, 1, conv_type))
+    layers.append(_deconv("D2", 2, 128, 128, 2, conv_type))
+    layers.append(_deconv("D3", 3, 256, 128, 4, conv_type))
+    head_op = LayerOp.DENSE if head_type is None else LayerOp.SPARSE
+    # The three SSD head convolutions (cls 18ch, box 42ch, dir 12ch) share
+    # the same 1x1 input and are fused into one 72-channel conv, as
+    # deployment stacks do — this also keeps the PE columns packed.
+    layers.append(
+        LayerSpec(
+            name="Hfused",
+            op=head_op,
+            in_channels=384,
+            out_channels=72,
+            kernel_size=1,
+            conv_type=head_type,
+            stage=4,
+        )
+    )
+    return ModelSpec(
+        name=name,
+        base="pointpillars",
+        grid=KITTI_GRID,
+        pillar_channels=64,
+        layers=layers,
+        description=description,
+    )
+
+
+def _cp_variant(name, conv_type, strided_type, head_type=None, prune_keep=None,
+                description="") -> ModelSpec:
+    """CenterPoint-Pillar on nuScenes: 3-stage backbone, center head."""
+    layers = []
+    layers += _stage("B", 1, 4, 64, 64, conv_type, strided_type,
+                     prune_keep=prune_keep)
+    layers += _stage("B", 2, 6, 64, 128, conv_type, strided_type,
+                     prune_keep=prune_keep)
+    layers += _stage("B", 3, 6, 128, 256, conv_type, strided_type,
+                     prune_keep=prune_keep)
+    layers.append(_deconv("D1", 1, 64, 128, 1, conv_type))
+    layers.append(_deconv("D2", 2, 128, 128, 2, conv_type))
+    layers.append(_deconv("D3", 3, 256, 128, 4, conv_type))
+    head_op = LayerOp.DENSE if head_type is None else LayerOp.SPARSE
+    shared_type = head_type if head_type is None else (
+        ConvType.SUBM if head_type is ConvType.SUBM else head_type
+    )
+    layers.append(
+        LayerSpec(
+            name="Hshared",
+            op=head_op,
+            in_channels=384,
+            out_channels=64,
+            kernel_size=3,
+            conv_type=shared_type,
+            stage=4,
+        )
+    )
+    # CenterPoint sub-heads (heatmap 10, offset 2, z 1, size 3, rot 2,
+    # vel 2) fused into one 20-channel conv off the shared feature.
+    layers.append(
+        LayerSpec(
+            name="Hfused",
+            op=head_op,
+            in_channels=64,
+            out_channels=20,
+            kernel_size=3,
+            conv_type=head_type,
+            stage=4,
+        )
+    )
+    return ModelSpec(
+        name=name,
+        base="centerpoint",
+        grid=NUSCENES_GRID,
+        pillar_channels=64,
+        layers=layers,
+        description=description,
+    )
+
+
+def _pn_variant(name, encoder_type, backbone_type, strided_type,
+                description="") -> ModelSpec:
+    """PillarNet on nuScenes: sparse 2D encoder + dense-style backbone + head.
+
+    The encoder runs on the 0.1 m fine grid (1024 x 1024) at scales
+    1x..8x with channels 32/64/128/256; the backbone and center head run
+    at 8x (128 x 128).  PN's published baseline already executes the
+    encoder with SpConv-S, which is why its dense-equivalent GOPs are so
+    much larger than its measured GOPs (Table I).
+    """
+    enc_op = LayerOp.DENSE if encoder_type is None else LayerOp.SPARSE
+    bb_op = LayerOp.DENSE if backbone_type is None else LayerOp.SPARSE
+    layers = []
+    # Encoder stage 1 (full resolution, 32ch).
+    layers.append(LayerSpec("E1C1", enc_op, 32, 32, conv_type=encoder_type, stage=1))
+    layers.append(LayerSpec("E1C2", enc_op, 32, 32, conv_type=encoder_type, stage=1))
+    # Encoder stage 2 (1/2, 64ch).
+    layers.append(
+        LayerSpec("E2C1", enc_op, 32, 64, stride=2,
+                  conv_type=strided_type if encoder_type else None, stage=2)
+    )
+    layers.append(LayerSpec("E2C2", enc_op, 64, 64, conv_type=encoder_type, stage=2))
+    layers.append(LayerSpec("E2C3", enc_op, 64, 64, conv_type=encoder_type, stage=2))
+    # Encoder stage 3 (1/4, 128ch).
+    layers.append(
+        LayerSpec("E3C1", enc_op, 64, 128, stride=2,
+                  conv_type=strided_type if encoder_type else None, stage=3)
+    )
+    layers.append(LayerSpec("E3C2", enc_op, 128, 128, conv_type=encoder_type, stage=3))
+    layers.append(LayerSpec("E3C3", enc_op, 128, 128, conv_type=encoder_type, stage=3))
+    # Encoder stage 4 (1/8, 256ch).
+    layers.append(
+        LayerSpec("E4C1", enc_op, 128, 256, stride=2,
+                  conv_type=strided_type if encoder_type else None, stage=4)
+    )
+    layers.append(LayerSpec("E4C2", enc_op, 256, 256, conv_type=encoder_type, stage=4))
+    layers.append(LayerSpec("E4C3", enc_op, 256, 256, conv_type=encoder_type, stage=4))
+    # Backbone at 1/8 (two blocks of 256), neck deconv, center head.
+    for index in range(1, 5):
+        layers.append(
+            LayerSpec(f"B5C{index}", bb_op, 256, 256,
+                      conv_type=backbone_type, stage=5)
+        )
+    layers.append(
+        LayerSpec("B6C1", bb_op, 256, 256, stride=2,
+                  conv_type=strided_type if backbone_type else None, stage=6)
+    )
+    for index in range(2, 5):
+        layers.append(
+            LayerSpec(f"B6C{index}", bb_op, 256, 256,
+                      conv_type=backbone_type, stage=6)
+        )
+    layers.append(_deconv("D5", 5, 256, 128, 1, backbone_type))
+    layers.append(_deconv("D6", 6, 256, 128, 2, backbone_type))
+    layers.append(LayerSpec("Hshared", LayerOp.DENSE, 256, 64, kernel_size=3, stage=7))
+    layers.append(LayerSpec("Hfused", LayerOp.DENSE, 64, 20, kernel_size=3, stage=7))
+    return ModelSpec(
+        name=name,
+        base="pillarnet",
+        grid=NUSCENES_FINE_GRID,
+        pillar_channels=32,
+        layers=layers,
+        description=description,
+    )
+
+
+def build_model_spec(name: str) -> ModelSpec:
+    """Construct any Table I model spec by name."""
+    builders = {
+        # PointPillars family (KITTI).
+        "PP": lambda: _pp_variant(
+            "PP", None, None, description="Dense Conv2D backbone + head"),
+        "SPP1": lambda: _pp_variant(
+            "SPP1", ConvType.SPCONV, ConvType.STRIDED,
+            description="SpConv backbone, Conv2D head"),
+        "SPP2": lambda: _pp_variant(
+            "SPP2", ConvType.SPCONV_P, ConvType.STRIDED, prune_keep=0.55,
+            description="SpConv-P backbone (dynamic pruning), Conv2D head"),
+        "SPP3": lambda: _pp_variant(
+            "SPP3", ConvType.SUBM, ConvType.STRIDED_SUBM,
+            description="SpConv-S backbone, Conv2D head"),
+        # CenterPoint family (nuScenes).
+        "CP": lambda: _cp_variant(
+            "CP", None, None, description="Dense Conv2D backbone + head"),
+        "SCP1": lambda: _cp_variant(
+            "SCP1", ConvType.SPCONV, ConvType.STRIDED,
+            description="SpConv backbone, Conv2D head"),
+        "SCP2": lambda: _cp_variant(
+            "SCP2", ConvType.SPCONV_P, ConvType.STRIDED, prune_keep=0.5,
+            head_type=ConvType.SPCONV_P,
+            description="SpConv-P backbone + SpConv-P head"),
+        "SCP3": lambda: _cp_variant(
+            "SCP3", ConvType.SUBM, ConvType.STRIDED_SUBM,
+            head_type=ConvType.SPCONV_P,
+            description="SpConv-S backbone, SpConv-P head"),
+        # PillarNet family (nuScenes).
+        "PN-Dense": lambda: _pn_variant(
+            "PN-Dense", None, None, None,
+            description="Hypothetical dense PillarNet (encoder densified)"),
+        "PN": lambda: _pn_variant(
+            "PN", ConvType.SUBM, None, ConvType.STRIDED_SUBM,
+            description="SpConv-S encoder, Conv2D backbone + head"),
+        "SPN": lambda: _pn_variant(
+            "SPN", ConvType.SUBM, ConvType.SUBM, ConvType.STRIDED_SUBM,
+            description="SpConv-S encoder + backbone, Conv2D head"),
+    }
+    if name not in builders:
+        raise KeyError(f"unknown model {name!r}; known: {sorted(builders)}")
+    return builders[name]()
+
+
+#: All Table I rows in paper order.
+TABLE1_MODELS = (
+    "PP", "SPP1", "SPP2", "SPP3",
+    "CP", "SCP1", "SCP2", "SCP3",
+    "PN-Dense", "PN", "SPN",
+)
+
+#: The seven sparse models SPADE is evaluated on (Fig. 9 order).
+SPARSE_MODELS = ("SPP1", "SPP2", "SPP3", "SCP1", "SCP2", "SCP3", "SPN")

@@ -1,0 +1,72 @@
+"""Model zoo: Table I registry with the paper's published numbers.
+
+Maps every Table I row to its workload spec, the scene configuration that
+feeds it, and the values the paper reports — so benchmarks can print
+paper-vs-measured side by side (EXPERIMENTS.md consumes this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..data.grids import KITTI_GRID, NUSCENES_FINE_GRID, NUSCENES_GRID
+from ..data.synthetic import KITTI_SCENE, SceneConfig, nuscenes_scene_config
+from .specs import build_model_spec
+
+
+@dataclass(frozen=True)
+class PaperRow:
+    """One Table I row as published."""
+
+    model: str
+    backbone: str
+    head: str
+    avg_gops: float
+    sparsity_pct: float     # computation savings vs. the dense counterpart
+    accuracy: float         # mAP(BEV) for KITTI, mAP for nuScenes
+    accuracy_metric: str
+
+
+#: Table I, verbatim from the paper.
+TABLE1_PAPER = {
+    "PP": PaperRow("PP", "Conv2D", "Conv2D", 46.43, 0.0, 87.42, "mAP(BEV)"),
+    "SPP1": PaperRow("SPP1", "SpConv", "Conv2D", 20.33, 56.2, 87.34, "mAP(BEV)"),
+    "SPP2": PaperRow("SPP2", "SpConv-P", "Conv2D", 12.30, 73.5, 86.99, "mAP(BEV)"),
+    "SPP3": PaperRow("SPP3", "SpConv-S", "Conv2D", 5.01, 89.2, 83.11, "mAP(BEV)"),
+    "CP": PaperRow("CP", "Conv2D", "Conv2D", 63.99, 0.0, 50.79, "mAP"),
+    "SCP1": PaperRow("SCP1", "SpConv", "Conv2D", 40.76, 36.3, 50.54, "mAP"),
+    "SCP2": PaperRow("SCP2", "SpConv-P", "SpConv-P", 24.77, 61.3, 50.12, "mAP"),
+    "SCP3": PaperRow("SCP3", "SpConv-S", "SpConv-P", 13.60, 78.8, 47.78, "mAP"),
+    "PN-Dense": PaperRow("PN-Dense", "Conv2D", "Conv2D", 596.51, 0.0, 59.58,
+                         "mAP"),
+    "PN": PaperRow("PN", "SpConv-S enc", "Conv2D", 284.09, 52.4, 59.58, "mAP"),
+    "SPN": PaperRow("SPN", "SpConv-S", "Conv2D", 160.27, 73.1, 57.92, "mAP"),
+}
+
+
+def scene_config_for(model_name: str) -> SceneConfig:
+    """The synthetic scene family feeding each benchmark model."""
+    if model_name in ("PP", "SPP1", "SPP2", "SPP3"):
+        return KITTI_SCENE
+    if model_name in ("PN-Dense", "PN", "SPN"):
+        return nuscenes_scene_config(NUSCENES_FINE_GRID)
+    return nuscenes_scene_config(NUSCENES_GRID)
+
+
+def grid_for(model_name: str):
+    """Pillar grid used by each model."""
+    if model_name in ("PP", "SPP1", "SPP2", "SPP3"):
+        return KITTI_GRID
+    if model_name in ("PN-Dense", "PN", "SPN"):
+        return NUSCENES_FINE_GRID
+    return NUSCENES_GRID
+
+
+def load_model(model_name: str):
+    """(spec, scene config, grid, paper row) for one Table I model."""
+    return (
+        build_model_spec(model_name),
+        scene_config_for(model_name),
+        grid_for(model_name),
+        TABLE1_PAPER[model_name],
+    )

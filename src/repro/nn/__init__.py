@@ -1,0 +1,64 @@
+"""From-scratch numpy NN framework used by the accuracy experiments."""
+
+from .finetune import FinetuneReport, dynamic_pruning_finetune, train_epochs
+from .layers import (
+    BatchNorm2d,
+    Conv2D,
+    Deconv2D,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    conv_bn_relu,
+)
+from .losses import bce_with_logits, focal_loss_with_logits, sigmoid, smooth_l1
+from .optim import SGD, Adam
+from .pointnet import PillarFeatureNet, PointwiseBatchNorm
+from .quantization import (
+    INT8_MAX,
+    QuantParams,
+    calibrate,
+    quantization_snr_db,
+    quantize_dequantize,
+    quantized_matmul,
+)
+from .regularization import (
+    TopKVectorPruner,
+    VectorSparsityRegularizer,
+    group_lasso_grad,
+    group_lasso_loss,
+)
+
+__all__ = [
+    "INT8_MAX",
+    "SGD",
+    "Adam",
+    "BatchNorm2d",
+    "Conv2D",
+    "Deconv2D",
+    "FinetuneReport",
+    "Linear",
+    "Module",
+    "Parameter",
+    "PillarFeatureNet",
+    "PointwiseBatchNorm",
+    "QuantParams",
+    "ReLU",
+    "Sequential",
+    "TopKVectorPruner",
+    "VectorSparsityRegularizer",
+    "bce_with_logits",
+    "calibrate",
+    "conv_bn_relu",
+    "dynamic_pruning_finetune",
+    "focal_loss_with_logits",
+    "group_lasso_grad",
+    "group_lasso_loss",
+    "quantization_snr_db",
+    "quantize_dequantize",
+    "quantized_matmul",
+    "sigmoid",
+    "smooth_l1",
+    "train_epochs",
+]

@@ -1,0 +1,96 @@
+"""Dynamic-pruning training recipe: regularize, then Top-K fine-tune.
+
+The paper's recipe (Fig. 1(f)):
+
+1. train with *vector sparsity regularization* so background pillar vectors
+   shrink toward zero;
+2. *pruning-aware fine-tuning*: keep training with Top-K pillar pruning
+   active at the user-specified sparsity so the model is robust to it;
+3. retrieve a representative threshold per layer for inference.
+
+This module wires those phases together for any model exposing a
+``pruner`` (:class:`~repro.nn.regularization.TopKVectorPruner`) and a
+``regularizer`` (:class:`~repro.nn.regularization.VectorSparsityRegularizer`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .optim import Adam
+
+
+@dataclass
+class FinetuneReport:
+    """Loss trajectory of a pruning-aware fine-tuning run."""
+
+    phase_losses: dict = field(default_factory=dict)
+    final_keep_ratio: float = 1.0
+
+    def add(self, phase: str, loss: float) -> None:
+        self.phase_losses.setdefault(phase, []).append(loss)
+
+
+def train_epochs(model, batches, loss_fn, optimizer, epochs, report, phase):
+    """Generic epoch loop: forward, loss, backward, step."""
+    for _ in range(epochs):
+        epoch_loss = 0.0
+        for inputs, targets in batches:
+            optimizer.zero_grad()
+            outputs = model(inputs)
+            loss, grad = loss_fn(outputs, targets)
+            if getattr(model, "regularizer", None) is not None:
+                loss += model.regularizer.last_loss
+            model.backward(grad)
+            optimizer.step()
+            epoch_loss += loss
+        report.add(phase, epoch_loss / max(len(batches), 1))
+    return report
+
+
+def dynamic_pruning_finetune(
+    model,
+    batches,
+    loss_fn,
+    target_keep_ratio: float,
+    pretrain_epochs: int = 4,
+    finetune_epochs: int = 4,
+    lr: float = 1e-3,
+    regularization_strength: float = None,
+) -> FinetuneReport:
+    """Run the full two-phase dynamic-pruning recipe on a model.
+
+    Args:
+        model: A module with optional ``regularizer`` and ``pruner`` attrs.
+        batches: Iterable of (inputs, targets) reused every epoch.
+        loss_fn: ``f(outputs, targets) -> (loss, grad_outputs)``.
+        target_keep_ratio: Fraction of active pillars kept by Top-K.
+        pretrain_epochs: Phase-1 epochs (regularized, no pruning).
+        finetune_epochs: Phase-2 epochs (pruning active).
+        lr: Adam learning rate (halved for phase 2).
+        regularization_strength: Overrides the model's lambda if given.
+
+    Returns:
+        A :class:`FinetuneReport`.
+    """
+    report = FinetuneReport(final_keep_ratio=target_keep_ratio)
+    model.train()
+    if regularization_strength is not None and model.regularizer is not None:
+        model.regularizer.strength = regularization_strength
+
+    # Phase 1: vector-sparsity regularization drives background pillars to 0.
+    if model.pruner is not None:
+        model.pruner.enabled = False
+    optimizer = Adam(model.parameters(), lr=lr)
+    train_epochs(model, batches, loss_fn, optimizer, pretrain_epochs, report,
+                 "regularize")
+
+    # Phase 2: Top-K pruning-aware fine-tuning at the target sparsity.
+    if model.pruner is not None:
+        model.pruner.enabled = True
+        model.pruner.keep_ratio = target_keep_ratio
+    optimizer = Adam(model.parameters(), lr=lr * 0.5)
+    train_epochs(model, batches, loss_fn, optimizer, finetune_epochs, report,
+                 "finetune")
+    model.eval()
+    return report

@@ -1,0 +1,316 @@
+"""Minimal neural-network layers with explicit backward passes.
+
+The paper trains its sparse models in PyTorch; offline we implement the
+needed subset from scratch on numpy: dense Conv2D (for the scaled-down
+accuracy experiments), Linear, BatchNorm, ReLU and Sequential containers.
+Every layer caches what its backward pass needs and accumulates parameter
+gradients into :class:`Parameter` objects consumed by the optimizers.
+
+Array convention: feature maps are (N, C, H, W); point features are
+(..., F) for Linear layers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A learnable tensor with an accumulated gradient."""
+
+    def __init__(self, data: np.ndarray, name: str = ""):
+        self.data = np.asarray(data, dtype=np.float32)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:
+        return f"Parameter({self.name or 'unnamed'}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class: forward/backward with parameter discovery."""
+
+    training: bool = True
+
+    def parameters(self) -> list:
+        """All parameters of this module and its submodules."""
+        found = []
+        for value in self.__dict__.values():
+            if isinstance(value, Parameter):
+                found.append(value)
+            elif isinstance(value, Module):
+                found.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        found.extend(item.parameters())
+        return found
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def train(self) -> "Module":
+        self._set_mode(True)
+        return self
+
+    def eval(self) -> "Module":
+        self._set_mode(False)
+        return self
+
+    def _set_mode(self, training: bool) -> None:
+        self.training = training
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                value._set_mode(training)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        item._set_mode(training)
+
+    def forward(self, x):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backward(self, grad):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, x):
+        return self.forward(x)
+
+
+class Linear(Module):
+    """Affine map on the last axis: y = x @ W + b."""
+
+    def __init__(self, in_features: int, out_features: int, rng=None, bias=True):
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_features)
+        self.weight = Parameter(
+            rng.normal(0.0, scale, size=(in_features, out_features)), "linear.weight"
+        )
+        self.bias = Parameter(np.zeros(out_features), "linear.bias") if bias else None
+        self._input = None
+
+    def forward(self, x):
+        self._input = x
+        y = x @ self.weight.data
+        if self.bias is not None:
+            y = y + self.bias.data
+        return y
+
+    def backward(self, grad):
+        x = self._input
+        flat_x = x.reshape(-1, x.shape[-1])
+        flat_g = grad.reshape(-1, grad.shape[-1])
+        self.weight.grad += flat_x.T @ flat_g
+        if self.bias is not None:
+            self.bias.grad += flat_g.sum(axis=0)
+        return grad @ self.weight.data.T
+
+
+class ReLU(Module):
+    """Elementwise rectifier."""
+
+    def __init__(self):
+        self._mask = None
+
+    def forward(self, x):
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad):
+        return grad * self._mask
+
+
+class Conv2D(Module):
+    """Dense 2D convolution, kernel in weight-index order (K*K, Cin, Cout).
+
+    Supports odd kernels with implicit same-padding and integer stride —
+    everything the pillar backbones need.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        rng=None,
+        bias: bool = True,
+    ):
+        rng = rng or np.random.default_rng(0)
+        if kernel_size % 2 == 0:
+            raise ValueError("Conv2D expects an odd kernel; use Deconv2D to upsample")
+        fan_in = kernel_size * kernel_size * in_channels
+        scale = np.sqrt(2.0 / fan_in)
+        self.weight = Parameter(
+            rng.normal(
+                0.0, scale, size=(kernel_size * kernel_size, in_channels, out_channels)
+            ),
+            "conv.weight",
+        )
+        self.bias = Parameter(np.zeros(out_channels), "conv.bias") if bias else None
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self._input_padded = None
+        self._input_shape = None
+
+    def forward(self, x):
+        n, c, h, w = x.shape
+        k, s = self.kernel_size, self.stride
+        half = (k - 1) // 2
+        out_h = (h + s - 1) // s
+        out_w = (w + s - 1) // s
+        padded = np.pad(x, ((0, 0), (0, 0), (half, half), (half, half)))
+        self._input_padded = padded
+        self._input_shape = x.shape
+        out_channels = self.weight.data.shape[2]
+        y = np.zeros((n, out_channels, out_h, out_w), dtype=np.float32)
+        for index in range(k * k):
+            dr, dc = index // k, index % k
+            window = padded[:, :, dr : dr + h : s, dc : dc + w : s]
+            y += np.einsum("nchw,co->nohw", window, self.weight.data[index])
+        if self.bias is not None:
+            y += self.bias.data[None, :, None, None]
+        return y
+
+    def backward(self, grad):
+        n, c, h, w = self._input_shape
+        k, s = self.kernel_size, self.stride
+        half = (k - 1) // 2
+        padded = self._input_padded
+        grad_padded = np.zeros_like(padded)
+        for index in range(k * k):
+            dr, dc = index // k, index % k
+            window = padded[:, :, dr : dr + h : s, dc : dc + w : s]
+            self.weight.grad[index] += np.einsum("nchw,nohw->co", window, grad)
+            grad_padded[:, :, dr : dr + h : s, dc : dc + w : s] += np.einsum(
+                "nohw,co->nchw", grad, self.weight.data[index]
+            )
+        if self.bias is not None:
+            self.bias.grad += grad.sum(axis=(0, 2, 3))
+        return grad_padded[:, :, half : half + h, half : half + w]
+
+
+class Deconv2D(Module):
+    """Non-overlapping transposed convolution (kernel = stride)."""
+
+    def __init__(self, in_channels: int, out_channels: int, stride: int, rng=None):
+        rng = rng or np.random.default_rng(0)
+        scale = np.sqrt(2.0 / in_channels)
+        self.weight = Parameter(
+            rng.normal(0.0, scale, size=(stride * stride, in_channels, out_channels)),
+            "deconv.weight",
+        )
+        self.bias = Parameter(np.zeros(out_channels), "deconv.bias")
+        self.stride = stride
+        self._input = None
+
+    def forward(self, x):
+        n, c, h, w = x.shape
+        s = self.stride
+        self._input = x
+        out_channels = self.weight.data.shape[2]
+        y = np.zeros((n, out_channels, h * s, w * s), dtype=np.float32)
+        for index in range(s * s):
+            dr, dc = index // s, index % s
+            y[:, :, dr::s, dc::s] = np.einsum(
+                "nchw,co->nohw", x, self.weight.data[index]
+            )
+        return y + self.bias.data[None, :, None, None]
+
+    def backward(self, grad):
+        s = self.stride
+        grad_x = np.zeros_like(self._input)
+        for index in range(s * s):
+            dr, dc = index // s, index % s
+            block = grad[:, :, dr::s, dc::s]
+            self.weight.grad[index] += np.einsum(
+                "nchw,nohw->co", self._input, block
+            )
+            grad_x += np.einsum("nohw,co->nchw", block, self.weight.data[index])
+        self.bias.grad += grad.sum(axis=(0, 2, 3))
+        return grad_x
+
+
+class BatchNorm2d(Module):
+    """Batch normalization over (N, H, W) per channel."""
+
+    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5):
+        self.gamma = Parameter(np.ones(channels), "bn.gamma")
+        self.beta = Parameter(np.zeros(channels), "bn.beta")
+        self.running_mean = np.zeros(channels, dtype=np.float32)
+        self.running_var = np.ones(channels, dtype=np.float32)
+        self.momentum = momentum
+        self.eps = eps
+        self._cache = None
+
+    def forward(self, x):
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            ).astype(np.float32)
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            ).astype(np.float32)
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        self._cache = (x_hat, inv_std, x.shape)
+        return (
+            self.gamma.data[None, :, None, None] * x_hat
+            + self.beta.data[None, :, None, None]
+        )
+
+    def backward(self, grad):
+        x_hat, inv_std, shape = self._cache
+        n_elems = shape[0] * shape[2] * shape[3]
+        self.gamma.grad += (grad * x_hat).sum(axis=(0, 2, 3))
+        self.beta.grad += grad.sum(axis=(0, 2, 3))
+        grad_hat = grad * self.gamma.data[None, :, None, None]
+        if not self.training:
+            return grad_hat * inv_std[None, :, None, None]
+        sum_grad = grad_hat.sum(axis=(0, 2, 3))[None, :, None, None]
+        sum_grad_xhat = (grad_hat * x_hat).sum(axis=(0, 2, 3))[None, :, None, None]
+        return (
+            inv_std[None, :, None, None]
+            / n_elems
+            * (n_elems * grad_hat - sum_grad - x_hat * sum_grad_xhat)
+        )
+
+
+class Sequential(Module):
+    """Run modules in order; backward in reverse."""
+
+    def __init__(self, *modules):
+        self.modules = list(modules)
+
+    def forward(self, x):
+        for module in self.modules:
+            x = module(x)
+        return x
+
+    def backward(self, grad):
+        for module in reversed(self.modules):
+            grad = module.backward(grad)
+        return grad
+
+    def __iter__(self):
+        return iter(self.modules)
+
+    def __getitem__(self, index):
+        return self.modules[index]
+
+
+def conv_bn_relu(in_channels, out_channels, stride=1, rng=None) -> Sequential:
+    """The standard backbone block: Conv3x3 -> BN -> ReLU."""
+    return Sequential(
+        Conv2D(in_channels, out_channels, 3, stride=stride, rng=rng, bias=False),
+        BatchNorm2d(out_channels),
+        ReLU(),
+    )

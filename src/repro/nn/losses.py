@@ -1,0 +1,79 @@
+"""Detection losses with analytic gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(x, dtype=np.float64)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    exp_x = np.exp(x[~positive])
+    out[~positive] = exp_x / (1.0 + exp_x)
+    return out
+
+
+def bce_with_logits(logits: np.ndarray, targets: np.ndarray, weights=None) -> tuple:
+    """Binary cross-entropy on logits.
+
+    Returns:
+        (mean loss, gradient w.r.t. logits).
+    """
+    probs = sigmoid(logits)
+    eps = 1e-12
+    loss = -(
+        targets * np.log(probs + eps) + (1.0 - targets) * np.log(1.0 - probs + eps)
+    )
+    grad = probs - targets
+    if weights is not None:
+        loss = loss * weights
+        grad = grad * weights
+    count = max(logits.size, 1)
+    return float(loss.sum() / count), (grad / count).astype(np.float32)
+
+
+def focal_loss_with_logits(
+    logits: np.ndarray, targets: np.ndarray, alpha: float = 0.25, gamma: float = 2.0
+) -> tuple:
+    """Focal loss (RetinaNet) used by the center-based heads.
+
+    Returns:
+        (mean loss, gradient w.r.t. logits).
+    """
+    probs = sigmoid(logits)
+    eps = 1e-12
+    p_t = targets * probs + (1.0 - targets) * (1.0 - probs)
+    alpha_t = targets * alpha + (1.0 - targets) * (1.0 - alpha)
+    modulator = (1.0 - p_t) ** gamma
+    ce = -np.log(p_t + eps)
+    loss = alpha_t * modulator * ce
+    # d/dlogit of focal loss (standard closed form).
+    d_pt = targets * probs * (1 - probs) - (1 - targets) * probs * (1 - probs)
+    grad = alpha_t * (
+        -gamma * (1.0 - p_t) ** (gamma - 1.0) * ce * d_pt
+        - modulator / (p_t + eps) * d_pt
+    )
+    count = max(logits.size, 1)
+    return float(loss.sum() / count), (grad / count).astype(np.float32)
+
+
+def smooth_l1(pred: np.ndarray, target: np.ndarray, mask=None, beta: float = 1.0) -> tuple:
+    """Huber / smooth-L1 regression loss.
+
+    Returns:
+        (mean loss over masked entries, gradient w.r.t. pred).
+    """
+    diff = pred - target
+    abs_diff = np.abs(diff)
+    quadratic = abs_diff < beta
+    loss = np.where(quadratic, 0.5 * diff**2 / beta, abs_diff - 0.5 * beta)
+    grad = np.where(quadratic, diff / beta, np.sign(diff))
+    if mask is not None:
+        loss = loss * mask
+        grad = grad * mask
+        count = max(float(mask.sum()), 1.0)
+    else:
+        count = max(pred.size, 1)
+    return float(loss.sum() / count), (grad / count).astype(np.float32)

@@ -1,0 +1,105 @@
+"""Pillar Feature Network: the PointNet that encodes pillars.
+
+PointPillars runs a shared Linear+BN+ReLU over the decorated points of each
+pillar and max-pools over points, producing one C-element vector per active
+pillar (the *pillar encoding* whose vector sparsity SPADE exploits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Linear, Module, Parameter, ReLU
+
+
+class PointwiseBatchNorm(Module):
+    """BatchNorm over all real points (masked), per feature channel."""
+
+    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5):
+        self.gamma = Parameter(np.ones(channels), "pbn.gamma")
+        self.beta = Parameter(np.zeros(channels), "pbn.beta")
+        self.running_mean = np.zeros(channels, dtype=np.float32)
+        self.running_var = np.ones(channels, dtype=np.float32)
+        self.momentum = momentum
+        self.eps = eps
+        self._cache = None
+
+    def forward(self, inputs):
+        x, mask = inputs  # x: (P, M, C); mask: (P, M) booleans
+        weights = mask[..., None].astype(np.float32)
+        count = max(weights.sum(), 1.0)
+        if self.training:
+            mean = (x * weights).sum(axis=(0, 1)) / count
+            var = (((x - mean) ** 2) * weights).sum(axis=(0, 1)) / count
+            self.running_mean = (
+                (1 - self.momentum) * self.running_mean + self.momentum * mean
+            ).astype(np.float32)
+            self.running_var = (
+                (1 - self.momentum) * self.running_var + self.momentum * var
+            ).astype(np.float32)
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std, weights, count)
+        return (self.gamma.data * x_hat + self.beta.data, mask)
+
+    def backward(self, grad):
+        x_hat, inv_std, weights, count = self._cache
+        grad = grad * weights
+        self.gamma.grad += (grad * x_hat).sum(axis=(0, 1))
+        self.beta.grad += grad.sum(axis=(0, 1))
+        grad_hat = grad * self.gamma.data
+        if not self.training:
+            return grad_hat * inv_std
+        sum_grad = grad_hat.sum(axis=(0, 1))
+        sum_grad_xhat = (grad_hat * x_hat).sum(axis=(0, 1))
+        return (
+            inv_std / count * (count * grad_hat - sum_grad - x_hat * sum_grad_xhat)
+        ) * weights
+
+
+class PillarFeatureNet(Module):
+    """Shared-MLP + max-pool pillar encoder.
+
+    Forward input is a :class:`repro.data.PillarBatch`-style pair of
+    decorated point features (P, max_points, 9) and point counts (P,);
+    output is (P, C) pillar feature vectors.
+    """
+
+    def __init__(self, in_features: int = 9, out_channels: int = 64, rng=None):
+        rng = rng or np.random.default_rng(0)
+        self.linear = Linear(in_features, out_channels, rng=rng, bias=False)
+        self.norm = PointwiseBatchNorm(out_channels)
+        self.relu = ReLU()
+        self.out_channels = out_channels
+        self._cache = None
+
+    def forward(self, inputs):
+        point_features, point_counts = inputs
+        num_pillars, max_points, _ = point_features.shape
+        mask = np.arange(max_points)[None, :] < point_counts[:, None]
+        x = self.linear(point_features)
+        normed, _ = self.norm((x, mask))
+        activated = self.relu(normed)
+        # Masked max over points: empty slots must never win the max.
+        masked = np.where(mask[..., None], activated, -np.inf)
+        if num_pillars == 0:
+            self._cache = (mask, None, activated.shape)
+            return np.zeros((0, self.out_channels), dtype=np.float32)
+        argmax = masked.argmax(axis=1)
+        pooled = np.take_along_axis(activated, argmax[:, None, :], axis=1)[:, 0, :]
+        pooled = np.where(mask.any(axis=1)[:, None], pooled, 0.0)
+        self._cache = (mask, argmax, activated.shape)
+        return pooled.astype(np.float32)
+
+    def backward(self, grad):
+        mask, argmax, activated_shape = self._cache
+        grad_activated = np.zeros(activated_shape, dtype=np.float32)
+        if argmax is not None:
+            np.put_along_axis(
+                grad_activated, argmax[:, None, :], grad[:, None, :], axis=1
+            )
+        grad_normed = self.relu.backward(grad_activated)
+        grad_x = self.norm.backward(grad_normed)
+        return self.linear.backward(grad_x)

@@ -1,0 +1,69 @@
+"""Symmetric int8 quantization with int32 accumulation.
+
+Table I notes the benchmark models "quantized to use 8-bit multiplication
+and 32-bit accumulation"; the accelerator's ops/energy accounting assumes
+the same.  This module provides the quantize / dequantize / quantized
+matmul primitives and the error metrics used to verify that quantization
+preserves model behaviour on the functional networks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+INT8_MAX = 127
+
+
+@dataclass
+class QuantParams:
+    """Scale of a symmetric int8 quantizer (zero point fixed at 0)."""
+
+    scale: float
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Real -> int8 with round-to-nearest and saturation."""
+        q = np.round(x / self.scale)
+        return np.clip(q, -INT8_MAX, INT8_MAX).astype(np.int8)
+
+    def dequantize(self, q: np.ndarray) -> np.ndarray:
+        """int8 -> real."""
+        return q.astype(np.float32) * self.scale
+
+
+def calibrate(x: np.ndarray, percentile: float = 99.9) -> QuantParams:
+    """Pick a scale from an activation/weight sample.
+
+    A high percentile (rather than the absolute max) clips rare outliers,
+    the standard post-training-quantization calibration.
+    """
+    magnitude = np.abs(x)
+    if magnitude.size == 0:
+        return QuantParams(scale=1.0)
+    bound = float(np.percentile(magnitude, percentile))
+    bound = max(bound, 1e-8)
+    return QuantParams(scale=bound / INT8_MAX)
+
+
+def quantized_matmul(
+    x_q: np.ndarray, w_q: np.ndarray, x_params: QuantParams, w_params: QuantParams
+) -> np.ndarray:
+    """int8 x int8 -> int32 accumulate -> dequantized float32 result."""
+    accum = x_q.astype(np.int32) @ w_q.astype(np.int32)
+    return accum.astype(np.float32) * (x_params.scale * w_params.scale)
+
+
+def quantize_dequantize(x: np.ndarray, percentile: float = 99.9) -> np.ndarray:
+    """Fake-quantize: round-trip through int8 (used for error studies)."""
+    params = calibrate(x, percentile)
+    return params.dequantize(params.quantize(x))
+
+
+def quantization_snr_db(reference: np.ndarray, quantized: np.ndarray) -> float:
+    """Signal-to-quantization-noise ratio in dB."""
+    signal = float((reference.astype(np.float64) ** 2).sum())
+    noise = float(((reference - quantized).astype(np.float64) ** 2).sum())
+    if noise == 0.0:
+        return float("inf")
+    return 10.0 * np.log10(signal / noise)

@@ -1,0 +1,103 @@
+"""Vector-sparsity regularization for dynamic pillar pruning.
+
+The paper (Fig. 1(f), Sec. II-B) adds loss terms that "regulate pillar
+magnitude across channels, motivated by Group Lasso but ... dynamically
+driving the magnitude of unimportant pillars in varying locations towards
+zero".  Concretely: every BEV location's channel vector is one group; the
+regularizer is the sum of group L2 norms, whose gradient shrinks small
+(background) pillars toward exactly zero while barely moving large
+(foreground) ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import Module
+
+
+def group_lasso_loss(feature_map: np.ndarray, eps: float = 1e-8) -> float:
+    """Sum of per-pillar channel-vector L2 norms of a (N, C, H, W) map."""
+    norms = np.sqrt((feature_map.astype(np.float64) ** 2).sum(axis=1) + eps)
+    return float(norms.sum())
+
+
+def group_lasso_grad(feature_map: np.ndarray, eps: float = 1e-8) -> np.ndarray:
+    """Gradient of :func:`group_lasso_loss` w.r.t. the feature map."""
+    norms = np.sqrt((feature_map**2).sum(axis=1, keepdims=True) + eps)
+    return (feature_map / norms).astype(np.float32)
+
+
+class VectorSparsityRegularizer(Module):
+    """Identity layer that injects the Group-Lasso gradient in backward.
+
+    Insert after the layer whose pillar vectors should be driven sparse.
+    ``last_loss`` exposes the penalty value for logging; ``strength`` is
+    the paper's regularization weight (lambda).
+    """
+
+    def __init__(self, strength: float = 1e-3):
+        self.strength = strength
+        self.last_loss = 0.0
+        self._input = None
+
+    def forward(self, x):
+        self._input = x
+        self.last_loss = self.strength * group_lasso_loss(x)
+        return x
+
+    def backward(self, grad):
+        if self.strength == 0.0 or not self.training:
+            return grad
+        return grad + self.strength * group_lasso_grad(self._input)
+
+
+class TopKVectorPruner(Module):
+    """Dynamic Top-K pillar pruning with straight-through gradients.
+
+    During pruning-aware fine-tuning the layer keeps only the
+    ``keep_ratio`` largest-magnitude pillar vectors of each sample and
+    zeroes the rest, exactly what the SPADE pruning unit does at inference.
+    Gradients flow only through surviving pillars (the true gradient of
+    the pruned forward for the kept set).
+    """
+
+    def __init__(self, keep_ratio: float = 1.0, enabled: bool = True):
+        if not 0.0 <= keep_ratio <= 1.0:
+            raise ValueError("keep_ratio must be in [0, 1]")
+        self.keep_ratio = keep_ratio
+        self.enabled = enabled
+        self._mask = None
+        #: Fraction of previously-active pillars kept in the last forward.
+        self.last_kept_fraction = 1.0
+
+    def forward(self, x):
+        if not self.enabled or self.keep_ratio >= 1.0:
+            self._mask = None
+            return x
+        n, c, h, w = x.shape
+        norms = np.sqrt((x**2).sum(axis=1))  # (N, H, W)
+        mask = np.zeros((n, h, w), dtype=bool)
+        active_before = 0
+        active_after = 0
+        for sample in range(n):
+            flat = norms[sample].ravel()
+            active = np.nonzero(flat > 0)[0]
+            active_before += len(active)
+            keep = int(round(len(active) * self.keep_ratio))
+            if keep <= 0:
+                continue
+            kept = active[np.argpartition(flat[active], -keep)[-keep:]]
+            active_after += len(kept)
+            sample_mask = mask[sample].ravel()
+            sample_mask[kept] = True
+        self.last_kept_fraction = (
+            active_after / active_before if active_before else 1.0
+        )
+        self._mask = mask[:, None, :, :]
+        return x * self._mask
+
+    def backward(self, grad):
+        if self._mask is None:
+            return grad
+        return grad * self._mask

@@ -1,0 +1,179 @@
+"""Compressed-pillar-row (CPR) coordinate handling.
+
+CPR is the paper's sparse row-wise encoding of active pillar coordinates:
+pillars are stored sorted by (row, col), so indices increase monotonically
+within each row and across rows.  Every algorithm in SPADE — rule
+generation, active-tile management, conflict-free scatter — relies on this
+monotonicity, so this module is the single source of truth for coordinate
+ordering and conversion.
+
+Coordinates are ``(row, col)`` int32 pairs throughout the library.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def cpr_encode(coords: np.ndarray, shape: tuple) -> tuple:
+    """Encode CPR-sorted coordinates as (row_pointers, column_indices).
+
+    This is the compressed-pillar-row format the paper names: like
+    compressed sparse row, ``row_pointers`` has ``shape[0] + 1`` entries
+    and ``column_indices[row_pointers[r]:row_pointers[r+1]]`` lists the
+    active columns of row ``r`` in ascending order.  The RGU's alignment
+    stage consumes exactly this representation.
+    """
+    coords = np.asarray(coords, dtype=np.int32)
+    validate_coords(coords, shape)
+    row_pointers = np.searchsorted(
+        coords[:, 0], np.arange(shape[0] + 1)
+    ).astype(np.int64)
+    return row_pointers, coords[:, 1].copy()
+
+
+def cpr_decode(row_pointers: np.ndarray, column_indices: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`cpr_encode`: reconstruct (row, col) pairs."""
+    row_pointers = np.asarray(row_pointers, dtype=np.int64)
+    column_indices = np.asarray(column_indices, dtype=np.int32)
+    counts = np.diff(row_pointers)
+    rows = np.repeat(np.arange(len(counts), dtype=np.int32), counts)
+    return np.stack([rows, column_indices], axis=1)
+
+
+def flatten(coords: np.ndarray, shape: tuple) -> np.ndarray:
+    """Convert (row, col) pairs to flat row-major indices."""
+    coords = np.asarray(coords)
+    return coords[:, 0].astype(np.int64) * shape[1] + coords[:, 1]
+
+
+def unflatten(flat: np.ndarray, shape: tuple) -> np.ndarray:
+    """Convert flat row-major indices back to (row, col) pairs."""
+    flat = np.asarray(flat, dtype=np.int64)
+    return np.stack([flat // shape[1], flat % shape[1]], axis=1).astype(np.int32)
+
+
+def cpr_sort(coords: np.ndarray, shape: tuple) -> tuple:
+    """Sort coordinates into CPR order.
+
+    Returns:
+        (sorted_coords, permutation) where ``sorted_coords = coords[permutation]``.
+    """
+    coords = np.asarray(coords, dtype=np.int32)
+    if len(coords) == 0:
+        return coords.reshape(0, 2), np.zeros(0, dtype=np.int64)
+    order = np.argsort(flatten(coords, shape), kind="stable")
+    return coords[order], order
+
+
+def is_cpr_sorted(coords: np.ndarray, shape: tuple) -> bool:
+    """Check that coordinates are unique and strictly CPR-ordered."""
+    coords = np.asarray(coords)
+    if len(coords) <= 1:
+        return True
+    flat = flatten(coords, shape)
+    return bool(np.all(np.diff(flat) > 0))
+
+
+def validate_coords(coords: np.ndarray, shape: tuple) -> None:
+    """Raise ValueError unless coords are in-bounds, unique and CPR-sorted."""
+    coords = np.asarray(coords)
+    if coords.ndim != 2 or coords.shape[1] != 2:
+        raise ValueError(f"coords must be (P, 2), got {coords.shape}")
+    if len(coords) == 0:
+        return
+    if coords.min() < 0:
+        raise ValueError("negative coordinate")
+    if coords[:, 0].max() >= shape[0] or coords[:, 1].max() >= shape[1]:
+        raise ValueError(f"coordinate out of bounds for grid {shape}")
+    if not is_cpr_sorted(coords, shape):
+        raise ValueError("coords not unique/CPR-sorted")
+
+
+def kernel_offsets(kernel_size: int) -> np.ndarray:
+    """Enumerate kernel offsets in row-major weight-index order.
+
+    For a 3x3 kernel the offsets run (-1,-1), (-1,0), ..., (1,1), matching
+    weight indices 0..8 used by the paper's weight-grouping discussion
+    (Fig. 8(a) numbers weights 0..8 in this order).
+    """
+    half = (kernel_size - 1) // 2
+    offs = [
+        (dr, dc)
+        for dr in range(-half, kernel_size - half)
+        for dc in range(-half, kernel_size - half)
+    ]
+    return np.array(offs, dtype=np.int32)
+
+
+def dilate(coords: np.ndarray, shape: tuple, kernel_size: int = 3) -> np.ndarray:
+    """Return the CPR-sorted dilation of an active set by a kernel footprint.
+
+    The dilation is the set of output positions whose receptive field
+    touches at least one active input — the active output set of a
+    standard (dilating) sparse convolution.
+    """
+    coords = np.asarray(coords, dtype=np.int32)
+    if len(coords) == 0:
+        return coords.reshape(0, 2)
+    offsets = kernel_offsets(kernel_size)
+    candidates = (coords[None, :, :] + offsets[:, None, :]).reshape(-1, 2)
+    in_bounds = (
+        (candidates[:, 0] >= 0)
+        & (candidates[:, 0] < shape[0])
+        & (candidates[:, 1] >= 0)
+        & (candidates[:, 1] < shape[1])
+    )
+    candidates = candidates[in_bounds]
+    unique_flat = np.unique(flatten(candidates, shape))
+    return unflatten(unique_flat, shape)
+
+
+def downsample_coords(coords: np.ndarray, shape: tuple, stride: int) -> tuple:
+    """Active output set of a strided (stride>=2) dilating sparse conv.
+
+    Output position ``q`` covers input window ``stride*q + [-1, ks-2]`` for
+    the usual kernel=3 / pad=1 convolution; an output is active when any
+    input in its window is active.  For the rule-generation path we compute
+    this precisely via :func:`build_rules`; this helper returns the output
+    grid shape and the active set computed by window membership.
+    """
+    out_shape = ((shape[0] + stride - 1) // stride, (shape[1] + stride - 1) // stride)
+    if len(coords) == 0:
+        return np.zeros((0, 2), dtype=np.int32), out_shape
+    offsets = kernel_offsets(3)
+    # q is active iff exists offset o with stride*q + o active  <=>
+    # q = (p - o) / stride for some active p and offset o, exactly divisible.
+    candidates = coords[None, :, :] - offsets[:, None, :]
+    exact = (candidates % stride == 0).all(axis=2)
+    quotient = candidates // stride
+    quotient = quotient[exact]
+    in_bounds = (
+        (quotient[:, 0] >= 0)
+        & (quotient[:, 0] < out_shape[0])
+        & (quotient[:, 1] >= 0)
+        & (quotient[:, 1] < out_shape[1])
+    )
+    quotient = quotient[in_bounds]
+    if len(quotient) == 0:
+        return np.zeros((0, 2), dtype=np.int32), out_shape
+    unique_flat = np.unique(flatten(quotient, out_shape))
+    return unflatten(unique_flat, out_shape), out_shape
+
+
+def upsample_coords(coords: np.ndarray, shape: tuple, stride: int) -> tuple:
+    """Active output set of a non-overlapping sparse deconvolution.
+
+    Each input pillar ``p`` produces the ``stride x stride`` output block at
+    ``stride*p``; blocks of distinct inputs never overlap, which is the
+    property the paper's ganged-scatter optimization exploits.
+    """
+    out_shape = (shape[0] * stride, shape[1] * stride)
+    if len(coords) == 0:
+        return np.zeros((0, 2), dtype=np.int32), out_shape
+    offsets = np.array(
+        [(dr, dc) for dr in range(stride) for dc in range(stride)], dtype=np.int32
+    )
+    outputs = (coords[:, None, :] * stride + offsets[None, :, :]).reshape(-1, 2)
+    unique_flat = np.unique(flatten(outputs, out_shape))
+    return unflatten(unique_flat, out_shape), out_shape

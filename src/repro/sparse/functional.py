@@ -1,0 +1,138 @@
+"""Functional execution of sparse convolutions via rules.
+
+Executes the gather - matrix-multiply - scatter pipeline that the SPADE
+hardware performs, but on numpy arrays.  Results are validated against
+dense ``scipy``-free reference convolution in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .rulegen import ConvType, Rules, build_rules
+from .tensor import SparseTensor
+
+
+def init_conv_weight(
+    kernel_size: int, in_channels: int, out_channels: int, rng=None, scale: float = None
+) -> np.ndarray:
+    """He-style weight init shaped (K*K, Cin, Cout) in weight-index order."""
+    rng = rng or np.random.default_rng(0)
+    fan_in = kernel_size * kernel_size * in_channels
+    scale = scale if scale is not None else np.sqrt(2.0 / fan_in)
+    return rng.normal(
+        0.0, scale, size=(kernel_size * kernel_size, in_channels, out_channels)
+    ).astype(np.float32)
+
+
+def sparse_conv_apply(
+    tensor: SparseTensor, weight: np.ndarray, rules: Rules, bias: np.ndarray = None
+) -> SparseTensor:
+    """Execute a sparse convolution given precomputed rules.
+
+    Args:
+        tensor: Input sparse tensor whose coords match ``rules.in_coords``.
+        weight: (K*K, Cin, Cout) kernel in weight-index order.
+        rules: Mapping from :func:`repro.sparse.rulegen.build_rules`.
+        bias: Optional (Cout,) bias added to every *active output*.
+
+    Returns:
+        Sparse tensor over ``rules.out_coords``.
+    """
+    if tensor.num_active != rules.num_inputs:
+        raise ValueError(
+            f"tensor has {tensor.num_active} active pillars but rules expect "
+            f"{rules.num_inputs}"
+        )
+    out_channels = weight.shape[2]
+    accum_dtype = np.float64 if tensor.features.dtype == np.float64 else np.float32
+    out_features = np.zeros((rules.num_outputs, out_channels), dtype=accum_dtype)
+    for offset_index, pair in enumerate(rules.pairs):
+        if len(pair) == 0:
+            continue
+        contribution = tensor.features[pair.in_idx] @ weight[offset_index]
+        # Within one kernel offset the input->output map is injective, so
+        # fancy-index accumulation is safe (no duplicate out_idx).
+        out_features[pair.out_idx] += contribution
+    if bias is not None:
+        out_features += bias
+    return SparseTensor(
+        coords=rules.out_coords,
+        features=out_features.astype(tensor.features.dtype),
+        shape=rules.out_shape,
+    )
+
+
+def sparse_conv(
+    tensor: SparseTensor,
+    weight: np.ndarray,
+    conv_type: ConvType,
+    stride: int = 1,
+    bias: np.ndarray = None,
+) -> tuple:
+    """Build rules and execute one sparse convolution.
+
+    Returns:
+        (output tensor, rules) so callers can reuse the mapping for
+        hardware simulation.
+    """
+    kernel_size = int(round(np.sqrt(weight.shape[0])))
+    if kernel_size * kernel_size != weight.shape[0]:
+        raise ValueError(f"weight first dim {weight.shape[0]} is not a square")
+    rules = build_rules(
+        tensor.coords,
+        tensor.shape,
+        conv_type,
+        kernel_size=kernel_size,
+        stride=stride,
+    )
+    return sparse_conv_apply(tensor, weight, rules, bias=bias), rules
+
+
+def dense_conv2d_reference(
+    dense: np.ndarray, weight: np.ndarray, stride: int = 1
+) -> np.ndarray:
+    """Plain dense 2D convolution (kernel 3, pad 1) for validation.
+
+    Args:
+        dense: (Cin, H, W) input feature map.
+        weight: (K*K, Cin, Cout) kernel in weight-index order.
+        stride: Convolution stride.
+
+    Returns:
+        (Cout, H_out, W_out) output feature map.
+    """
+    num_offsets, in_channels, out_channels = weight.shape
+    kernel_size = int(round(np.sqrt(num_offsets)))
+    half = (kernel_size - 1) // 2
+    _, height, width = dense.shape
+    out_height = (height + stride - 1) // stride
+    out_width = (width + stride - 1) // stride
+    padded = np.pad(dense, ((0, 0), (half, half), (half, half)))
+    output = np.zeros((out_channels, out_height, out_width), dtype=np.float64)
+    for index in range(num_offsets):
+        dr, dc = index // kernel_size - half, index % kernel_size - half
+        window = padded[
+            :,
+            half + dr : half + dr + height : stride,
+            half + dc : half + dc + width : stride,
+        ]
+        output += np.einsum("chw,co->ohw", window, weight[index])
+    return output.astype(dense.dtype)
+
+
+def dense_deconv2d_reference(dense: np.ndarray, weight: np.ndarray, stride: int) -> np.ndarray:
+    """Dense non-overlapping transposed convolution (kernel = stride)."""
+    num_offsets, in_channels, out_channels = weight.shape
+    if num_offsets != stride * stride:
+        raise ValueError("deconv reference expects kernel = stride")
+    _, height, width = dense.shape
+    output = np.zeros(
+        (out_channels, height * stride, width * stride), dtype=np.float64
+    )
+    for index in range(num_offsets):
+        dr, dc = index // stride, index % stride
+        output[:, dr::stride, dc::stride] = np.einsum(
+            "chw,co->ohw", dense, weight[index]
+        )
+    return output.astype(dense.dtype)

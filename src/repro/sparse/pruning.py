@@ -1,0 +1,74 @@
+"""Dynamic vector pruning of sparse tensors (the SpConv-P post-pass).
+
+The paper prunes *whole pillar vectors* (not individual elements) by
+magnitude: pillars whose channel-vector norm falls below a threshold — or
+outside the Top-K — are dropped from the active set, restoring sparsity
+after dilation.  During training the threshold behaviour is robustified by
+Top-K pruning-aware fine-tuning (see :mod:`repro.nn.finetune`); at
+inference either policy can be applied here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import SparseTensor
+
+
+def pillar_magnitudes(features: np.ndarray, order: int = 2) -> np.ndarray:
+    """Per-pillar channel-vector magnitude (L2 by default)."""
+    if order == 2:
+        return np.sqrt((features.astype(np.float64) ** 2).sum(axis=1))
+    if order == 1:
+        return np.abs(features).sum(axis=1)
+    raise ValueError(f"unsupported norm order {order}")
+
+
+def topk_prune(tensor: SparseTensor, keep: int) -> tuple:
+    """Keep the ``keep`` largest-magnitude pillars, preserving CPR order.
+
+    Returns:
+        (pruned tensor, kept active-row indices ascending).
+    """
+    if keep >= tensor.num_active:
+        return tensor, np.arange(tensor.num_active, dtype=np.int64)
+    if keep <= 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return tensor.select(empty), empty
+    magnitude = pillar_magnitudes(tensor.features)
+    # argpartition finds the K largest; re-sorting restores CPR order.
+    kept = np.argpartition(magnitude, -keep)[-keep:]
+    kept = np.sort(kept).astype(np.int64)
+    return tensor.select(kept), kept
+
+
+def threshold_prune(tensor: SparseTensor, threshold: float) -> tuple:
+    """Drop pillars whose magnitude is <= threshold (CPR order preserved)."""
+    magnitude = pillar_magnitudes(tensor.features)
+    kept = np.nonzero(magnitude > threshold)[0].astype(np.int64)
+    return tensor.select(kept), kept
+
+
+def sparsity_prune(tensor: SparseTensor, target_keep_ratio: float) -> tuple:
+    """Keep the top ``target_keep_ratio`` fraction of pillars by magnitude.
+
+    This is the inference-time policy: after fine-tuning, a representative
+    per-layer keep ratio realizes the user-specified activation sparsity.
+    """
+    if not 0.0 <= target_keep_ratio <= 1.0:
+        raise ValueError("keep ratio must be in [0, 1]")
+    keep = int(round(tensor.num_active * target_keep_ratio))
+    return topk_prune(tensor, keep)
+
+
+def threshold_for_keep_ratio(features: np.ndarray, keep_ratio: float) -> float:
+    """Representative magnitude threshold realizing a keep ratio.
+
+    The paper retrieves such thresholds after fine-tuning so inference can
+    prune with a cheap compare instead of a global Top-K.
+    """
+    if len(features) == 0 or keep_ratio >= 1.0:
+        return 0.0
+    magnitude = pillar_magnitudes(features)
+    quantile = 1.0 - keep_ratio
+    return float(np.quantile(magnitude, quantile))

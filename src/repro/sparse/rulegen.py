@@ -1,0 +1,235 @@
+"""Reference rule generation for every sparse-convolution variant.
+
+A *rule* is the explicit input-output mapping of a sparse convolution: for
+each kernel offset ``k`` it lists which active-input rows contribute to
+which active-output rows.  The paper's RGU (Sec. III-B) produces exactly
+this structure in hardware; this module is the functional reference the
+hardware model is validated against.
+
+Supported operations (paper Fig. 1(c-e) and Fig. 4(a-d)):
+
+* ``SPCONV``     — standard dilating sparse convolution;
+* ``SUBM``       — submanifold convolution (SpConv-S), no dilation;
+* ``SPCONV_P``   — dilating convolution whose output will be dynamically
+  pruned (rules are identical to SPCONV; pruning is a post-pass);
+* ``STRIDED``    — sparse strided convolution (SpStConv, downsampling);
+* ``DECONV``     — sparse deconvolution (SpDeconv, non-overlapping
+  stride=kernel upsampling).
+
+Because inputs are CPR-sorted and every kernel offset shifts all
+coordinates by a constant, the per-offset input and output index lists are
+automatically ascending — the monotonicity property the RGU, ATM and
+conflict-free scatter all rely on (asserted in tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from .coords import (
+    dilate,
+    downsample_coords,
+    flatten,
+    kernel_offsets,
+    unflatten,
+    upsample_coords,
+)
+
+
+class ConvType(Enum):
+    """Sparse convolution operation kinds."""
+
+    SPCONV = "spconv"
+    SUBM = "subm"
+    SPCONV_P = "spconv_p"
+    STRIDED = "strided"
+    STRIDED_SUBM = "strided_subm"
+    DECONV = "deconv"
+
+
+@dataclass
+class RulePairs:
+    """Input/output row indices for one kernel offset."""
+
+    in_idx: np.ndarray
+    out_idx: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.in_idx)
+
+
+@dataclass
+class Rules:
+    """Complete mapping for one sparse convolution layer.
+
+    Attributes:
+        conv_type: Operation kind.
+        kernel_size: Square kernel edge (2 for DECONV with stride 2).
+        stride: Convolution stride (1 for SPCONV/SUBM).
+        in_shape / out_shape: Dense grid shapes.
+        in_coords / out_coords: CPR-sorted active coordinate arrays.
+        pairs: One :class:`RulePairs` per kernel offset, weight-index order.
+    """
+
+    conv_type: ConvType
+    kernel_size: int
+    stride: int
+    in_shape: tuple
+    out_shape: tuple
+    in_coords: np.ndarray
+    out_coords: np.ndarray
+    pairs: list = field(default_factory=list)
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self.in_coords)
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.out_coords)
+
+    @property
+    def total_pairs(self) -> int:
+        """Total number of (input, weight, output) mappings = MAC groups."""
+        return sum(len(p) for p in self.pairs)
+
+    def macs(self, in_channels: int, out_channels: int) -> int:
+        """Multiply-accumulate count of executing this layer sparsely."""
+        return self.total_pairs * in_channels * out_channels
+
+    @property
+    def iopr(self) -> float:
+        """Input-output pillar ratio (paper Fig. 2(d-f) metric)."""
+        if self.num_inputs == 0:
+            return 0.0
+        return self.num_outputs / self.num_inputs
+
+
+def _lookup_sorted(haystack_flat: np.ndarray, needles_flat: np.ndarray) -> np.ndarray:
+    """Indices of needles in a sorted haystack, -1 when absent."""
+    if len(haystack_flat) == 0 or len(needles_flat) == 0:
+        return np.full(len(needles_flat), -1, dtype=np.int64)
+    pos = np.searchsorted(haystack_flat, needles_flat)
+    pos = np.clip(pos, 0, len(haystack_flat) - 1)
+    found = haystack_flat[pos] == needles_flat
+    return np.where(found, pos, -1).astype(np.int64)
+
+
+def build_rules(
+    in_coords: np.ndarray,
+    in_shape: tuple,
+    conv_type: ConvType,
+    kernel_size: int = 3,
+    stride: int = 1,
+) -> Rules:
+    """Generate the input-output mapping for one sparse convolution layer.
+
+    Args:
+        in_coords: (P, 2) CPR-sorted active input coordinates.
+        in_shape: Dense input grid shape.
+        conv_type: Which sparse convolution variant.
+        kernel_size: Kernel edge; DECONV forces ``kernel_size = stride``.
+        stride: 1 for SPCONV/SUBM/SPCONV_P; >=2 for STRIDED/DECONV.
+
+    Returns:
+        A :class:`Rules` with ascending per-offset index lists.
+    """
+    in_coords = np.asarray(in_coords, dtype=np.int32)
+
+    if conv_type in (ConvType.SPCONV, ConvType.SPCONV_P):
+        if stride != 1:
+            raise ValueError("use ConvType.STRIDED for stride > 1")
+        out_coords = dilate(in_coords, in_shape, kernel_size)
+        out_shape = in_shape
+    elif conv_type is ConvType.SUBM:
+        if stride != 1:
+            raise ValueError("submanifold convolution requires stride 1")
+        out_coords = in_coords.copy()
+        out_shape = in_shape
+    elif conv_type is ConvType.STRIDED:
+        if stride < 2:
+            raise ValueError("STRIDED requires stride >= 2")
+        out_coords, out_shape = downsample_coords(in_coords, in_shape, stride)
+    elif conv_type is ConvType.STRIDED_SUBM:
+        # Submanifold-style downsampling (SpConv-S models): an output is
+        # active only where an input maps directly under the stride, so
+        # no spatial dilation is introduced (paper Fig. 2(f), IOPR ~= 1).
+        if stride < 2:
+            raise ValueError("STRIDED_SUBM requires stride >= 2")
+        out_shape = (
+            (in_shape[0] + stride - 1) // stride,
+            (in_shape[1] + stride - 1) // stride,
+        )
+        if len(in_coords):
+            direct = np.unique(flatten(in_coords // stride, out_shape))
+            out_coords = unflatten(direct, out_shape)
+        else:
+            out_coords = np.zeros((0, 2), dtype=np.int32)
+    elif conv_type is ConvType.DECONV:
+        if stride < 2:
+            raise ValueError("DECONV requires stride >= 2")
+        kernel_size = stride
+        out_coords, out_shape = upsample_coords(in_coords, in_shape, stride)
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unsupported conv type {conv_type}")
+
+    rules = Rules(
+        conv_type=conv_type,
+        kernel_size=kernel_size,
+        stride=stride,
+        in_shape=in_shape,
+        out_shape=out_shape,
+        in_coords=in_coords,
+        out_coords=out_coords,
+    )
+
+    if len(in_coords) == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        num_offsets = kernel_size * kernel_size
+        rules.pairs = [RulePairs(empty, empty) for _ in range(num_offsets)]
+        return rules
+
+    out_flat = flatten(out_coords, out_shape)
+
+    if conv_type is ConvType.DECONV:
+        offsets = np.array(
+            [(dr, dc) for dr in range(stride) for dc in range(stride)],
+            dtype=np.int32,
+        )
+        for offset in offsets:
+            candidates = in_coords * stride + offset
+            out_idx = _lookup_sorted(out_flat, flatten(candidates, out_shape))
+            # Every upsampled position exists by construction.
+            in_idx = np.arange(len(in_coords), dtype=np.int64)
+            rules.pairs.append(RulePairs(in_idx, out_idx))
+        return rules
+
+    offsets = kernel_offsets(kernel_size)
+    all_in_idx = np.arange(len(in_coords), dtype=np.int64)
+    for offset in offsets:
+        # Input p at kernel offset o feeds output q with stride*q + o = p.
+        numerator = in_coords - offset
+        if stride == 1:
+            candidates = numerator
+            exact = np.ones(len(in_coords), dtype=bool)
+        else:
+            exact = (numerator % stride == 0).all(axis=1)
+            candidates = numerator // stride
+        in_bounds = (
+            (candidates[:, 0] >= 0)
+            & (candidates[:, 0] < out_shape[0])
+            & (candidates[:, 1] >= 0)
+            & (candidates[:, 1] < out_shape[1])
+        )
+        valid = exact & in_bounds
+        out_idx = _lookup_sorted(
+            out_flat, flatten(candidates[valid], out_shape)
+        )
+        found = out_idx >= 0
+        rules.pairs.append(
+            RulePairs(all_in_idx[valid][found], out_idx[found])
+        )
+    return rules

@@ -1,0 +1,108 @@
+"""Sparse BEV tensor: CPR-ordered coordinates plus per-pillar features."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .coords import flatten, unflatten, validate_coords
+
+
+@dataclass
+class SparseTensor:
+    """A vector-sparse 2D feature map.
+
+    Every active pillar carries a full C-element feature vector; inactive
+    pillars are implicit zeros.  This is exactly the *vector sparsity*
+    pattern the paper targets: zeros occur for all channels of a pillar at
+    once, never element-wise.
+
+    Attributes:
+        coords: (P, 2) int32 active (row, col) coordinates in CPR order.
+        features: (P, C) feature vectors, one per active pillar.
+        shape: Dense grid shape (rows, cols).
+    """
+
+    coords: np.ndarray
+    features: np.ndarray
+    shape: tuple
+
+    def __post_init__(self):
+        self.coords = np.ascontiguousarray(self.coords, dtype=np.int32)
+        self.features = np.asarray(self.features)
+        if self.features.ndim != 2:
+            raise ValueError(f"features must be (P, C), got {self.features.shape}")
+        if len(self.features) != len(self.coords):
+            raise ValueError(
+                f"{len(self.coords)} coords but {len(self.features)} feature rows"
+            )
+        validate_coords(self.coords, self.shape)
+
+    @property
+    def num_active(self) -> int:
+        """Number of active pillars P."""
+        return len(self.coords)
+
+    @property
+    def num_channels(self) -> int:
+        """Feature width C."""
+        return self.features.shape[1]
+
+    @property
+    def density(self) -> float:
+        """Fraction of grid cells that are active."""
+        total = self.shape[0] * self.shape[1]
+        return self.num_active / total if total else 0.0
+
+    def to_dense(self) -> np.ndarray:
+        """Materialize the (C, rows, cols) dense feature map."""
+        dense = np.zeros(
+            (self.num_channels, self.shape[0], self.shape[1]),
+            dtype=self.features.dtype,
+        )
+        if self.num_active:
+            dense[:, self.coords[:, 0], self.coords[:, 1]] = self.features.T
+        return dense
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray, threshold: float = 0.0) -> "SparseTensor":
+        """Extract active pillars (vector L-inf norm > threshold) from a dense map."""
+        channels, rows, cols = dense.shape
+        magnitude = np.abs(dense).max(axis=0)
+        active_rows, active_cols = np.nonzero(magnitude > threshold)
+        coords = np.stack([active_rows, active_cols], axis=1).astype(np.int32)
+        features = dense[:, active_rows, active_cols].T
+        return cls(coords=coords, features=features, shape=(rows, cols))
+
+    def lookup(self, coords: np.ndarray) -> np.ndarray:
+        """Row indices of ``coords`` inside this tensor (-1 when absent)."""
+        if self.num_active == 0 or len(coords) == 0:
+            return np.full(len(coords), -1, dtype=np.int64)
+        haystack = flatten(self.coords, self.shape)
+        needles = flatten(np.asarray(coords), self.shape)
+        pos = np.searchsorted(haystack, needles)
+        pos = np.clip(pos, 0, len(haystack) - 1)
+        found = haystack[pos] == needles
+        result = np.where(found, pos, -1)
+        return result.astype(np.int64)
+
+    def select(self, keep_index: np.ndarray) -> "SparseTensor":
+        """Return the sub-tensor at sorted active-row indices ``keep_index``."""
+        keep_index = np.asarray(keep_index, dtype=np.int64)
+        return SparseTensor(
+            coords=self.coords[keep_index],
+            features=self.features[keep_index],
+            shape=self.shape,
+        )
+
+    @classmethod
+    def zeros_like_coords(
+        cls, coords: np.ndarray, channels: int, shape: tuple, dtype=np.float32
+    ) -> "SparseTensor":
+        """A tensor with the given active set and all-zero features."""
+        return cls(
+            coords=np.asarray(coords, dtype=np.int32),
+            features=np.zeros((len(coords), channels), dtype=dtype),
+            shape=shape,
+        )

@@ -1,0 +1,62 @@
+"""Shared fixtures: deterministic scenes, sparse tensors, rule sets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    KITTI_GRID,
+    KITTI_SCENE,
+    MINI_GRID,
+    SceneConfig,
+    SceneGenerator,
+    voxelize,
+)
+from repro.sparse import SparseTensor, unflatten
+
+
+@pytest.fixture(scope="session")
+def kitti_sweep():
+    """One deterministic KITTI-like sweep (session-cached: generation is
+    the slowest fixture)."""
+    return SceneGenerator(KITTI_SCENE, seed=0).generate()
+
+
+@pytest.fixture(scope="session")
+def kitti_batch(kitti_sweep):
+    return voxelize(kitti_sweep, KITTI_GRID)
+
+
+@pytest.fixture(scope="session")
+def mini_scene():
+    config = SceneConfig(grid=MINI_GRID, num_objects=(2, 4),
+                         azimuth_resolution=0.5)
+    return SceneGenerator(config, seed=11).generate()
+
+
+@pytest.fixture(scope="session")
+def mini_batch(mini_scene):
+    return voxelize(mini_scene, MINI_GRID)
+
+
+def random_coords(shape, count, seed=0):
+    """CPR-sorted unique random coordinates on a grid."""
+    rng = np.random.default_rng(seed)
+    total = shape[0] * shape[1]
+    count = min(count, total)
+    flat = np.sort(rng.choice(total, count, replace=False))
+    return unflatten(flat, shape)
+
+
+def random_sparse_tensor(shape=(32, 40), count=64, channels=8, seed=0):
+    """A small random sparse tensor for conv-level tests."""
+    rng = np.random.default_rng(seed)
+    coords = random_coords(shape, count, seed)
+    features = rng.normal(size=(len(coords), channels)).astype(np.float32)
+    return SparseTensor(coords, features, shape)
+
+
+@pytest.fixture
+def small_tensor():
+    return random_sparse_tensor()

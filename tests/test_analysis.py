@@ -1,0 +1,134 @@
+"""Analysis layer: traces, savings, IOPR, reports, trade-off studies."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    compute_savings,
+    dense_counterpart,
+    feature_map_study,
+    format_series,
+    format_table,
+    iopr_series,
+    paper_vs_measured,
+    trace_model,
+)
+from repro.models import build_model_spec
+from repro.sparse import ConvType
+
+
+@pytest.fixture(scope="module")
+def spp_traces(kitti_batch):
+    importance = kitti_batch.point_counts.astype(float)
+    return {
+        name: compute_savings(name, kitti_batch.coords, importance)
+        for name in ("SPP1", "SPP2", "SPP3")
+    }
+
+
+class TestTraceModel:
+    def test_one_trace_per_layer(self, kitti_batch):
+        spec = build_model_spec("SPP1")
+        trace = trace_model(spec, kitti_batch.coords)
+        assert len(trace.layers) == spec.num_layers
+
+    def test_savings_ordering_matches_paper(self, spp_traces):
+        # Table I: SpConv < SpConv-P < SpConv-S savings.
+        savings = {name: s for name, (_, _, s) in spp_traces.items()}
+        assert savings["SPP1"] < savings["SPP2"] < savings["SPP3"]
+
+    def test_savings_magnitudes_in_paper_band(self, spp_traces):
+        # Paper range across all models: 36.3-89.2% savings.
+        assert 0.25 < spp_traces["SPP1"][2] < 0.70
+        assert 0.60 < spp_traces["SPP2"][2] < 0.88
+        assert 0.80 < spp_traces["SPP3"][2] < 0.95
+
+    def test_dense_trace_has_zero_savings(self, kitti_batch):
+        _, dense_trace, _ = compute_savings("PP", kitti_batch.coords)
+        assert dense_trace.savings_vs(dense_trace) == 0.0
+
+    def test_gops_scale_sane(self, kitti_batch):
+        model, dense, _ = compute_savings("SPP1", kitti_batch.coords)
+        # Dense PP is tens of GOPs (paper: 46.43 on their config).
+        assert 20 < dense.total_ops / 1e9 < 150
+        assert model.total_ops < dense.total_ops
+
+    def test_pruning_reduces_active_set(self, kitti_batch):
+        spec = build_model_spec("SPP2")
+        trace = trace_model(spec, kitti_batch.coords,
+                            kitti_batch.point_counts.astype(float))
+        stage_start = trace.layer("B1C1")
+        assert stage_start.out_count_after_prune < stage_start.out_count
+
+    def test_layer_lookup_raises_for_unknown(self, kitti_batch):
+        trace = trace_model(build_model_spec("SPP1"), kitti_batch.coords)
+        with pytest.raises(KeyError):
+            trace.layer("nonexistent")
+
+
+class TestIOPR:
+    def test_spconv_iopr_starts_high_converges_to_one(self, spp_traces):
+        # Paper Fig. 2(d): standard SpConv dilation IOPR starts well above
+        # 1 and converges toward 1 as the active set densifies (checked on
+        # the stride-1 layers; strided layers downsample, IOPR < 1).
+        series = iopr_series(spp_traces["SPP1"][0])
+        dilating = [(name, iopr) for name, iopr, _ in series
+                    if name.startswith("B") and not name.endswith("C1")]
+        first_iopr = dilating[0][1]
+        last_iopr = dilating[-1][1]
+        assert first_iopr > 1.1
+        assert last_iopr < first_iopr
+        assert last_iopr < 1.3
+
+    def test_subm_iopr_is_one(self, spp_traces):
+        # Paper Fig. 2(f): SpConv-S never dilates.
+        series = iopr_series(spp_traces["SPP3"][0])
+        for name, iopr, _ in series:
+            if name.startswith("B") and "C1" not in name:
+                assert iopr == pytest.approx(1.0)
+
+    def test_spconv_p_iopr_rebounds_at_stage_starts(self, spp_traces):
+        # Paper Fig. 2(e): pruning at stage starts makes room to dilate.
+        series = {name: iopr for name, iopr, _ in
+                  iopr_series(spp_traces["SPP2"][0])}
+        assert series["B2C2"] > 1.0
+        assert series["B3C2"] > 1.0
+
+
+class TestCounterparts:
+    def test_dense_counterpart_mapping(self):
+        assert dense_counterpart("SPP2") == "PP"
+        assert dense_counterpart("SCP3") == "CP"
+        assert dense_counterpart("SPN") == "PN-Dense"
+
+
+class TestReportFormatting:
+    def test_format_table_aligns(self):
+        text = format_table(["a", "bb"], [(1, 2.5), (10, 0.125)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0]
+
+    def test_format_series(self):
+        text = format_series("fig", [(1, 2.0)], "x", "y")
+        assert "fig" in text
+
+    def test_paper_vs_measured_ratio(self):
+        text = paper_vs_measured("exp", [("row", 2.0, 1.0)])
+        assert "0.5" in text
+
+
+class TestFeatureMapStudy:
+    def test_paper_shape_holds(self):
+        # Fig. 13(b): SpConv-S under-fills the box; SpConv-P fills nearly
+        # as much as SpConv with fewer active pillars.
+        results = {r.variant: r for r in feature_map_study(seed=3)}
+        assert results["SpConv-S"].box_fill_fraction < (
+            results["SpConv"].box_fill_fraction
+        )
+        assert results["SpConv-P"].active_pillars < (
+            results["SpConv"].active_pillars
+        )
+        assert results["SpConv-P"].box_fill_fraction > 0.8 * (
+            results["SpConv-S"].box_fill_fraction
+        )

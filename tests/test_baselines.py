@@ -1,0 +1,114 @@
+"""Baseline models: SpConv2D-Acc, PointAcc simulator, platforms."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import trace_model
+from repro.baselines import (
+    A6000,
+    HIGH_END_PLATFORMS,
+    JETSON_NX,
+    RTX_2080TI,
+    PlatformModel,
+    PointAccSimulator,
+    SpConv2DAccModel,
+    spade_no_overlap,
+)
+from repro.core import SPADE_HE
+from repro.models import build_model_spec
+
+
+@pytest.fixture(scope="module")
+def spp2_trace(kitti_batch):
+    return trace_model(build_model_spec("SPP2"), kitti_batch.coords,
+                       kitti_batch.point_counts.astype(float))
+
+
+@pytest.fixture(scope="module")
+def pp_trace(kitti_batch):
+    return trace_model(build_model_spec("PP"), kitti_batch.coords)
+
+
+class TestSpConv2DAcc:
+    def test_utilization_falls_with_sparsity(self):
+        model = SpConv2DAccModel()
+        results = model.sweep_sparsity((96, 96), [0.5, 0.9, 0.99])
+        utils = [report.utilization for _, report in results]
+        assert utils[0] > utils[1] > utils[2]
+
+    def test_conflicts_rise_with_sparsity(self):
+        # Paper Fig. 2(b): bank conflicts amplify as sparsity increases.
+        model = SpConv2DAccModel()
+        results = model.sweep_sparsity((96, 96), [0.5, 0.9, 0.99])
+        conflicts = [report.bank_conflict_rate for _, report in results]
+        assert conflicts[-1] > conflicts[0]
+
+    def test_utilization_bounded(self):
+        model = SpConv2DAccModel()
+        for _, report in model.sweep_sparsity((64, 64), [0.3, 0.8]):
+            assert 0.0 < report.utilization <= 1.0
+
+
+class TestPointAcc:
+    def test_spade_faster_than_pointacc(self, spp2_trace):
+        # Paper Fig. 15: SPADE achieves 1.88-1.95x over PointAcc.
+        pointacc = PointAccSimulator(SPADE_HE).run_trace(spp2_trace)
+        spade = spade_no_overlap(spp2_trace, SPADE_HE)
+        speedup = pointacc.total_cycles / spade.total_cycles
+        assert 1.3 < speedup < 3.5
+
+    def test_pointacc_dram_volume_not_lower(self, spp2_trace):
+        # Paper Fig. 14: PointAcc needs ~20% more DRAM accesses.
+        pointacc = PointAccSimulator(SPADE_HE).run_trace(spp2_trace)
+        spade = spade_no_overlap(spp2_trace, SPADE_HE)
+        assert pointacc.total_dram_bytes >= 0.95 * spade.dram_bytes
+
+    def test_mapping_slower_than_rgu(self, spp2_trace):
+        pointacc = PointAccSimulator(SPADE_HE).run_trace(spp2_trace)
+        spade = spade_no_overlap(spp2_trace, SPADE_HE)
+        assert (pointacc.phase_totals()["mapping"]
+                > spade.phase_totals()["mapping"])
+
+    def test_phase_totals_sum(self, spp2_trace):
+        result = PointAccSimulator(SPADE_HE).run_trace(spp2_trace)
+        assert sum(result.phase_totals().values()) == result.total_cycles
+
+
+class TestPlatforms:
+    def test_sparse_not_faster_on_gpu(self, pp_trace, spp2_trace):
+        # Paper Fig. 2(c): SPP execution time does not beat dense PP on
+        # GPUs despite the compute reduction (mapping overhead).
+        gpu = PlatformModel(A6000)
+        dense_ms = gpu.run_trace(pp_trace).latency_ms
+        sparse_ms = gpu.run_trace(spp2_trace).latency_ms
+        assert sparse_ms > 0.6 * dense_ms
+
+    def test_mapping_overhead_dominates_sparse_gpu_time(self, spp2_trace):
+        # Fig. 2(c): mapping + launch overheads eat the compute savings.
+        result = PlatformModel(A6000).run_trace(spp2_trace)
+        assert result.mapping_ms + result.overhead_ms > result.conv_ms
+        assert result.mapping_ms > 0.3 * result.conv_ms
+
+    def test_a6000_barely_beats_2080ti(self, pp_trace):
+        # Paper: 2.5x peak throughput but only ~20% speedup.
+        a6000 = PlatformModel(A6000).run_trace(pp_trace)
+        rtx = PlatformModel(RTX_2080TI).run_trace(pp_trace)
+        assert 1.0 < rtx.latency_ms / a6000.latency_ms < 1.5
+
+    def test_jetson_much_slower(self, pp_trace):
+        a6000 = PlatformModel(A6000).run_trace(pp_trace)
+        jetson = PlatformModel(JETSON_NX).run_trace(pp_trace)
+        assert jetson.latency_ms > 4 * a6000.latency_ms
+
+    def test_jetson_energy_better_than_gpu(self, pp_trace):
+        # GPUs are faster but burn far more energy per frame.
+        a6000 = PlatformModel(A6000).run_trace(pp_trace)
+        jetson = PlatformModel(JETSON_NX).run_trace(pp_trace)
+        assert jetson.energy_mj < a6000.energy_mj
+
+    def test_phases_sum_to_latency(self, spp2_trace):
+        for spec in HIGH_END_PLATFORMS:
+            result = PlatformModel(spec).run_trace(spp2_trace)
+            assert sum(result.phases().values()) == pytest.approx(
+                result.latency_ms
+            )

@@ -1,0 +1,131 @@
+"""Dataflow scheduler: instruction breakdowns, optimizations, dense path."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    INSTRUCTIONS,
+    SPADE_HE,
+    SPADE_LE,
+    schedule_dense_layer,
+    schedule_sparse_layer,
+)
+from repro.sparse import ConvType, build_rules, unflatten
+
+SHAPE = (96, 104)
+
+
+def make_rules(count=600, conv_type=ConvType.SPCONV, stride=1, seed=0):
+    rng = np.random.default_rng(seed)
+    total = SHAPE[0] * SHAPE[1]
+    flat = np.sort(rng.choice(total, count, replace=False))
+    return build_rules(unflatten(flat, SHAPE), SHAPE, conv_type,
+                       stride=stride)
+
+
+class TestSparseSchedule:
+    def test_breakdown_has_all_instructions(self):
+        schedule = schedule_sparse_layer(make_rules(), 64, 64, SPADE_HE)
+        assert set(schedule.breakdown) == set(INSTRUCTIONS)
+
+    def test_total_is_breakdown_sum(self):
+        schedule = schedule_sparse_layer(make_rules(), 64, 64, SPADE_HE)
+        assert schedule.total_cycles == sum(schedule.breakdown.values())
+
+    def test_mxu_cycles_at_least_ideal(self):
+        schedule = schedule_sparse_layer(make_rules(), 64, 64, SPADE_HE)
+        ideal = schedule.macs / SPADE_HE.peak_macs_per_cycle
+        assert schedule.mxu_cycles >= ideal
+
+    def test_utilization_bounded(self):
+        schedule = schedule_sparse_layer(make_rules(), 64, 64, SPADE_HE)
+        assert 0.0 < schedule.utilization(SPADE_HE) <= 1.0
+
+    def test_wider_channels_increase_macs_not_tiles(self):
+        narrow = schedule_sparse_layer(make_rules(), 64, 64, SPADE_HE)
+        wide = schedule_sparse_layer(make_rules(), 64, 256, SPADE_HE)
+        assert wide.macs == 4 * narrow.macs
+
+    def test_empty_rules_zero_cycles(self):
+        rules = build_rules(np.zeros((0, 2), np.int32), SHAPE,
+                            ConvType.SPCONV)
+        schedule = schedule_sparse_layer(rules, 64, 64, SPADE_HE)
+        assert schedule.total_cycles == 0
+
+    def test_dram_bytes_cover_activations(self):
+        rules = make_rules()
+        schedule = schedule_sparse_layer(rules, 64, 64, SPADE_HE)
+        minimum = rules.num_inputs * 64 + rules.num_outputs * 64
+        assert schedule.dram_bytes >= minimum
+
+    def test_prune_flag_counts_outputs(self):
+        rules = make_rules()
+        schedule = schedule_sparse_layer(rules, 64, 64, SPADE_HE, prune=True)
+        assert schedule.pruned_outputs == rules.num_outputs
+
+    def test_le_slower_than_he(self):
+        rules = make_rules(count=2000)
+        he = schedule_sparse_layer(rules, 64, 64, SPADE_HE)
+        le = schedule_sparse_layer(rules, 64, 64, SPADE_LE)
+        assert le.total_cycles > 2 * he.total_cycles
+
+
+class TestWeightGrouping:
+    def test_grouping_reduces_weight_loads(self):
+        rules = make_rules(count=3000, conv_type=ConvType.STRIDED, stride=2)
+        base = schedule_sparse_layer(rules, 64, 64, SPADE_HE, optimize=False)
+        opt = schedule_sparse_layer(rules, 64, 64, SPADE_HE, optimize=True)
+        assert opt.weight_grouping
+        assert not base.weight_grouping
+        assert opt.breakdown["load_wgt"] < base.breakdown["load_wgt"]
+
+    def test_grouping_reduces_overhead_fraction(self):
+        # Fig. 8(c) left: weight grouping cuts SpStConv overhead ~2x.
+        rules = make_rules(count=3000, conv_type=ConvType.STRIDED, stride=2)
+        base = schedule_sparse_layer(rules, 64, 64, SPADE_HE, optimize=False)
+        opt = schedule_sparse_layer(rules, 64, 64, SPADE_HE, optimize=True)
+        assert opt.overhead_fraction < base.overhead_fraction
+
+    def test_grouping_not_applied_to_plain_spconv(self):
+        schedule = schedule_sparse_layer(make_rules(), 64, 64, SPADE_HE,
+                                         optimize=True)
+        assert not schedule.weight_grouping
+
+
+class TestGangedScatter:
+    def test_ganged_scatter_increases_effective_ta(self):
+        rules = make_rules(count=3000, conv_type=ConvType.DECONV, stride=4)
+        base = schedule_sparse_layer(rules, 256, 128, SPADE_HE,
+                                     optimize=False)
+        opt = schedule_sparse_layer(rules, 256, 128, SPADE_HE, optimize=True)
+        assert opt.ganged_scatter
+        assert opt.effective_ta > base.effective_ta
+
+    def test_ganged_scatter_reduces_cycles(self):
+        rules = make_rules(count=3000, conv_type=ConvType.DECONV, stride=4)
+        base = schedule_sparse_layer(rules, 256, 128, SPADE_HE,
+                                     optimize=False)
+        opt = schedule_sparse_layer(rules, 256, 128, SPADE_HE, optimize=True)
+        assert opt.total_cycles < base.total_cycles
+
+
+class TestDenseSchedule:
+    def test_dense_utilization_high_for_big_layers(self):
+        schedule = schedule_dense_layer(128 * 128, 128, 128, SPADE_HE,
+                                        out_width=128)
+        assert schedule.utilization(SPADE_HE) > 0.6
+
+    def test_dense_macs_formula(self):
+        schedule = schedule_dense_layer(1000, 64, 64, SPADE_HE, out_width=50)
+        assert schedule.macs == 1000 * 9 * 64 * 64
+
+    def test_deconv_counts_input_pixels(self):
+        schedule = schedule_dense_layer(1000, 64, 64, SPADE_HE,
+                                        kernel_size=2, upsample_stride=2,
+                                        out_width=100)
+        assert schedule.macs == 1000 * 4 * 64 * 64
+
+    def test_1x1_has_no_copy_psum(self):
+        schedule = schedule_dense_layer(1000, 384, 72, SPADE_HE,
+                                        kernel_size=1, out_width=100)
+        assert schedule.breakdown["copy_psum"] == 0

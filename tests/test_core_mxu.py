@@ -1,0 +1,67 @@
+"""Functional systolic array: result correctness + timing-model agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SystolicArray, pipeline_cycles
+
+
+class TestSystolicCorrectness:
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(1, 12),
+           st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_matmul(self, rows, cols, n, seed):
+        rng = np.random.default_rng(seed)
+        array = SystolicArray(rows, cols)
+        weights = rng.normal(size=(rows, cols))
+        activations = rng.normal(size=(n, rows))
+        result = array.matmul(activations, weights)
+        np.testing.assert_allclose(result.output, activations @ weights,
+                                   atol=1e-9)
+
+    def test_empty_stream(self):
+        array = SystolicArray(4, 4)
+        array.load_weights(np.ones((4, 4)))
+        result = array.stream(np.zeros((0, 4)))
+        assert result.cycles == 0
+        assert result.output.shape == (0, 4)
+
+    def test_rejects_bad_shapes(self):
+        array = SystolicArray(4, 4)
+        with pytest.raises(ValueError):
+            array.load_weights(np.ones((3, 4)))
+        with pytest.raises(ValueError):
+            array.stream(np.ones((5, 3)))
+        with pytest.raises(ValueError):
+            SystolicArray(0, 4)
+
+
+class TestSystolicTiming:
+    @given(st.integers(1, 6), st.integers(1, 6), st.integers(1, 16))
+    @settings(max_examples=25, deadline=None)
+    def test_cycles_match_pipeline_formula(self, rows, cols, n):
+        array = SystolicArray(rows, cols)
+        array.load_weights(np.ones((rows, cols)))
+        result = array.stream(np.ones((n, rows)))
+        assert result.cycles == pipeline_cycles(n, rows, cols)
+
+    def test_weight_load_costs_rows(self):
+        array = SystolicArray(5, 3)
+        assert array.load_weights(np.ones((5, 3))) == 5
+
+    def test_mac_count_bounded(self):
+        # With dense inputs every PE fires once per resident activation.
+        array = SystolicArray(3, 3)
+        array.load_weights(np.ones((3, 3)))
+        result = array.stream(np.ones((10, 3)))
+        assert result.macs == 10 * 3 * 3
+
+    def test_zero_activations_skip_macs(self):
+        array = SystolicArray(3, 3)
+        array.load_weights(np.ones((3, 3)))
+        activations = np.ones((10, 3))
+        activations[:, 1] = 0.0  # one channel silent
+        result = array.stream(activations)
+        assert result.macs == 10 * 2 * 3

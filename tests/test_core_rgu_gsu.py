@@ -1,0 +1,143 @@
+"""SPADE core: streaming RGU equivalence and GSU tile invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SPADE_HE, RGUModel, plan_tiles, streaming_rulegen
+from repro.sparse import ConvType, build_rules, unflatten
+
+SHAPE = (40, 48)
+
+
+def coords_from_flat(flat):
+    return unflatten(np.sort(np.asarray(flat, np.int64)), SHAPE)
+
+
+@st.composite
+def coord_sets(draw, max_count=70):
+    total = SHAPE[0] * SHAPE[1]
+    count = draw(st.integers(1, max_count))
+    flat = draw(st.lists(st.integers(0, total - 1), min_size=count,
+                         max_size=count, unique=True))
+    return coords_from_flat(flat)
+
+
+def canonical_pairs(rules):
+    """Per-offset (in, out) pairs as sorted tuples for comparison."""
+    result = []
+    for pair in rules.pairs:
+        items = sorted(zip(pair.in_idx.tolist(), pair.out_idx.tolist()))
+        result.append(items)
+    return result
+
+
+class TestStreamingRGU:
+    @given(coord_sets())
+    @settings(max_examples=25, deadline=None)
+    def test_matches_reference_rules(self, coords):
+        reference = build_rules(coords, SHAPE, ConvType.SPCONV)
+        streamed = streaming_rulegen(coords, SHAPE)
+        np.testing.assert_array_equal(reference.out_coords,
+                                      streamed.out_coords)
+        assert canonical_pairs(reference) == canonical_pairs(streamed)
+
+    def test_single_pillar(self):
+        coords = np.array([[5, 5]], np.int32)
+        streamed = streaming_rulegen(coords, SHAPE)
+        assert streamed.num_outputs == 9
+        assert streamed.total_pairs == 9
+
+    def test_corner_pillar_clipped(self):
+        coords = np.array([[0, 0]], np.int32)
+        streamed = streaming_rulegen(coords, SHAPE)
+        assert streamed.num_outputs == 4
+
+
+class TestRGUCycleModel:
+    def test_cycles_linear_in_entries(self):
+        model = RGUModel(SPADE_HE)
+        small = build_rules(coords_from_flat(np.arange(0, 400, 9)),
+                            SHAPE, ConvType.SPCONV)
+        report = model.cycles_for(small)
+        assert report.cycles >= report.rule_entries
+        assert report.cycles < 2 * report.rule_entries + 200
+
+    def test_energy_proportional_to_entries(self):
+        model = RGUModel(SPADE_HE)
+        rules = build_rules(coords_from_flat(np.arange(0, 400, 9)),
+                            SHAPE, ConvType.SPCONV)
+        report = model.cycles_for(rules)
+        expected = rules.total_pairs * SPADE_HE.rgu_energy_per_rule_pj
+        assert report.energy_pj == pytest.approx(expected)
+
+    def test_count_upper_bound(self):
+        model = RGUModel(SPADE_HE)
+        assert model.cycles_for_count(1000) == 9000 + RGUModel.PIPELINE_FILL
+
+
+class TestGSUTiling:
+    def _rules(self, count=200, conv_type=ConvType.SPCONV, stride=1):
+        rng = np.random.default_rng(3)
+        total = SHAPE[0] * SHAPE[1]
+        flat = np.sort(rng.choice(total, count, replace=False))
+        return build_rules(unflatten(flat, SHAPE), SHAPE, conv_type,
+                           stride=stride)
+
+    def test_tiles_cover_all_inputs(self):
+        rules = self._rules()
+        schedule = plan_tiles(rules, max_inputs=32, max_outputs=512)
+        covered = 0
+        for tile in schedule.tiles:
+            assert tile.in_start == covered
+            covered = tile.in_end
+        assert covered == rules.num_inputs
+
+    def test_input_capacity_respected(self):
+        rules = self._rules()
+        schedule = plan_tiles(rules, max_inputs=16, max_outputs=10_000)
+        assert all(tile.num_inputs <= 16 for tile in schedule.tiles)
+
+    def test_output_capacity_respected_or_single_input(self):
+        rules = self._rules()
+        schedule = plan_tiles(rules, max_inputs=64, max_outputs=40)
+        for tile in schedule.tiles:
+            assert tile.num_outputs <= 40 or tile.num_inputs == 1
+
+    def test_pair_counts_sum_to_rule_entries(self):
+        rules = self._rules()
+        schedule = plan_tiles(rules, max_inputs=32, max_outputs=512)
+        total = sum(tile.total_pairs for tile in schedule.tiles)
+        assert total == rules.total_pairs
+
+    def test_output_windows_monotone(self):
+        rules = self._rules()
+        schedule = plan_tiles(rules, max_inputs=32, max_outputs=512)
+        previous_start = -1
+        for tile in schedule.tiles:
+            if tile.num_outputs == 0:
+                continue
+            assert tile.out_start >= previous_start
+            previous_start = tile.out_start
+
+    def test_overlap_counts_boundary_outputs(self):
+        rules = self._rules()
+        schedule = plan_tiles(rules, max_inputs=32, max_outputs=512)
+        assert schedule.total_copy_psum == sum(
+            tile.overlap_with_prev for tile in schedule.tiles
+        )
+        # Dilating conv with small tiles must share some boundary outputs.
+        assert schedule.total_copy_psum > 0
+
+    def test_single_tile_when_everything_fits(self):
+        rules = self._rules(count=50)
+        schedule = plan_tiles(rules, max_inputs=10_000, max_outputs=10_000)
+        assert schedule.num_tiles == 1
+        assert schedule.total_copy_psum == 0
+
+    def test_empty_rules(self):
+        rules = build_rules(np.zeros((0, 2), np.int32), SHAPE,
+                            ConvType.SPCONV)
+        schedule = plan_tiles(rules, 16, 16)
+        assert schedule.num_tiles == 0

@@ -1,0 +1,46 @@
+"""Grid specification tests."""
+
+import pytest
+
+from repro.data import GRIDS, KITTI_GRID, MINI_GRID, NUSCENES_GRID, get_grid
+
+
+class TestGridGeometry:
+    def test_kitti_grid_matches_pointpillars_config(self):
+        # 0.16 m pillars over 69.12 x 79.36 m -> 432 x 496.
+        assert KITTI_GRID.nx == 432
+        assert KITTI_GRID.ny == 496
+        assert KITTI_GRID.shape == (496, 432)
+
+    def test_nuscenes_grid_is_square_512(self):
+        assert NUSCENES_GRID.nx == 512
+        assert NUSCENES_GRID.ny == 512
+
+    def test_num_pillars_is_product(self):
+        for grid in GRIDS.values():
+            assert grid.num_pillars == grid.nx * grid.ny
+
+    def test_contains_accepts_interior_point(self):
+        assert KITTI_GRID.contains((10.0, 0.0, -1.0))
+
+    def test_contains_rejects_out_of_range(self):
+        assert not KITTI_GRID.contains((-1.0, 0.0, -1.0))
+        assert not KITTI_GRID.contains((10.0, 0.0, 5.0))
+
+    def test_contains_is_half_open(self):
+        x_max = KITTI_GRID.x_range[1]
+        assert not KITTI_GRID.contains((x_max, 0.0, -1.0))
+        assert KITTI_GRID.contains((KITTI_GRID.x_range[0], 0.0, -1.0))
+
+
+class TestGridRegistry:
+    def test_get_grid_returns_registered(self):
+        assert get_grid("kitti") is KITTI_GRID
+        assert get_grid("mini") is MINI_GRID
+
+    def test_get_grid_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_grid("waymo")
+
+    def test_mini_grid_is_64x64(self):
+        assert MINI_GRID.shape == (64, 64)

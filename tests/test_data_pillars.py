@@ -1,0 +1,85 @@
+"""Pillar encoding (voxelization / scatter / gather) tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    KITTI_GRID,
+    MINI_GRID,
+    PointCloud,
+    gather_from_dense,
+    scatter_to_dense,
+    voxelize,
+)
+from repro.sparse import is_cpr_sorted
+
+
+def cloud_at(points):
+    points = np.asarray(points, dtype=np.float32)
+    return PointCloud(points, np.full(len(points), 0.5, dtype=np.float32))
+
+
+class TestVoxelize:
+    def test_coords_are_cpr_sorted(self, kitti_batch):
+        assert is_cpr_sorted(kitti_batch.coords, KITTI_GRID.shape)
+
+    def test_counts_match_points(self):
+        # Two points in one pillar, one in another.
+        cloud = cloud_at([[1.0, 0.0, -1.0], [1.01, 0.02, -1.0],
+                          [30.0, 5.0, -1.0]])
+        batch = voxelize(cloud, KITTI_GRID)
+        assert batch.num_active == 2
+        assert sorted(batch.point_counts.tolist()) == [1, 2]
+
+    def test_empty_cloud(self):
+        batch = voxelize(cloud_at(np.zeros((0, 3))), KITTI_GRID)
+        assert batch.num_active == 0
+        assert batch.occupancy == 0.0
+
+    def test_max_points_per_pillar_truncates(self):
+        points = [[1.0 + 0.001 * i, 0.0, -1.0] for i in range(50)]
+        batch = voxelize(cloud_at(points), KITTI_GRID,
+                         max_points_per_pillar=8)
+        assert batch.point_counts.max() <= 8
+
+    def test_max_pillars_caps(self, kitti_sweep):
+        batch = voxelize(kitti_sweep, KITTI_GRID, max_pillars=100)
+        assert batch.num_active == 100
+
+    def test_decorated_features_center_offsets_bounded(self, mini_batch):
+        # xp/yp offsets are within half a pillar of the center.
+        for pillar in range(min(20, mini_batch.num_active)):
+            count = mini_batch.point_counts[pillar]
+            offsets = mini_batch.point_features[pillar, :count, 7:9]
+            assert np.abs(offsets).max() <= MINI_GRID.pillar_size
+
+    def test_centroid_offsets_sum_near_zero(self, mini_batch):
+        # xc offsets are relative to the pillar centroid (over all points,
+        # before truncation); for untruncated pillars they sum to ~0.
+        for pillar in range(mini_batch.num_active):
+            count = int(mini_batch.point_counts[pillar])
+            if count == 0 or count == 32:
+                continue
+            offsets = mini_batch.point_features[pillar, :count, 4:7]
+            assert np.abs(offsets.mean(axis=0)).max() < 1.0
+
+
+class TestScatterGather:
+    def test_roundtrip(self, mini_batch):
+        rng = np.random.default_rng(0)
+        features = rng.normal(
+            size=(mini_batch.num_active, 16)
+        ).astype(np.float32)
+        dense = scatter_to_dense(mini_batch.coords, features, MINI_GRID.shape)
+        recovered = gather_from_dense(dense, mini_batch.coords)
+        np.testing.assert_allclose(recovered, features)
+
+    def test_inactive_cells_zero(self, mini_batch):
+        features = np.ones((mini_batch.num_active, 4), dtype=np.float32)
+        dense = scatter_to_dense(mini_batch.coords, features, MINI_GRID.shape)
+        assert dense.sum() == pytest.approx(4 * mini_batch.num_active)
+
+    def test_dense_shape(self, mini_batch):
+        features = np.ones((mini_batch.num_active, 7), dtype=np.float32)
+        dense = scatter_to_dense(mini_batch.coords, features, MINI_GRID.shape)
+        assert dense.shape == (7, 64, 64)

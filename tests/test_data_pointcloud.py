@@ -1,0 +1,75 @@
+"""Point cloud container and bounding-box tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import KITTI_GRID, BoundingBox3D, PointCloud
+
+
+def make_cloud(points):
+    points = np.asarray(points, dtype=np.float32)
+    return PointCloud(points, np.full(len(points), 0.5, dtype=np.float32))
+
+
+class TestPointCloud:
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros((4, 2)), np.zeros(4))
+
+    def test_rejects_mismatched_intensity(self):
+        with pytest.raises(ValueError):
+            PointCloud(np.zeros((4, 3)), np.zeros(3))
+
+    def test_len_counts_points(self):
+        cloud = make_cloud([[1, 0, -1], [2, 0, -1]])
+        assert len(cloud) == 2
+
+    def test_crop_removes_out_of_range(self):
+        cloud = make_cloud([[10, 0, -1], [-5, 0, -1], [10, 0, 9]])
+        cropped = cloud.crop(KITTI_GRID)
+        assert len(cropped) == 1
+
+    def test_crop_preserves_boxes(self):
+        cloud = make_cloud([[10, 0, -1]])
+        cloud.boxes.append(BoundingBox3D((10, 0, -1), (4, 2, 1.5), 0.0))
+        assert len(cloud.crop(KITTI_GRID).boxes) == 1
+
+    def test_concat_merges_points_and_boxes(self):
+        a = make_cloud([[1, 0, -1]])
+        b = make_cloud([[2, 0, -1]])
+        a.boxes.append(BoundingBox3D((1, 0, -1), (4, 2, 1.5), 0.0))
+        merged = a.concat(b)
+        assert len(merged) == 2
+        assert len(merged.boxes) == 1
+
+
+class TestBoundingBox:
+    def test_bev_corners_axis_aligned(self):
+        box = BoundingBox3D((0, 0, 0), (4, 2, 1.5), 0.0)
+        corners = box.bev_corners()
+        assert corners[:, 0].max() == pytest.approx(2.0)
+        assert corners[:, 1].max() == pytest.approx(1.0)
+
+    def test_bev_corners_rotation_swaps_extent(self):
+        box = BoundingBox3D((0, 0, 0), (4, 2, 1.5), np.pi / 2)
+        corners = box.bev_corners()
+        assert corners[:, 0].max() == pytest.approx(1.0, abs=1e-6)
+        assert corners[:, 1].max() == pytest.approx(2.0, abs=1e-6)
+
+    def test_aabb_bounds_corners(self):
+        box = BoundingBox3D((5, -3, 0), (4, 2, 1.5), 0.7)
+        xmin, ymin, xmax, ymax = box.bev_aabb()
+        corners = box.bev_corners()
+        assert xmin == pytest.approx(corners[:, 0].min())
+        assert ymax == pytest.approx(corners[:, 1].max())
+
+    def test_contains_bev_center_and_outside(self):
+        box = BoundingBox3D((5, 5, 0), (4, 2, 1.5), 0.3)
+        inside = box.contains_bev(np.array([[5.0, 5.0], [50.0, 50.0]]))
+        assert inside.tolist() == [True, False]
+
+    def test_contains_bev_respects_rotation(self):
+        box = BoundingBox3D((0, 0, 0), (4, 0.5, 1.5), np.pi / 2)
+        # Long axis now along y: (0, 1.8) inside, (1.8, 0) outside.
+        result = box.contains_bev(np.array([[0.0, 1.8], [1.8, 0.0]]))
+        assert result.tolist() == [True, False]

@@ -1,0 +1,76 @@
+"""Synthetic scene generator tests: the structural properties every
+architecture experiment relies on."""
+
+import numpy as np
+
+from repro.data import (
+    KITTI_GRID,
+    KITTI_SCENE,
+    NUSCENES_GRID,
+    SceneGenerator,
+    nuscenes_scene_config,
+    voxelize,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_sweep(self):
+        a = SceneGenerator(KITTI_SCENE, seed=5).generate()
+        b = SceneGenerator(KITTI_SCENE, seed=5).generate()
+        assert len(a) == len(b)
+        np.testing.assert_array_equal(a.points, b.points)
+
+    def test_different_seeds_differ(self):
+        a = SceneGenerator(KITTI_SCENE, seed=1).generate()
+        b = SceneGenerator(KITTI_SCENE, seed=2).generate()
+        assert len(a) != len(b) or not np.array_equal(a.points, b.points)
+
+
+class TestSweepStructure:
+    def test_point_count_is_lidar_scale(self, kitti_sweep):
+        # A 64-beam front-facing sweep lands tens of thousands of returns.
+        assert 10_000 < len(kitti_sweep) < 200_000
+
+    def test_all_points_in_grid_range(self, kitti_sweep):
+        x, y = kitti_sweep.points[:, 0], kitti_sweep.points[:, 1]
+        assert x.min() >= KITTI_GRID.x_range[0]
+        assert x.max() < KITTI_GRID.x_range[1]
+        assert y.min() >= KITTI_GRID.y_range[0]
+
+    def test_occupancy_matches_paper_regime(self, kitti_batch):
+        # Paper: ~97% of densified pillars are zero (3-10% active).
+        assert 0.01 < kitti_batch.occupancy < 0.10
+
+    def test_boxes_present(self, kitti_sweep):
+        assert len(kitti_sweep.boxes) >= KITTI_SCENE.num_objects[0]
+
+    def test_density_falls_with_range(self, kitti_sweep):
+        ranges = np.linalg.norm(kitti_sweep.points[:, :2], axis=1)
+        near = ((ranges > 5) & (ranges < 20)).sum() / 15.0
+        far = ((ranges > 40) & (ranges < 55)).sum() / 15.0
+        assert near > 2 * far
+
+    def test_objects_create_local_clusters(self, kitti_sweep):
+        # Points inside a GT box should be denser than the global average.
+        box = max(
+            kitti_sweep.boxes,
+            key=lambda b: -np.linalg.norm(np.asarray(b.center[:2])),
+        )
+        inside = box.contains_bev(kitti_sweep.points[:, :2])
+        if inside.sum() == 0:
+            return  # fully occluded object: acceptable
+        box_area = box.size[0] * box.size[1]
+        grid_area = 69.12 * 79.36
+        global_density = len(kitti_sweep) / grid_area
+        assert inside.sum() / box_area > global_density
+
+
+class TestNuscenesConfig:
+    def test_360_fov_covers_rear(self):
+        sweep = SceneGenerator(nuscenes_scene_config(), seed=2).generate()
+        assert (sweep.points[:, 0] < -5).any()
+
+    def test_occupancy_lower_than_kitti(self, kitti_batch):
+        sweep = SceneGenerator(nuscenes_scene_config(), seed=2).generate()
+        batch = voxelize(sweep, NUSCENES_GRID)
+        assert batch.occupancy < 1.5 * kitti_batch.occupancy

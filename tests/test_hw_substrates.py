@@ -1,0 +1,176 @@
+"""Hardware substrates: DRAM, SRAM, cache, hash table, bitonic sorter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw import (
+    BitonicMergeRuleGen,
+    DRAMConfig,
+    DRAMModel,
+    DirectMappedCache,
+    HashTableRuleGen,
+    SRAMModel,
+    bitonic_sort,
+    streaming_trace,
+)
+from repro.sparse import unflatten
+
+
+class TestDRAM:
+    def test_streaming_is_row_friendly(self):
+        dram = DRAMModel()
+        stats = dram.process_trace(streaming_trace(256 * 1024))
+        assert stats.hit_rate > 0.9
+
+    def test_random_is_row_hostile(self):
+        dram = DRAMModel()
+        rng = np.random.default_rng(0)
+        addresses = rng.integers(0, 1 << 30, 4096) * 64
+        stats = dram.process_trace(addresses)
+        assert stats.hit_rate < 0.2
+
+    def test_miss_latency_exceeds_hit(self):
+        config = DRAMConfig()
+        dram = DRAMModel(config)
+        miss = dram.access(0)
+        hit = dram.access(64)
+        assert miss > hit
+        assert hit == config.t_cl + config.t_burst
+
+    def test_trace_matches_sequential_access(self):
+        addresses = streaming_trace(16 * 1024).tolist()
+        one_by_one = DRAMModel()
+        for address in addresses:
+            one_by_one.access(address)
+        batched = DRAMModel()
+        batched.process_trace(addresses)
+        assert one_by_one.stats.cycles == batched.stats.cycles
+        assert one_by_one.stats.row_hits == batched.stats.row_hits
+
+    def test_energy_accumulates(self):
+        dram = DRAMModel()
+        dram.process_trace(streaming_trace(4096))
+        assert dram.stats.energy_pj > 0
+
+    def test_reset(self):
+        dram = DRAMModel()
+        dram.access(0)
+        dram.reset()
+        assert dram.stats.accesses == 0
+
+
+class TestSRAM:
+    def test_energy_scales_sublinearly_with_capacity(self):
+        small = SRAMModel(32 * 1024)
+        large = SRAMModel(128 * 1024)
+        ratio = large.read_energy_pj / small.read_energy_pj
+        assert 1.5 < ratio < 3.0  # sqrt scaling: exactly 2
+
+    def test_write_costs_more(self):
+        sram = SRAMModel(32 * 1024)
+        assert sram.write_energy_pj > sram.read_energy_pj
+
+    def test_area_grows_with_capacity(self):
+        assert SRAMModel(256 * 1024).area_mm2 > SRAMModel(32 * 1024).area_mm2
+
+    def test_energy_for_bytes_counts_accesses(self):
+        sram = SRAMModel(32 * 1024, width_bytes=8)
+        assert sram.energy_for_bytes(64) == pytest.approx(
+            8 * sram.read_energy_pj
+        )
+
+
+class TestCache:
+    def test_repeat_hits(self):
+        cache = DirectMappedCache(1024, 64)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(32)  # same line
+
+    def test_conflict_eviction(self):
+        cache = DirectMappedCache(1024, 64)  # 16 lines
+        cache.access(0)
+        cache.access(1024)  # maps to the same index
+        assert not cache.access(0)
+
+    def test_requires_divisible_size(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache(1000, 64)
+
+    def test_process_trace_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        addresses = rng.integers(0, 1 << 16, 500) * 8
+        a = DirectMappedCache(4096, 64)
+        scalar_hits = [a.access(int(addr)) for addr in addresses]
+        b = DirectMappedCache(4096, 64)
+        batch_hits = b.process_trace(addresses)
+        assert scalar_hits == batch_hits.tolist()
+
+    def test_miss_addresses_line_aligned(self):
+        cache = DirectMappedCache(1024, 64)
+        misses = cache.miss_addresses([10, 70, 10])
+        assert (misses % 64 == 0).all()
+
+
+class TestBitonicSort:
+    @given(st.lists(st.integers(-1000, 1000), min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_sorts_power_of_two_padded(self, values):
+        size = 1 << (len(values) - 1).bit_length()
+        padded = np.array(values + [2**20] * (size - len(values)))
+        result, _ = bitonic_sort(padded)
+        np.testing.assert_array_equal(result, np.sort(padded))
+
+    def test_comparator_count_formula(self):
+        for n in (8, 32, 64):
+            _, comparators = bitonic_sort(np.arange(n))
+            log_n = int(np.log2(n))
+            assert comparators == n // 2 * log_n * (log_n + 1) // 2
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            bitonic_sort(np.arange(5))
+
+    def test_descending(self):
+        result, _ = bitonic_sort(np.array([3, 1, 2, 4]), descending=True)
+        np.testing.assert_array_equal(result, [4, 3, 2, 1])
+
+
+class TestRuleGenCycleModels:
+    def _coords(self, count, shape=(496, 432), seed=0):
+        rng = np.random.default_rng(seed)
+        flat = np.sort(rng.choice(shape[0] * shape[1], count, replace=False))
+        return unflatten(flat, shape), shape
+
+    def test_hash_cycles_grow_with_pillars(self):
+        gen = HashTableRuleGen()
+        coords1, shape = self._coords(1000)
+        coords2, _ = self._coords(10000)
+        assert gen.run(coords2, shape).cycles > gen.run(coords1, shape).cycles
+
+    def test_hash_unique_outputs_match_dilation(self):
+        from repro.sparse import dilate
+
+        coords, shape = self._coords(2000)
+        result = HashTableRuleGen().run(coords, shape)
+        assert result.num_unique_outputs == len(dilate(coords, shape))
+
+    def test_hash_slower_than_rgu_linear_time(self):
+        # Paper Fig. 5(b): hash ~5.9x slower than the streaming RGU.
+        coords, shape = self._coords(10000)
+        result = HashTableRuleGen().run(coords, shape)
+        rgu_cycles = result.num_candidates  # 1 rule entry per cycle
+        assert 3.0 < result.cycles / rgu_cycles < 12.0
+
+    def test_merge_sort_slower_than_rgu(self):
+        # Paper Fig. 5(b): merge sorter ~3.7x slower than the RGU.
+        result = BitonicMergeRuleGen().run(10000)
+        rgu_cycles = result.num_candidates
+        assert 1.5 < result.cycles / rgu_cycles < 8.0
+
+    def test_empty_inputs(self):
+        assert HashTableRuleGen().run(np.zeros((0, 2), np.int32),
+                                      (8, 8)).cycles == 0
+        assert BitonicMergeRuleGen().run(0).cycles == 0

@@ -1,0 +1,85 @@
+"""End-to-end integration: sweep -> pillars -> functional sparse backbone ->
+trace -> accelerators -> reports, all consistent with each other."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compute_savings, trace_model
+from repro.core import (
+    SPADE_HE,
+    DenseAccelerator,
+    SpadeAccelerator,
+    streaming_rulegen,
+)
+from repro.data import MINI_GRID, SceneConfig, SceneGenerator, voxelize
+from repro.models import SparseBackboneRunner, build_model_spec
+from repro.sparse import ConvType, SparseTensor, build_rules
+
+
+@pytest.fixture(scope="module")
+def mini_frame():
+    config = SceneConfig(grid=MINI_GRID, num_objects=(2, 4),
+                         azimuth_resolution=0.5)
+    sweep = SceneGenerator(config, seed=5).generate()
+    return voxelize(sweep, MINI_GRID)
+
+
+class TestFunctionalVsGeometricConsistency:
+    def test_runner_active_counts_match_trace(self, mini_frame):
+        """The functional runner and the geometric trace must agree on
+        active-set geometry for non-pruning layers."""
+        spec = build_model_spec("SPP1")
+        trace = trace_model(spec, mini_frame.coords,
+                            grid_shape=MINI_GRID.shape)
+        rng = np.random.default_rng(0)
+        tensor = SparseTensor(
+            mini_frame.coords,
+            np.abs(rng.normal(size=(mini_frame.num_active, 64))).astype(
+                np.float32
+            ),
+            MINI_GRID.shape,
+        )
+        result = SparseBackboneRunner(spec, seed=0).run(tensor)
+        for record in result.records:
+            layer = trace.layer(record.name)
+            assert record.tensor.num_active == layer.out_count_after_prune, (
+                record.name
+            )
+
+    def test_streaming_rgu_on_real_frame(self, mini_frame):
+        reference = build_rules(mini_frame.coords, MINI_GRID.shape,
+                                ConvType.SPCONV)
+        streamed = streaming_rulegen(mini_frame.coords, MINI_GRID.shape)
+        np.testing.assert_array_equal(reference.out_coords,
+                                      streamed.out_coords)
+        assert reference.total_pairs == streamed.total_pairs
+
+
+class TestFullPipeline:
+    def test_sweep_to_accelerator(self, mini_frame):
+        trace, dense_trace, savings = compute_savings(
+            "SPP2", mini_frame.coords,
+            mini_frame.point_counts.astype(float)
+        )
+        spade = SpadeAccelerator(SPADE_HE).run_trace(trace)
+        dense = DenseAccelerator(SPADE_HE).run_trace(dense_trace)
+        assert 0.0 < savings < 1.0
+        assert spade.total_cycles < dense.total_cycles
+        assert spade.energy_mj < dense.energy_mj
+
+    def test_accelerator_macs_match_trace(self, mini_frame):
+        trace, _, _ = compute_savings("SPP1", mini_frame.coords)
+        result = SpadeAccelerator(SPADE_HE).run_trace(trace)
+        assert result.total_macs == trace.total_macs
+
+    def test_deterministic_end_to_end(self, mini_frame):
+        first = SpadeAccelerator(SPADE_HE).run_trace(
+            compute_savings("SPP2", mini_frame.coords,
+                            mini_frame.point_counts.astype(float))[0]
+        )
+        second = SpadeAccelerator(SPADE_HE).run_trace(
+            compute_savings("SPP2", mini_frame.coords,
+                            mini_frame.point_counts.astype(float))[0]
+        )
+        assert first.total_cycles == second.total_cycles
+        assert first.energy_mj == second.energy_mj

@@ -1,0 +1,98 @@
+"""Mini-CenterPoint: heatmap targets, training, center decoding."""
+
+import numpy as np
+import pytest
+
+from repro.data import MINI_GRID, SceneConfig, SceneGenerator, voxelize
+from repro.models import (
+    MiniCenterPoint,
+    center_loss,
+    decode_centers,
+    evaluate_map,
+    gaussian_heatmap_targets,
+)
+from repro.nn import Adam
+
+
+@pytest.fixture(scope="module")
+def cp_setup():
+    config = SceneConfig(grid=MINI_GRID, num_objects=(2, 4),
+                         azimuth_resolution=0.5, class_mix={"car": 1.0})
+    scenes = SceneGenerator(config, seed=21).generate_batch(6)
+    batches = [
+        (voxelize(scene, MINI_GRID),
+         gaussian_heatmap_targets(scene.boxes, MINI_GRID))
+        for scene in scenes
+    ]
+    return scenes, batches
+
+
+class TestHeatmapTargets:
+    def test_peak_at_center_is_one(self, cp_setup):
+        scenes, batches = cp_setup
+        heatmap = batches[0][1].objectness[0, 0]
+        assert heatmap.max() == pytest.approx(1.0)
+
+    def test_gaussian_decays_smoothly(self, cp_setup):
+        scenes, batches = cp_setup
+        heatmap = batches[0][1].objectness[0, 0]
+        row, col = np.unravel_index(heatmap.argmax(), heatmap.shape)
+        if 0 < row < heatmap.shape[0] - 1:
+            neighbour = heatmap[row + 1, col]
+            assert 0.0 < neighbour < 1.0
+
+    def test_values_bounded(self, cp_setup):
+        _, batches = cp_setup
+        for _, targets in batches:
+            assert targets.objectness.min() >= 0.0
+            assert targets.objectness.max() <= 1.0
+
+
+class TestMiniCenterPoint:
+    def test_forward_shape(self, cp_setup):
+        _, batches = cp_setup
+        model = MiniCenterPoint(seed=0).eval()
+        outputs = model(batches[0][0])
+        assert outputs.shape == (1, 5, 16, 16)
+
+    def test_training_reduces_loss(self, cp_setup):
+        _, batches = cp_setup
+        model = MiniCenterPoint(seed=0).train()
+        optimizer = Adam(model.parameters(), lr=2e-3)
+
+        def epoch():
+            total = 0.0
+            for batch, targets in batches:
+                optimizer.zero_grad()
+                outputs = model(batch)
+                loss, grad = center_loss(outputs, targets)
+                model.backward(grad)
+                optimizer.step()
+                total += loss
+            return total / len(batches)
+
+        first = epoch()
+        for _ in range(4):
+            last = epoch()
+        assert last < first
+
+    def test_decode_finds_local_maxima_only(self):
+        outputs = np.full((1, 5, 8, 8), -10.0, dtype=np.float32)
+        outputs[0, 1:] = 0.0
+        outputs[0, 0, 3, 3] = 4.0   # peak
+        outputs[0, 0, 3, 4] = 3.0   # shoulder, suppressed by 3x3 NMS
+        detections = decode_centers(outputs, MINI_GRID)
+        assert len(detections) == 1
+
+    def test_decode_threshold(self):
+        outputs = np.full((1, 5, 8, 8), -10.0, dtype=np.float32)
+        assert decode_centers(outputs, MINI_GRID) == []
+
+    def test_pruner_hook_present(self, cp_setup):
+        _, batches = cp_setup
+        model = MiniCenterPoint(seed=0).eval()
+        model.pruner.enabled = True
+        model.pruner.keep_ratio = 0.5
+        model(batches[0][0])
+        assert model.pruner.last_kept_fraction == pytest.approx(0.5,
+                                                                abs=0.05)

@@ -1,0 +1,129 @@
+"""Functional models: mini detector training + sparse backbone runner."""
+
+import numpy as np
+import pytest
+
+from repro.data import MINI_GRID, SceneConfig, SceneGenerator, voxelize
+from repro.models import (
+    MiniPointPillars,
+    SparseBackboneRunner,
+    build_model_spec,
+    build_targets,
+    decode_detections,
+    detection_loss,
+    evaluate_map,
+)
+from repro.nn import Adam
+from repro.sparse import SparseTensor
+
+
+@pytest.fixture(scope="module")
+def training_setup():
+    config = SceneConfig(grid=MINI_GRID, num_objects=(2, 4),
+                         azimuth_resolution=0.5)
+    scenes = SceneGenerator(config, seed=7).generate_batch(8)
+    batches = [
+        (voxelize(scene, MINI_GRID), build_targets(scene.boxes, MINI_GRID))
+        for scene in scenes
+    ]
+    return scenes, batches
+
+
+class TestMiniPointPillars:
+    def test_forward_shape(self, training_setup):
+        _, batches = training_setup
+        model = MiniPointPillars(seed=0).eval()
+        outputs = model(batches[0][0])
+        assert outputs.shape == (1, 5, 16, 16)
+
+    def test_training_reduces_loss(self, training_setup):
+        _, batches = training_setup
+        model = MiniPointPillars(seed=0).train()
+        optimizer = Adam(model.parameters(), lr=2e-3)
+
+        def epoch_loss():
+            total = 0.0
+            for batch, targets in batches:
+                optimizer.zero_grad()
+                outputs = model(batch)
+                loss, grad = detection_loss(outputs, targets)
+                model.backward(grad)
+                optimizer.step()
+                total += loss
+            return total / len(batches)
+
+        first = epoch_loss()
+        for _ in range(4):
+            last = epoch_loss()
+        assert last < first * 0.8
+
+    def test_trained_model_detects(self, training_setup):
+        scenes, batches = training_setup
+        model = MiniPointPillars(seed=0).train()
+        optimizer = Adam(model.parameters(), lr=2e-3)
+        for _ in range(8):
+            for batch, targets in batches:
+                optimizer.zero_grad()
+                outputs = model(batch)
+                _, grad = detection_loss(outputs, targets)
+                model.backward(grad)
+                optimizer.step()
+        model.eval()
+        predictions = [
+            decode_detections(model(voxelize(scene, MINI_GRID)), MINI_GRID)
+            for scene in scenes
+        ]
+        ground_truth = [scene.boxes for scene in scenes]
+        assert evaluate_map(predictions, ground_truth, 0.3) > 0.2
+
+    def test_targets_rasterize_boxes(self, training_setup):
+        scenes, _ = training_setup
+        targets = build_targets(scenes[0].boxes, MINI_GRID)
+        assert targets.objectness.sum() >= 1
+        assert targets.objectness.sum() <= len(scenes[0].boxes)
+
+    def test_pruner_hook_reduces_activity(self, training_setup):
+        _, batches = training_setup
+        model = MiniPointPillars(seed=0).eval()
+        model.pruner.enabled = True
+        model.pruner.keep_ratio = 0.5
+        model(batches[0][0])
+        assert model.pruner.last_kept_fraction == pytest.approx(0.5,
+                                                                abs=0.05)
+
+
+class TestSparseBackboneRunner:
+    def _tensor(self, batch, channels):
+        rng = np.random.default_rng(0)
+        features = np.abs(
+            rng.normal(size=(batch.num_active, channels))
+        ).astype(np.float32)
+        return SparseTensor(batch.coords, features, batch.grid.shape)
+
+    def test_runs_spp3_backbone(self, mini_batch):
+        spec = build_model_spec("SPP3")
+        runner = SparseBackboneRunner(spec, seed=1)
+        tensor = self._tensor(mini_batch, 64)
+        tensor.shape = mini_batch.grid.shape
+        result = runner.run(tensor)
+        assert len(result.records) == 16  # 4 + 6 + 6 backbone layers
+        assert result.record("B1C1").tensor.num_active > 0
+
+    def test_spp2_pruning_applied(self, mini_batch):
+        spec = build_model_spec("SPP2")
+        runner = SparseBackboneRunner(spec, seed=1)
+        result = runner.run(self._tensor(mini_batch, 64))
+        stage_start = result.record("B1C1")
+        assert stage_start.kept_fraction == pytest.approx(0.55, abs=0.02)
+
+    def test_channel_mismatch_raises(self, mini_batch):
+        spec = build_model_spec("SPP1")
+        runner = SparseBackboneRunner(spec)
+        with pytest.raises(ValueError):
+            runner.run(self._tensor(mini_batch, 32))
+
+    def test_relu_keeps_features_nonnegative(self, mini_batch):
+        spec = build_model_spec("SPP1")
+        runner = SparseBackboneRunner(spec, seed=2)
+        result = runner.run(self._tensor(mini_batch, 64))
+        assert result.records[-1].tensor.features.min() >= 0.0

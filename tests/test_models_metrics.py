@@ -1,0 +1,126 @@
+"""Detection metric tests: IoU properties and AP behaviour."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import BoundingBox3D
+from repro.models import (
+    average_precision,
+    bev_iou,
+    evaluate_map,
+    iou_3d,
+    match_detections,
+    polygon_intersection_area,
+)
+
+
+def box(cx=0.0, cy=0.0, cz=0.0, l=4.0, w=2.0, h=1.5, yaw=0.0, score=1.0):
+    return BoundingBox3D((cx, cy, cz), (l, w, h), yaw, score=score)
+
+
+@st.composite
+def boxes(draw):
+    return box(
+        cx=draw(st.floats(-10, 10)),
+        cy=draw(st.floats(-10, 10)),
+        l=draw(st.floats(0.5, 6.0)),
+        w=draw(st.floats(0.5, 3.0)),
+        yaw=draw(st.floats(-np.pi, np.pi)),
+    )
+
+
+class TestPolygonIntersection:
+    def test_identical_squares(self):
+        square = np.array([[0, 0], [2, 0], [2, 2], [0, 2]], float)
+        assert polygon_intersection_area(square, square) == pytest.approx(4.0)
+
+    def test_half_overlap(self):
+        a = np.array([[0, 0], [2, 0], [2, 2], [0, 2]], float)
+        b = a + np.array([1.0, 0.0])
+        assert polygon_intersection_area(a, b) == pytest.approx(2.0)
+
+    def test_disjoint(self):
+        a = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], float)
+        b = a + 5.0
+        assert polygon_intersection_area(a, b) == 0.0
+
+    def test_winding_independent(self):
+        a = np.array([[0, 0], [2, 0], [2, 2], [0, 2]], float)
+        assert polygon_intersection_area(a, a[::-1]) == pytest.approx(4.0)
+
+
+class TestBevIoU:
+    @given(boxes())
+    @settings(max_examples=40, deadline=None)
+    def test_self_iou_is_one(self, b):
+        assert bev_iou(b, b) == pytest.approx(1.0, abs=1e-6)
+
+    @given(boxes(), boxes())
+    @settings(max_examples=40, deadline=None)
+    def test_symmetric_and_bounded(self, a, b):
+        iou_ab = bev_iou(a, b)
+        iou_ba = bev_iou(b, a)
+        assert iou_ab == pytest.approx(iou_ba, abs=1e-6)
+        assert 0.0 <= iou_ab <= 1.0 + 1e-9
+
+    def test_known_value_shifted(self):
+        # 4x2 boxes shifted by 2 along length: overlap 2x2=4, union 12.
+        assert bev_iou(box(), box(cx=2.0)) == pytest.approx(4 / 12, abs=1e-6)
+
+    def test_rotation_90_known_value(self):
+        # 4x2 crossing 2x4: overlap 2x2=4, union 12.
+        assert bev_iou(box(), box(yaw=np.pi / 2)) == pytest.approx(1 / 3,
+                                                                   abs=1e-6)
+
+
+class TestIoU3D:
+    def test_identical(self):
+        assert iou_3d(box(), box()) == pytest.approx(1.0, abs=1e-6)
+
+    def test_no_height_overlap(self):
+        assert iou_3d(box(), box(cz=5.0)) == 0.0
+
+    def test_half_height_overlap(self):
+        # Same BEV, shifted by h/2 vertically: inter = V/2, union = 1.5V.
+        result = iou_3d(box(), box(cz=0.75))
+        assert result == pytest.approx(1 / 3, abs=1e-6)
+
+
+class TestMatchingAndAP:
+    def test_perfect_detection(self):
+        gt = [box(), box(cx=10.0)]
+        preds = [box(score=0.9), box(cx=10.0, score=0.8)]
+        flags, _, num_gt = match_detections(preds, gt)
+        assert flags.all()
+        assert num_gt == 2
+        assert average_precision(flags, num_gt) == pytest.approx(1.0)
+
+    def test_duplicate_matches_count_once(self):
+        gt = [box()]
+        preds = [box(score=0.9), box(score=0.8)]
+        flags, _, _ = match_detections(preds, gt)
+        assert flags.tolist() == [True, False]
+
+    def test_low_iou_is_false_positive(self):
+        gt = [box()]
+        preds = [box(cx=3.9, score=0.9)]
+        flags, _, _ = match_detections(preds, gt, iou_threshold=0.5)
+        assert not flags.any()
+
+    def test_ap_zero_without_gt(self):
+        assert average_precision(np.array([True]), 0) == 0.0
+
+    def test_ap_halves_with_misses(self):
+        flags = np.array([True, False, True, False])
+        ap = average_precision(flags, 4)
+        assert 0.2 < ap < 0.8
+
+    def test_evaluate_map_multi_frame(self):
+        frames_preds = [[box(score=0.9)], [box(cx=5, score=0.7)]]
+        frames_gt = [[box()], [box(cx=5)]]
+        assert evaluate_map(frames_preds, frames_gt) == pytest.approx(1.0)
+
+    def test_evaluate_map_empty(self):
+        assert evaluate_map([], []) == 0.0

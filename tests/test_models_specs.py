@@ -1,0 +1,109 @@
+"""Model workload specs and the Table I zoo."""
+
+import pytest
+
+from repro.models import (
+    SPARSE_MODELS,
+    TABLE1_MODELS,
+    TABLE1_PAPER,
+    LayerOp,
+    build_model_spec,
+    grid_for,
+    load_model,
+)
+from repro.sparse import ConvType
+
+
+class TestSpecConstruction:
+    def test_all_table1_models_build(self):
+        for name in TABLE1_MODELS:
+            spec = build_model_spec(name)
+            assert spec.num_layers > 5
+            assert spec.name == name
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            build_model_spec("YOLO")
+
+    def test_pp_is_fully_dense(self):
+        spec = build_model_spec("PP")
+        assert all(layer.conv_type is None for layer in spec.layers)
+
+    def test_spp1_uses_spconv_and_strided(self):
+        spec = build_model_spec("SPP1")
+        types = {layer.conv_type for layer in spec.layers
+                 if layer.conv_type is not None}
+        assert ConvType.SPCONV in types
+        assert ConvType.STRIDED in types
+        assert ConvType.DECONV in types
+
+    def test_spp2_prunes_at_stage_starts(self):
+        spec = build_model_spec("SPP2")
+        pruned = [layer for layer in spec.layers
+                  if layer.prune_keep is not None]
+        # One strided (stage-start) layer per backbone stage.
+        assert len(pruned) == 3
+        assert all(layer.stride == 2 for layer in pruned)
+
+    def test_spp3_submanifold_everywhere_in_backbone(self):
+        spec = build_model_spec("SPP3")
+        backbone = [layer for layer in spec.layers
+                    if layer.name.startswith("B")]
+        assert all(
+            layer.conv_type in (ConvType.SUBM, ConvType.STRIDED_SUBM)
+            for layer in backbone
+        )
+
+    def test_scp2_head_is_sparse(self):
+        spec = build_model_spec("SCP2")
+        heads = [layer for layer in spec.layers
+                 if layer.name.startswith("H")]
+        assert all(layer.op is LayerOp.SPARSE for layer in heads)
+
+    def test_spp_head_is_dense(self):
+        spec = build_model_spec("SPP1")
+        heads = [layer for layer in spec.layers
+                 if layer.name.startswith("H")]
+        assert all(layer.op is LayerOp.DENSE for layer in heads)
+
+    def test_pn_encoder_sparse_backbone_dense(self):
+        spec = build_model_spec("PN")
+        encoder = [layer for layer in spec.layers
+                   if layer.name.startswith("E")]
+        backbone = [layer for layer in spec.layers
+                    if layer.name.startswith("B")]
+        assert all(layer.op is LayerOp.SPARSE for layer in encoder)
+        assert all(layer.op is LayerOp.DENSE for layer in backbone)
+
+    def test_stage_structure_pp(self):
+        spec = build_model_spec("PP")
+        assert len(spec.layers_in_stage(1)) > 0
+        stage2 = [l for l in spec.layers_in_stage(2)
+                  if l.name.startswith("B")]
+        assert len(stage2) == 6
+
+    def test_dense_macs_positive(self):
+        spec = build_model_spec("PP")
+        for layer in spec.layers:
+            assert layer.dense_macs(100, 100) > 0
+
+
+class TestZoo:
+    def test_paper_rows_complete(self):
+        for name in TABLE1_MODELS:
+            assert name in TABLE1_PAPER
+
+    def test_sparse_models_have_positive_paper_sparsity(self):
+        for name in SPARSE_MODELS:
+            assert TABLE1_PAPER[name].sparsity_pct > 0
+
+    def test_load_model_consistent(self):
+        spec, scene, grid, row = load_model("SPP2")
+        assert spec.name == "SPP2"
+        assert grid is grid_for("SPP2")
+        assert row.avg_gops == 12.30
+
+    def test_kitti_models_use_kitti_grid(self):
+        assert grid_for("PP").name == "kitti"
+        assert grid_for("SCP1").name == "nuscenes"
+        assert grid_for("SPN").name == "nuscenes-fine"

@@ -1,0 +1,184 @@
+"""NN layer tests: shapes, semantics and numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2d,
+    Conv2D,
+    Deconv2D,
+    Linear,
+    ReLU,
+    Sequential,
+    conv_bn_relu,
+)
+
+
+def numeric_grad_check(module, x, positions, eps=1e-3, tol=0.08):
+    """Compare analytic input gradients with central differences."""
+    module.eval()  # freeze BN stats so the loss is a pure function
+
+    def loss_of(value):
+        y = module(value.astype(np.float32))
+        return float((y.astype(np.float64) ** 2).sum())
+
+    y = module(x)
+    grad = module.backward((2 * y).astype(np.float32))
+    for index in positions:
+        plus, minus = x.copy(), x.copy()
+        plus[index] += eps
+        minus[index] -= eps
+        numeric = (loss_of(plus) - loss_of(minus)) / (2 * eps)
+        scale = max(abs(numeric), abs(float(grad[index])), 1e-3)
+        assert abs(numeric - grad[index]) / scale < tol, (
+            f"grad mismatch at {index}: numeric {numeric}, "
+            f"analytic {grad[index]}"
+        )
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 7)
+        assert layer(np.zeros((3, 4), np.float32)).shape == (3, 7)
+
+    def test_gradient(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(5, 3, rng=rng)
+        x = rng.normal(size=(4, 5)).astype(np.float32)
+        numeric_grad_check(layer, x, [(0, 1), (3, 4), (2, 0)])
+
+    def test_weight_gradient_accumulates(self):
+        layer = Linear(2, 2)
+        x = np.ones((1, 2), np.float32)
+        layer.backward_input = None
+        layer(x)
+        layer.backward(np.ones((1, 2), np.float32))
+        first = layer.weight.grad.copy()
+        layer(x)
+        layer.backward(np.ones((1, 2), np.float32))
+        np.testing.assert_allclose(layer.weight.grad, 2 * first)
+
+
+class TestConv2D:
+    def test_same_padding_shape(self):
+        conv = Conv2D(3, 5, 3)
+        assert conv(np.zeros((2, 3, 8, 9), np.float32)).shape == (2, 5, 8, 9)
+
+    def test_stride2_shape(self):
+        conv = Conv2D(3, 5, 3, stride=2)
+        assert conv(np.zeros((1, 3, 9, 8), np.float32)).shape == (1, 5, 5, 4)
+
+    def test_1x1_is_pointwise(self):
+        rng = np.random.default_rng(1)
+        conv = Conv2D(4, 2, 1, rng=rng)
+        x = rng.normal(size=(1, 4, 3, 3)).astype(np.float32)
+        y = conv(x)
+        expected = np.einsum("nchw,co->nohw", x, conv.weight.data[0])
+        expected += conv.bias.data[None, :, None, None]
+        np.testing.assert_allclose(y, expected, atol=1e-5)
+
+    def test_rejects_even_kernel(self):
+        with pytest.raises(ValueError):
+            Conv2D(3, 3, 2)
+
+    def test_gradient(self):
+        rng = np.random.default_rng(2)
+        conv = Conv2D(2, 3, 3, stride=2, rng=rng)
+        x = rng.normal(size=(1, 2, 6, 6)).astype(np.float32)
+        numeric_grad_check(conv, x, [(0, 0, 0, 0), (0, 1, 3, 4),
+                                     (0, 0, 5, 5)])
+
+
+class TestDeconv2D:
+    def test_upsample_shape(self):
+        deconv = Deconv2D(4, 2, stride=2)
+        assert deconv(np.zeros((1, 4, 5, 6), np.float32)).shape == (1, 2, 10, 12)
+
+    def test_non_overlapping_blocks(self):
+        rng = np.random.default_rng(3)
+        deconv = Deconv2D(1, 1, stride=2, rng=rng)
+        x = np.zeros((1, 1, 2, 2), np.float32)
+        x[0, 0, 0, 0] = 1.0
+        y = deconv(x)
+        # Only the top-left 2x2 block plus bias elsewhere.
+        bias = deconv.bias.data[0]
+        assert abs(y[0, 0, 3, 3] - bias) < 1e-6
+
+    def test_gradient(self):
+        rng = np.random.default_rng(4)
+        deconv = Deconv2D(2, 2, stride=2, rng=rng)
+        x = rng.normal(size=(1, 2, 3, 3)).astype(np.float32)
+        numeric_grad_check(deconv, x, [(0, 0, 0, 0), (0, 1, 2, 2)])
+
+
+class TestBatchNorm:
+    def test_train_normalizes(self):
+        bn = BatchNorm2d(3)
+        bn.train()
+        rng = np.random.default_rng(5)
+        x = rng.normal(3.0, 2.0, size=(4, 3, 8, 8)).astype(np.float32)
+        y = bn(x)
+        assert abs(float(y.mean())) < 1e-5
+        assert float(y.std()) == pytest.approx(1.0, abs=0.01)
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm2d(2)
+        bn.train()
+        rng = np.random.default_rng(6)
+        for _ in range(50):
+            bn(rng.normal(1.0, 2.0, size=(2, 2, 4, 4)).astype(np.float32))
+        bn.eval()
+        x = rng.normal(1.0, 2.0, size=(2, 2, 4, 4)).astype(np.float32)
+        y = bn(x)
+        assert abs(float(y.mean())) < 0.4
+
+    def test_gradient_eval_mode(self):
+        rng = np.random.default_rng(7)
+        bn = BatchNorm2d(2)
+        bn.train()
+        bn(rng.normal(size=(2, 2, 4, 4)).astype(np.float32))
+        x = rng.normal(size=(2, 2, 4, 4)).astype(np.float32)
+        numeric_grad_check(bn, x, [(0, 0, 1, 1), (1, 1, 2, 3)])
+
+    def test_train_gradient_sums_to_zero_per_channel(self):
+        # BN training backward projects out the per-channel mean direction.
+        rng = np.random.default_rng(8)
+        bn = BatchNorm2d(2)
+        bn.train()
+        x = rng.normal(size=(2, 2, 4, 4)).astype(np.float32)
+        bn(x)
+        grad_in = bn.backward(rng.normal(size=x.shape).astype(np.float32))
+        per_channel = grad_in.sum(axis=(0, 2, 3))
+        np.testing.assert_allclose(per_channel, 0.0, atol=1e-4)
+
+
+class TestSequentialAndBlocks:
+    def test_parameter_discovery(self):
+        block = conv_bn_relu(3, 4)
+        names = len(block.parameters())
+        assert names == 3  # conv weight (no bias) + gamma + beta
+
+    def test_forward_backward_stack(self):
+        rng = np.random.default_rng(9)
+        net = Sequential(conv_bn_relu(2, 4, stride=2, rng=rng),
+                         conv_bn_relu(4, 4, rng=rng))
+        x = rng.normal(size=(1, 2, 8, 8)).astype(np.float32)
+        y = net(x)
+        assert y.shape == (1, 4, 4, 4)
+        grad = net.backward(np.ones_like(y))
+        assert grad.shape == x.shape
+
+    def test_train_eval_propagates(self):
+        net = Sequential(conv_bn_relu(2, 2))
+        net.eval()
+        bn = net[0][1]
+        assert bn.training is False
+        net.train()
+        assert bn.training is True
+
+    def test_relu_masks_negative(self):
+        relu = ReLU()
+        y = relu(np.array([[-1.0, 2.0]], np.float32))
+        np.testing.assert_array_equal(y, [[0.0, 2.0]])
+        grad = relu.backward(np.ones((1, 2), np.float32))
+        np.testing.assert_array_equal(grad, [[0.0, 1.0]])

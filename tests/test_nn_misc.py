@@ -1,0 +1,232 @@
+"""PointNet, quantization, losses, optimizers, regularization tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    Linear,
+    PillarFeatureNet,
+    TopKVectorPruner,
+    VectorSparsityRegularizer,
+    bce_with_logits,
+    calibrate,
+    focal_loss_with_logits,
+    group_lasso_grad,
+    group_lasso_loss,
+    quantization_snr_db,
+    quantize_dequantize,
+    quantized_matmul,
+    sigmoid,
+    smooth_l1,
+)
+
+
+class TestPillarFeatureNet:
+    def _batch(self, num_pillars=5, max_points=8, seed=0):
+        rng = np.random.default_rng(seed)
+        features = rng.normal(size=(num_pillars, max_points, 9)).astype(
+            np.float32
+        )
+        counts = rng.integers(1, max_points + 1, num_pillars).astype(np.int32)
+        return features, counts
+
+    def test_output_shape(self):
+        net = PillarFeatureNet(9, 16)
+        features, counts = self._batch()
+        out = net((features, counts))
+        assert out.shape == (5, 16)
+
+    def test_padding_does_not_affect_output(self):
+        net = PillarFeatureNet(9, 16)
+        net.eval()
+        features, counts = self._batch()
+        out1 = net((features, counts))
+        corrupted = features.copy()
+        for pillar, count in enumerate(counts):
+            corrupted[pillar, count:] = 999.0  # garbage in padded slots
+        out2 = net((corrupted, counts))
+        np.testing.assert_allclose(out1, out2, atol=1e-5)
+
+    def test_empty_batch(self):
+        net = PillarFeatureNet(9, 16)
+        out = net((np.zeros((0, 8, 9), np.float32), np.zeros(0, np.int32)))
+        assert out.shape == (0, 16)
+
+    def test_backward_runs(self):
+        net = PillarFeatureNet(9, 8)
+        features, counts = self._batch()
+        out = net((features, counts))
+        grad = net.backward(np.ones_like(out))
+        assert grad.shape == features.shape
+
+
+class TestQuantization:
+    def test_roundtrip_error_small(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 100)).astype(np.float32)
+        q = quantize_dequantize(x)
+        assert quantization_snr_db(x, q) > 30.0
+
+    def test_quantized_matmul_close_to_float(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(16, 32)).astype(np.float32)
+        w = rng.normal(size=(32, 8)).astype(np.float32)
+        xp, wp = calibrate(x), calibrate(w)
+        approx = quantized_matmul(xp.quantize(x), wp.quantize(w), xp, wp)
+        exact = x @ w
+        assert quantization_snr_db(exact, approx) > 25.0
+
+    def test_int32_accumulation_dtype(self):
+        xp = calibrate(np.ones(4))
+        q = xp.quantize(np.ones(4))
+        assert q.dtype == np.int8
+        accum = q.astype(np.int32) @ q.astype(np.int32)
+        assert accum.dtype == np.int32
+
+    def test_calibrate_empty(self):
+        assert calibrate(np.zeros(0)).scale == 1.0
+
+
+class TestLosses:
+    def test_sigmoid_stable_extremes(self):
+        y = sigmoid(np.array([-1000.0, 0.0, 1000.0]))
+        assert y[0] == pytest.approx(0.0)
+        assert y[1] == pytest.approx(0.5)
+        assert y[2] == pytest.approx(1.0)
+
+    def test_bce_gradient_sign(self):
+        logits = np.array([[2.0, -2.0]])
+        targets = np.array([[1.0, 0.0]])
+        loss, grad = bce_with_logits(logits, targets)
+        assert loss > 0
+        assert grad[0, 0] < 0  # push logit up toward target 1
+        assert grad[0, 1] > -1e-9
+
+    def test_bce_numeric_gradient(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(3, 4))
+        targets = (rng.random((3, 4)) > 0.5).astype(float)
+        loss, grad = bce_with_logits(logits, targets)
+        eps = 1e-5
+        bumped = logits.copy()
+        bumped[1, 2] += eps
+        loss2, _ = bce_with_logits(bumped, targets)
+        assert (loss2 - loss) / eps == pytest.approx(grad[1, 2], rel=1e-3)
+
+    def test_focal_loss_downweights_easy(self):
+        easy = np.array([[8.0]])     # confident correct
+        hard = np.array([[-8.0]])    # confident wrong
+        target = np.array([[1.0]])
+        easy_loss, _ = focal_loss_with_logits(easy, target)
+        hard_loss, _ = focal_loss_with_logits(hard, target)
+        assert hard_loss > 100 * easy_loss
+
+    def test_smooth_l1_quadratic_then_linear(self):
+        loss_small, grad_small = smooth_l1(np.array([0.5]), np.array([0.0]))
+        loss_large, grad_large = smooth_l1(np.array([5.0]), np.array([0.0]))
+        assert loss_small == pytest.approx(0.125)
+        assert loss_large == pytest.approx(4.5)
+        assert grad_large[0] == pytest.approx(1.0)
+
+    def test_smooth_l1_mask(self):
+        pred = np.array([1.0, 100.0])
+        target = np.zeros(2)
+        mask = np.array([1.0, 0.0])
+        loss, grad = smooth_l1(pred, target, mask)
+        assert grad[1] == 0.0
+
+
+class TestOptimizers:
+    def _quadratic_descent(self, optimizer_factory, steps=150):
+        layer = Linear(1, 1, bias=False)
+        layer.weight.data[...] = 5.0
+        optimizer = optimizer_factory([layer.weight])
+        for _ in range(steps):
+            optimizer.zero_grad()
+            layer.weight.grad[...] = 2 * (layer.weight.data - 1.0)
+            optimizer.step()
+        return float(layer.weight.data[0, 0])
+
+    def test_sgd_converges(self):
+        final = self._quadratic_descent(lambda p: SGD(p, lr=0.1, momentum=0.5))
+        assert final == pytest.approx(1.0, abs=1e-3)
+
+    def test_adam_converges(self):
+        final = self._quadratic_descent(lambda p: Adam(p, lr=0.1))
+        assert final == pytest.approx(1.0, abs=1e-2)
+
+    def test_weight_decay_shrinks(self):
+        layer = Linear(1, 1, bias=False)
+        layer.weight.data[...] = 1.0
+        optimizer = SGD([layer.weight], lr=0.1, momentum=0.0,
+                        weight_decay=0.5)
+        optimizer.zero_grad()
+        optimizer.step()
+        assert float(layer.weight.data[0, 0]) < 1.0
+
+
+class TestRegularization:
+    def test_group_lasso_loss_is_norm_sum(self):
+        x = np.zeros((1, 2, 1, 2), np.float32)
+        x[0, :, 0, 0] = [3.0, 4.0]
+        assert group_lasso_loss(x) == pytest.approx(5.0, abs=1e-3)
+
+    def test_group_lasso_grad_is_unit_direction(self):
+        x = np.zeros((1, 2, 1, 1), np.float32)
+        x[0, :, 0, 0] = [3.0, 4.0]
+        grad = group_lasso_grad(x)
+        np.testing.assert_allclose(grad[0, :, 0, 0], [0.6, 0.8], atol=1e-4)
+
+    def test_regularizer_injects_gradient_in_training(self):
+        reg = VectorSparsityRegularizer(strength=1.0)
+        reg.train()
+        x = np.ones((1, 2, 2, 2), np.float32)
+        reg(x)
+        grad = reg.backward(np.zeros_like(x))
+        assert np.abs(grad).sum() > 0
+
+    def test_regularizer_inactive_in_eval(self):
+        reg = VectorSparsityRegularizer(strength=1.0)
+        reg.eval()
+        x = np.ones((1, 2, 2, 2), np.float32)
+        reg(x)
+        grad = reg.backward(np.zeros_like(x))
+        assert np.abs(grad).sum() == 0
+
+
+class TestTopKPruner:
+    def _map_with_magnitudes(self):
+        x = np.zeros((1, 2, 2, 2), np.float32)
+        x[0, 0] = [[10.0, 1.0], [5.0, 0.0]]
+        return x
+
+    def test_keeps_top_fraction_of_active(self):
+        pruner = TopKVectorPruner(keep_ratio=0.34)
+        y = pruner(self._map_with_magnitudes())
+        # 3 active pillars, keep 1 -> only the magnitude-10 survives.
+        assert y[0, 0, 0, 0] == 10.0
+        assert y[0, 0, 1, 0] == 0.0
+
+    def test_disabled_is_identity(self):
+        pruner = TopKVectorPruner(keep_ratio=0.1, enabled=False)
+        x = self._map_with_magnitudes()
+        np.testing.assert_array_equal(pruner(x), x)
+
+    def test_gradient_masked(self):
+        pruner = TopKVectorPruner(keep_ratio=0.34)
+        x = self._map_with_magnitudes()
+        pruner(x)
+        grad = pruner.backward(np.ones_like(x))
+        assert grad[0, 0, 0, 0] == 1.0
+        assert grad[0, 0, 1, 0] == 0.0
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            TopKVectorPruner(keep_ratio=2.0)
+
+    def test_kept_fraction_reported(self):
+        pruner = TopKVectorPruner(keep_ratio=0.34)
+        pruner(self._map_with_magnitudes())
+        assert pruner.last_kept_fraction == pytest.approx(1 / 3, abs=0.01)

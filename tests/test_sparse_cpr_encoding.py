@@ -1,0 +1,58 @@
+"""CPR (compressed-pillar-row) encode/decode round-trip tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import cpr_decode, cpr_encode, unflatten
+
+SHAPE = (20, 25)
+
+
+@st.composite
+def coord_sets(draw):
+    total = SHAPE[0] * SHAPE[1]
+    count = draw(st.integers(0, 60))
+    flat = draw(st.lists(st.integers(0, total - 1), min_size=count,
+                         max_size=count, unique=True))
+    return unflatten(np.sort(np.array(flat, dtype=np.int64)), SHAPE)
+
+
+class TestCprEncoding:
+    @given(coord_sets())
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip(self, coords):
+        row_pointers, column_indices = cpr_encode(coords, SHAPE)
+        np.testing.assert_array_equal(
+            cpr_decode(row_pointers, column_indices), coords
+        )
+
+    @given(coord_sets())
+    @settings(max_examples=50, deadline=None)
+    def test_row_pointers_monotone_and_complete(self, coords):
+        row_pointers, column_indices = cpr_encode(coords, SHAPE)
+        assert len(row_pointers) == SHAPE[0] + 1
+        assert row_pointers[0] == 0
+        assert row_pointers[-1] == len(coords)
+        assert (np.diff(row_pointers) >= 0).all()
+
+    @given(coord_sets())
+    @settings(max_examples=50, deadline=None)
+    def test_columns_ascend_within_rows(self, coords):
+        row_pointers, column_indices = cpr_encode(coords, SHAPE)
+        for row in range(SHAPE[0]):
+            segment = column_indices[row_pointers[row]:row_pointers[row + 1]]
+            if len(segment) > 1:
+                assert (np.diff(segment) > 0).all()
+
+    def test_rejects_unsorted(self):
+        coords = np.array([[5, 0], [1, 0]], np.int32)
+        with pytest.raises(ValueError):
+            cpr_encode(coords, SHAPE)
+
+    def test_known_example(self):
+        coords = np.array([[0, 2], [0, 5], [2, 1]], np.int32)
+        row_pointers, column_indices = cpr_encode(coords, (3, 6))
+        assert row_pointers.tolist() == [0, 2, 2, 3]
+        assert column_indices.tolist() == [2, 5, 1]

@@ -1,0 +1,109 @@
+"""Vector pruning: Top-K, threshold and keep-ratio policies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    SparseTensor,
+    is_cpr_sorted,
+    pillar_magnitudes,
+    sparsity_prune,
+    threshold_for_keep_ratio,
+    threshold_prune,
+    topk_prune,
+    unflatten,
+)
+
+SHAPE = (16, 16)
+
+
+def tensor_with_magnitudes(magnitudes):
+    magnitudes = np.asarray(magnitudes, np.float32)
+    coords = unflatten(np.arange(len(magnitudes)) * 3, SHAPE)
+    features = np.zeros((len(magnitudes), 2), np.float32)
+    features[:, 0] = magnitudes
+    return SparseTensor(coords, features, SHAPE)
+
+
+class TestTopK:
+    def test_keeps_largest(self):
+        tensor = tensor_with_magnitudes([5, 1, 9, 3])
+        pruned, kept = topk_prune(tensor, 2)
+        assert kept.tolist() == [0, 2]
+        assert pruned.num_active == 2
+
+    def test_keep_all_is_identity(self):
+        tensor = tensor_with_magnitudes([1, 2, 3])
+        pruned, kept = topk_prune(tensor, 10)
+        assert pruned is tensor
+        assert kept.tolist() == [0, 1, 2]
+
+    def test_keep_zero_empties(self):
+        tensor = tensor_with_magnitudes([1, 2])
+        pruned, _ = topk_prune(tensor, 0)
+        assert pruned.num_active == 0
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=1, max_size=40),
+           st.integers(0, 40))
+    @settings(max_examples=40, deadline=None)
+    def test_result_stays_cpr_sorted(self, magnitudes, keep):
+        tensor = tensor_with_magnitudes(magnitudes)
+        pruned, _ = topk_prune(tensor, keep)
+        assert is_cpr_sorted(pruned.coords, SHAPE)
+
+    @given(st.lists(st.floats(0.1, 100.0), min_size=2, max_size=40,
+                    unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_kept_minimum_exceeds_dropped_maximum(self, magnitudes):
+        tensor = tensor_with_magnitudes(magnitudes)
+        keep = len(magnitudes) // 2
+        pruned, kept = topk_prune(tensor, keep)
+        dropped = sorted(set(range(tensor.num_active)) - set(kept.tolist()))
+        kept_mags = pillar_magnitudes(tensor.features[kept])
+        dropped_mags = pillar_magnitudes(tensor.features[dropped])
+        assert kept_mags.min() >= dropped_mags.max()
+
+
+class TestThreshold:
+    def test_threshold_prune(self):
+        tensor = tensor_with_magnitudes([0.5, 5.0, 0.1])
+        pruned, kept = threshold_prune(tensor, 1.0)
+        assert kept.tolist() == [1]
+
+    def test_threshold_for_keep_ratio_realizes_ratio(self):
+        rng = np.random.default_rng(0)
+        features = rng.normal(size=(1000, 4)).astype(np.float32)
+        threshold = threshold_for_keep_ratio(features, 0.3)
+        kept = (pillar_magnitudes(features) > threshold).mean()
+        assert kept == pytest.approx(0.3, abs=0.02)
+
+    def test_keep_all_threshold_zero(self):
+        assert threshold_for_keep_ratio(np.ones((5, 2)), 1.0) == 0.0
+
+
+class TestSparsityPrune:
+    def test_ratio(self):
+        tensor = tensor_with_magnitudes(np.arange(1, 11))
+        pruned, _ = sparsity_prune(tensor, 0.4)
+        assert pruned.num_active == 4
+
+    def test_invalid_ratio_raises(self):
+        tensor = tensor_with_magnitudes([1.0])
+        with pytest.raises(ValueError):
+            sparsity_prune(tensor, 1.5)
+
+
+class TestMagnitudes:
+    def test_l2(self):
+        mags = pillar_magnitudes(np.array([[3.0, 4.0]]))
+        assert mags[0] == pytest.approx(5.0)
+
+    def test_l1(self):
+        mags = pillar_magnitudes(np.array([[3.0, -4.0]]), order=1)
+        assert mags[0] == pytest.approx(7.0)
+
+    def test_unsupported_order(self):
+        with pytest.raises(ValueError):
+            pillar_magnitudes(np.ones((1, 2)), order=3)

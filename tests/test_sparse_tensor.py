@@ -1,0 +1,85 @@
+"""SparseTensor container tests."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import SparseTensor
+
+SHAPE = (10, 12)
+
+
+def make_tensor():
+    coords = np.array([[0, 1], [2, 3], [5, 0], [9, 11]], np.int32)
+    features = np.arange(8, dtype=np.float32).reshape(4, 2)
+    return SparseTensor(coords, features, SHAPE)
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        tensor = make_tensor()
+        assert tensor.num_active == 4
+        assert tensor.num_channels == 2
+        assert tensor.density == pytest.approx(4 / 120)
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            SparseTensor(np.zeros((3, 2), np.int32), np.zeros((2, 4)), SHAPE)
+
+    def test_rejects_unsorted_coords(self):
+        with pytest.raises(ValueError):
+            SparseTensor(np.array([[5, 0], [0, 1]], np.int32),
+                         np.zeros((2, 1)), SHAPE)
+
+    def test_rejects_1d_features(self):
+        with pytest.raises(ValueError):
+            SparseTensor(np.array([[0, 0]], np.int32), np.zeros(3), SHAPE)
+
+
+class TestDenseRoundtrip:
+    def test_to_dense_places_features(self):
+        tensor = make_tensor()
+        dense = tensor.to_dense()
+        assert dense.shape == (2, 10, 12)
+        np.testing.assert_allclose(dense[:, 2, 3], [2.0, 3.0])
+
+    def test_from_dense_roundtrip(self):
+        tensor = make_tensor()
+        # Feature row [0, 1] at (0,1) has a zero channel but nonzero max.
+        recovered = SparseTensor.from_dense(tensor.to_dense())
+        assert recovered.num_active == 4
+        np.testing.assert_array_equal(recovered.coords, tensor.coords)
+        np.testing.assert_allclose(recovered.features, tensor.features)
+
+    def test_from_dense_drops_all_zero_vectors(self):
+        dense = np.zeros((3, 4, 4), np.float32)
+        dense[:, 1, 1] = [0.5, 0.0, 0.0]
+        tensor = SparseTensor.from_dense(dense)
+        assert tensor.num_active == 1
+
+    def test_from_dense_threshold(self):
+        dense = np.zeros((1, 4, 4), np.float32)
+        dense[0, 0, 0] = 0.1
+        dense[0, 1, 1] = 0.9
+        tensor = SparseTensor.from_dense(dense, threshold=0.5)
+        assert tensor.num_active == 1
+
+
+class TestLookupSelect:
+    def test_lookup_found_and_missing(self):
+        tensor = make_tensor()
+        result = tensor.lookup(np.array([[2, 3], [7, 7]], np.int32))
+        assert result.tolist() == [1, -1]
+
+    def test_select_preserves_order(self):
+        tensor = make_tensor()
+        sub = tensor.select(np.array([0, 2]))
+        assert sub.num_active == 2
+        np.testing.assert_array_equal(sub.coords,
+                                      np.array([[0, 1], [5, 0]], np.int32))
+
+    def test_zeros_like_coords(self):
+        tensor = SparseTensor.zeros_like_coords(
+            np.array([[1, 1]], np.int32), 5, SHAPE
+        )
+        assert tensor.features.shape == (1, 5)
+        assert tensor.features.sum() == 0
