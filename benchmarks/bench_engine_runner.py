@@ -1,0 +1,138 @@
+"""Engine performance: naive vs cold vs cached vs parallel sweeps.
+
+Times the same scenarios x models x simulators grid four ways —
+
+* **naive**: the pre-engine world — every (scenario, model, simulator)
+  cell re-traces the model (rulegen included) before simulating, the
+  way the benchmark files looped before the engine existed;
+* **cold**: fresh trace cache, serial runner (tracing already deduped
+  to once per (scenario, model) within the run);
+* **cached serial**: same runner re-run, traces served from the cache;
+* **cached parallel**: warm cache plus thread-pool fan-out;
+
+and writes the timings as JSON so the perf trajectory of the engine is
+tracked across PRs.
+
+Run directly:  PYTHONPATH=src python benchmarks/bench_engine_runner.py
+or via pytest: PYTHONPATH=src python -m pytest benchmarks/bench_engine_runner.py
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.analysis import trace_model
+from repro.engine import ExperimentRunner, Scenario, TraceCache
+from repro.models import build_model_spec
+
+SIMULATORS = ("spade-he", "spade-le", "dense-he", "pointacc-he")
+MODELS = ("SPP1", "SPP2", "SPP3")
+SCENARIOS = (Scenario("drive-0", seed=0), Scenario("drive-1", seed=1))
+
+RESULTS_PATH = Path(__file__).parent / "results" / "engine_runner_timings.json"
+
+
+def _build_runner() -> ExperimentRunner:
+    return ExperimentRunner(
+        simulators=list(SIMULATORS),
+        models=list(MODELS),
+        scenarios=list(SCENARIOS),
+        cache=TraceCache(),
+    )
+
+
+def _naive_sweep(runner: ExperimentRunner) -> float:
+    """Time the pre-engine loop: re-trace per cell, no cache, no pool.
+
+    Frames are reused (frame generation was session-scoped before the
+    engine too); the per-simulator re-tracing — rulegen, the hot path —
+    is what the engine eliminates.
+    """
+    start = time.perf_counter()
+    for scenario in runner.scenarios:
+        for name in runner.models:
+            frame = runner.frame_provider.frame_for(scenario, name)
+            for simulator in runner.simulators:
+                trace = trace_model(
+                    build_model_spec(name),
+                    frame.coords,
+                    frame.point_counts.astype(float),
+                )
+                simulator.run(trace)
+    return time.perf_counter() - start
+
+
+def run_sweeps() -> dict:
+    """Execute the four sweeps and return the timing record."""
+    runner = _build_runner()
+    naive_s = _naive_sweep(runner)
+
+    start = time.perf_counter()
+    cold = runner.run(parallel=False)
+    cold_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cached = runner.run(parallel=False)
+    cached_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = runner.run(parallel=True)
+    parallel_s = time.perf_counter() - start
+
+    assert len(cold) == len(cached) == len(parallel)
+    for left, right in zip(cold, cached):
+        assert left == right, "cached sweep changed the numbers"
+    for left, right in zip(cold, parallel):
+        assert left == right, "parallel sweep changed the numbers"
+
+    return {
+        "grid": {
+            "scenarios": [scenario.name for scenario in SCENARIOS],
+            "models": list(MODELS),
+            "simulators": list(SIMULATORS),
+            "cells": len(cold),
+        },
+        "naive_serial_s": naive_s,
+        "cold_serial_s": cold_s,
+        "cached_serial_s": cached_s,
+        "cached_parallel_s": parallel_s,
+        "speedup_cold_vs_naive": naive_s / cold_s,
+        "speedup_cached_vs_naive": naive_s / cached_s,
+        "speedup_parallel_vs_naive": naive_s / parallel_s,
+        "trace_cache": runner.cache.stats(),
+        "max_workers": runner.max_workers,
+    }
+
+
+def write_timings(timings: dict, path: Path = RESULTS_PATH) -> Path:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(timings, indent=2) + "\n")
+    return path
+
+
+def test_engine_runner_perf(benchmark):
+    timings = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+    write_timings(timings)
+    print()
+    print(json.dumps(timings, indent=2))
+    # The acceptance property: the cached (and cached+parallel) sweep
+    # must be measurably faster than the naive pre-engine loop that
+    # re-runs rulegen per simulator (it is the hot path).
+    assert timings["cached_serial_s"] < timings["naive_serial_s"]
+    assert timings["cached_parallel_s"] < timings["naive_serial_s"]
+    assert timings["cold_serial_s"] < timings["naive_serial_s"]
+    # Rulegen ran once per (scenario, model), not once per simulator.
+    assert timings["trace_cache"]["misses"] == len(SCENARIOS) * len(MODELS)
+
+
+def main():
+    timings = run_sweeps()
+    path = write_timings(timings)
+    print(json.dumps(timings, indent=2))
+    print(f"\nwrote {path}")
+
+
+if __name__ == "__main__":
+    main()

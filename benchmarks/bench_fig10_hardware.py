@@ -6,6 +6,9 @@ energy savings vs the ideal dense accelerator.
 (b) area breakdown (paper: sparse-support blocks are ~4.3% of SPADE.HE);
 (c) energy savings vs DenseAcc across the sparse models (paper range
     1.5-12.6x, near-proportional to ops savings).
+
+Simulator sweeps run through the unified engine grid; the area studies
+(pure analytic, no trace) stay direct.
 """
 
 from __future__ import annotations
@@ -14,32 +17,52 @@ from repro.analysis import dense_counterpart, format_table
 from repro.core import (
     SPADE_HE,
     SPADE_LE,
-    DenseAccelerator,
-    SpadeAccelerator,
     accelerator_area,
     pointacc_like_area,
     sram_kilobytes,
 )
+from repro.engine import DenseAccSimulator, ExperimentRunner, SpadeSimulator
 from repro.models import SPARSE_MODELS
+
+CONFIGS = (SPADE_HE, SPADE_LE)
+
+
+def _spade_sparse_dense_dense(scenario, model, simulator):
+    """Grid filter: SPADE simulates the sparse models, DenseAcc their
+    dense counterparts — the only cells the figures read."""
+    if simulator.name.startswith("SPADE"):
+        return model in SPARSE_MODELS
+    return model not in SPARSE_MODELS
+
+
+def _sweep(traces, models):
+    """One engine grid covering every (model, SPADE/DenseAcc x HE/LE)."""
+    runner = ExperimentRunner(
+        simulators=[SpadeSimulator(config) for config in CONFIGS]
+        + [DenseAccSimulator(config) for config in CONFIGS],
+        models=models,
+        trace_provider=lambda scenario, name: traces(name),
+        cell_filter=_spade_sparse_dense_dense,
+    )
+    return runner.run()
 
 
 def _fig10a_rows(traces):
+    table = _sweep(traces, ["SPP2", dense_counterpart("SPP2")])
     rows = []
-    for config in (SPADE_HE, SPADE_LE):
+    for config in CONFIGS:
         spade_area = accelerator_area(config, sparse_support=True)
         dense_area = accelerator_area(config, sparse_support=False)
         pointacc_area = pointacc_like_area(config)
-        trace = traces("SPP2")
-        spade = SpadeAccelerator(config).run_trace(trace)
-        dense = DenseAccelerator(config).run_trace(
-            traces(dense_counterpart("SPP2"))
-        )
+        spade = table.get(model="SPP2", simulator=f"SPADE.{config.name}")
+        dense = table.get(model=dense_counterpart("SPP2"),
+                          simulator=f"DenseAcc.{config.name}")
         peak_gops = config.peak_tops * 1000
         # Effective GOPS/W counts *dense-equivalent* work delivered: both
         # accelerators produce the same detection output; SPADE just
         # skips the zero pillars (the paper's effective-efficiency
         # metric, +4.6x/+4.7x on SPP2).
-        dense_equivalent_gops = 2 * dense.total_macs / 1e9
+        dense_equivalent_gops = 2 * dense.extras["total_macs"] / 1e9
         spade_eff = dense_equivalent_gops / (spade.energy_mj / 1e3)
         dense_eff = dense_equivalent_gops / (dense.energy_mj / 1e3)
         rows.append((
@@ -79,7 +102,7 @@ def test_fig10a_accelerator_comparison(benchmark, traces):
 def test_fig10b_area_breakdown(benchmark):
     def run():
         rows = []
-        for config in (SPADE_HE, SPADE_LE):
+        for config in CONFIGS:
             area = accelerator_area(config, sparse_support=True)
             sparse_fraction = area.fraction("rgu", "gsu", "sfu",
                                             "rule_buffer")
@@ -112,16 +135,22 @@ def test_fig10b_area_breakdown(benchmark):
 
 def test_fig10c_energy_savings_vs_dense(benchmark, traces):
     def run():
+        models = list(SPARSE_MODELS)
+        models += sorted({dense_counterpart(name) for name in SPARSE_MODELS})
+        table = _sweep(traces, models)
         rows = []
-        for config in (SPADE_HE, SPADE_LE):
-            spade = SpadeAccelerator(config)
-            dense = DenseAccelerator(config)
+        for config in CONFIGS:
             for name in SPARSE_MODELS:
                 trace = traces(name)
                 dense_trace = traces(dense_counterpart(name))
                 savings = trace.savings_vs(dense_trace)
-                spade_mj = spade.run_trace(trace).energy_mj
-                dense_mj = dense.run_trace(dense_trace).energy_mj
+                spade_mj = table.get(
+                    model=name, simulator=f"SPADE.{config.name}"
+                ).energy_mj
+                dense_mj = table.get(
+                    model=dense_counterpart(name),
+                    simulator=f"DenseAcc.{config.name}",
+                ).energy_mj
                 rows.append((
                     config.name, name, 100 * savings,
                     dense_mj / spade_mj, 1.0 / (1.0 - savings),

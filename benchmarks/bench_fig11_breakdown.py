@@ -6,6 +6,9 @@
       paper: speedup aligns with OPs savings;
 (d)   MXU utilization with / without dataflow optimization per conv type —
       paper: SpConv >90%; SpStConv/SpDeconv <70% without, ~90% with.
+
+(a,b) and (c) are engine grids; (d) schedules single layers and stays on
+the direct scheduling API.
 """
 
 from __future__ import annotations
@@ -13,13 +16,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis import dense_counterpart, format_table
-from repro.baselines import HIGH_END_PLATFORMS, PlatformModel
-from repro.core import (
-    SPADE_HE,
-    SPADE_LE,
-    DenseAccelerator,
-    SpadeAccelerator,
-    schedule_sparse_layer,
+from repro.baselines import HIGH_END_PLATFORMS
+from repro.core import SPADE_HE, SPADE_LE, schedule_sparse_layer
+from repro.engine import (
+    DenseAccSimulator,
+    ExperimentRunner,
+    PlatformSim,
+    SpadeSimulator,
 )
 from repro.models import SPARSE_MODELS
 
@@ -28,16 +31,24 @@ MODELS = ("PP", "SPP1", "SPP2", "SPP3")
 
 def test_fig11ab_latency_breakdown(benchmark, traces):
     def run():
+        runner = ExperimentRunner(
+            simulators=[PlatformSim(platform)
+                        for platform in HIGH_END_PLATFORMS]
+            + [SpadeSimulator(SPADE_HE)],
+            models=list(MODELS),
+            trace_provider=lambda scenario, name: traces(name),
+        )
+        table = runner.run()
         rows = []
         for name in MODELS:
-            trace = traces(name)
             for platform in HIGH_END_PLATFORMS:
-                result = PlatformModel(platform).run_trace(trace)
-                rows.append((name, platform.name, result.conv_ms,
-                             result.mapping_ms, result.gather_scatter_ms,
+                result = table.get(model=name, simulator=platform.name)
+                phases = result.extras["phases"]
+                rows.append((name, platform.name, phases["conv"],
+                             phases["mapping"], phases["gather_scatter"],
                              result.latency_ms))
-            spade = SpadeAccelerator(SPADE_HE).run_trace(trace)
-            breakdown = spade.breakdown()
+            spade = table.get(model=name, simulator="SPADE.HE")
+            breakdown = spade.extras["breakdown"]
             to_ms = 1.0 / (SPADE_HE.clock_ghz * 1e6)
             rows.append((
                 name, "SPADE.HE",
@@ -65,15 +76,31 @@ def test_fig11ab_latency_breakdown(benchmark, traces):
 
 def test_fig11c_ops_savings_vs_speedup(benchmark, traces):
     def run():
+        models = list(SPARSE_MODELS)
+        models += sorted({dense_counterpart(name) for name in SPARSE_MODELS})
+        runner = ExperimentRunner(
+            simulators=[SpadeSimulator(SPADE_HE), SpadeSimulator(SPADE_LE),
+                        DenseAccSimulator(SPADE_HE),
+                        DenseAccSimulator(SPADE_LE)],
+            models=models,
+            trace_provider=lambda scenario, name: traces(name),
+            # Only the cells the figure reads: SPADE on sparse models,
+            # DenseAcc on their dense counterparts.
+            cell_filter=lambda scenario, model, simulator: (
+                (model in SPARSE_MODELS)
+                == simulator.name.startswith("SPADE")
+            ),
+        )
+        table = runner.run()
         rows = []
         for name in SPARSE_MODELS:
-            trace = traces(name)
-            dense_trace = traces(dense_counterpart(name))
-            savings = trace.savings_vs(dense_trace)
+            savings = traces(name).savings_vs(traces(dense_counterpart(name)))
             for config in (SPADE_HE, SPADE_LE):
-                spade = SpadeAccelerator(config).run_trace(trace)
-                dense = DenseAccelerator(config).run_trace(dense_trace)
-                speedup = dense.total_cycles / spade.total_cycles
+                spade = table.get(model=name,
+                                  simulator=f"SPADE.{config.name}")
+                dense = table.get(model=dense_counterpart(name),
+                                  simulator=f"DenseAcc.{config.name}")
+                speedup = dense.cycles / spade.cycles
                 ops_ratio = 1.0 / (1.0 - savings)
                 rows.append((config.name, name, ops_ratio, speedup,
                              speedup / ops_ratio))

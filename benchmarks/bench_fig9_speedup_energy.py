@@ -4,6 +4,9 @@ HE vs A6000 / 2080Ti / Jetson-NX on all seven sparse models; LE vs
 Xeon / Jetson Nano.  Paper averages (HE): 3.5x / 4.1x / 28.8x speedup and
 349.8x / 349.3x / 84.6x energy savings; overall ranges 1.1-77.6x speedup,
 48.8-1117.8x energy savings.
+
+The sweep runs through the unified engine: one ExperimentRunner grid of
+models x (SPADE + platforms), all sharing the session trace cache.
 """
 
 from __future__ import annotations
@@ -11,20 +14,27 @@ from __future__ import annotations
 import numpy as np
 
 from repro.analysis import format_table
-from repro.baselines import HIGH_END_PLATFORMS, LOW_END_PLATFORMS, PlatformModel
-from repro.core import SPADE_HE, SPADE_LE, SpadeAccelerator
+from repro.baselines import HIGH_END_PLATFORMS, LOW_END_PLATFORMS
+from repro.core import SPADE_HE, SPADE_LE
+from repro.engine import ExperimentRunner, PlatformSim, SpadeSimulator
 from repro.models import SPARSE_MODELS
 
 
 def _compare(traces, config, platforms):
-    accelerator = SpadeAccelerator(config)
+    runner = ExperimentRunner(
+        simulators=[SpadeSimulator(config)]
+        + [PlatformSim(platform) for platform in platforms],
+        models=list(SPARSE_MODELS),
+        trace_provider=lambda scenario, name: traces(name),
+    )
+    table = runner.run()
+    spade_name = f"SPADE.{config.name}"
     rows = []
     for name in SPARSE_MODELS:
-        trace = traces(name)
-        spade = accelerator.run_trace(trace)
+        spade = table.get(model=name, simulator=spade_name)
         row = [name, spade.latency_ms, spade.fps]
         for platform in platforms:
-            result = PlatformModel(platform).run_trace(trace)
+            result = table.get(model=name, simulator=platform.name)
             row.append(result.latency_ms / spade.latency_ms)
             row.append(result.energy_mj / spade.energy_mj)
         rows.append(tuple(row))

@@ -17,7 +17,7 @@ from repro.data import (
     nuscenes_scene_config,
     voxelize,
 )
-from repro.analysis import trace_model
+from repro.engine import TraceCache
 from repro.models import TABLE1_MODELS, build_model_spec, grid_for
 
 
@@ -50,18 +50,25 @@ def frame_for(kitti_frame, nuscenes_frames):
 
 
 @pytest.fixture(scope="session")
-def traces(frame_for):
-    """Geometric traces of every Table I model on its benchmark frame."""
-    cache = {}
+def trace_cache():
+    """One content-keyed trace cache shared by the whole bench session."""
+    return TraceCache()
+
+
+@pytest.fixture(scope="session")
+def traces(frame_for, trace_cache):
+    """Geometric traces of every Table I model on its benchmark frame.
+
+    Rulegen runs once per (model, frame) across every benchmark file in
+    the session — the engine's :class:`TraceCache` dedupes by content.
+    """
 
     def lookup(model_name):
-        if model_name not in cache:
-            frame = frame_for(model_name)
-            cache[model_name] = trace_model(
-                build_model_spec(model_name),
-                frame.coords,
-                frame.point_counts.astype(float),
-            )
-        return cache[model_name]
+        frame = frame_for(model_name)
+        return trace_cache.get_trace(
+            build_model_spec(model_name),
+            frame.coords,
+            frame.point_counts.astype(float),
+        )
 
     return lookup

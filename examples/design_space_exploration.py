@@ -2,25 +2,21 @@
 
 A hardware architect adopting SPADE would sweep the microarchitecture:
 PE array size, buffer capacities, and the dataflow optimizations.  This
-example evaluates a grid of configurations on the SPP2 workload and
-prints latency / energy / area / efficiency so the Pareto frontier is
-visible — including the paper's HE and LE design points.
+example declares the whole sweep as one engine grid — ten simulator
+variants on the SPP2 workload — and lets the
+:class:`~repro.engine.ExperimentRunner` trace the frame once and fan the
+configurations out over worker threads.  The printed table shows
+latency / energy / area / efficiency so the Pareto frontier is visible,
+including the paper's HE and LE design points.
 
 Run:  python examples/design_space_exploration.py
 """
 
 from dataclasses import replace
 
-from repro.analysis import format_table, trace_model
-from repro.core import (
-    SPADE_HE,
-    SPADE_LE,
-    SpadeAccelerator,
-    SpadeConfig,
-    accelerator_area,
-)
-from repro.data import KITTI_GRID, KITTI_SCENE, SceneGenerator, voxelize
-from repro.models import build_model_spec
+from repro.analysis import format_table
+from repro.core import SPADE_HE, SPADE_LE, SpadeConfig, accelerator_area
+from repro.engine import ExperimentRunner, Scenario, SpadeSimulator
 
 
 def candidate_configs():
@@ -40,28 +36,36 @@ def candidate_configs():
 
 
 def main():
-    sweep = SceneGenerator(KITTI_SCENE, seed=3).generate()
-    batch = voxelize(sweep, KITTI_GRID)
-    trace = trace_model(build_model_spec("SPP2"), batch.coords,
-                        batch.point_counts.astype(float))
-
-    rows = []
+    variants = []
     for label, config in candidate_configs():
         for optimize in (True, False):
-            result = SpadeAccelerator(config, optimize=optimize).run_trace(
-                trace
+            name = label + ("" if optimize else " (no opt)")
+            variants.append(
+                (name, config,
+                 SpadeSimulator(config, optimize=optimize, name=name))
             )
-            area = accelerator_area(config).total_mm2
-            rows.append((
-                label + ("" if optimize else " (no opt)"),
-                config.peak_tops,
-                result.latency_ms,
-                result.fps,
-                result.energy_mj,
-                area,
-                result.fps / area,
-                result.utilization(config),
-            ))
+
+    runner = ExperimentRunner(
+        simulators=[simulator for _, _, simulator in variants],
+        models=["SPP2"],
+        scenarios=[Scenario("kitti-dse", seed=3)],
+    )
+    table = runner.run()  # one trace, ten configs, parallel fan-out
+
+    rows = []
+    for name, config, _ in variants:
+        result = table.get(model="SPP2", simulator=name)
+        area = accelerator_area(config).total_mm2
+        rows.append((
+            name,
+            config.peak_tops,
+            result.latency_ms,
+            result.fps,
+            result.energy_mj,
+            area,
+            result.fps / area,
+            result.utilization,
+        ))
 
     print(format_table(
         ["config", "peak TOPS", "latency ms", "FPS", "energy mJ",

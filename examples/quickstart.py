@@ -6,49 +6,70 @@ and the ideal dense accelerator — printing the computation savings,
 latency, FPS and energy, which is the paper's headline result in
 miniature.
 
+Everything drives through the unified engine: one
+:class:`~repro.engine.ExperimentRunner` grid owns frame generation, the
+trace cache (rulegen runs once per model) and both simulators.
+
 Run:  python examples/quickstart.py
 """
 
-from repro.analysis import compute_savings, format_table
-from repro.core import SPADE_HE, DenseAccelerator, SpadeAccelerator
-from repro.data import KITTI_GRID, KITTI_SCENE, SceneGenerator, voxelize
+from repro.analysis import format_table
+from repro.core import SPADE_HE
+from repro.engine import (
+    DenseAccSimulator,
+    ExperimentRunner,
+    Scenario,
+    SpadeSimulator,
+)
 
 
 def main():
-    print("1. Generating a synthetic 64-beam LiDAR sweep...")
-    sweep = SceneGenerator(KITTI_SCENE, seed=42).generate()
-    print(f"   {len(sweep)} points, {len(sweep.boxes)} objects")
+    scenario = Scenario("kitti-demo", seed=42)
+    runner = ExperimentRunner(
+        simulators=[SpadeSimulator(SPADE_HE), DenseAccSimulator(SPADE_HE)],
+        models=["SPP2", "PP"],
+        scenarios=[scenario],
+        # Only the two cells the story needs: SPADE runs the sparse
+        # model, the ideal dense accelerator runs its dense counterpart.
+        cell_filter=lambda scenario, model, simulator: (
+            (model == "SPP2") == simulator.name.startswith("SPADE")
+        ),
+    )
 
-    print("2. Encoding pillars on the KITTI grid (432 x 496)...")
-    batch = voxelize(sweep, KITTI_GRID)
+    print("1. Generating a synthetic 64-beam LiDAR sweep and encoding "
+          "pillars on the KITTI grid (432 x 496)...")
+    batch = runner.frame_provider.frame_for(scenario, "SPP2")
     print(f"   {batch.num_active} active pillars "
           f"({100 * batch.occupancy:.2f}% of the grid — "
           f"{100 * (1 - batch.occupancy):.1f}% are zero vectors)")
 
-    print("3. Tracing SPP2 (PointPillars + SpConv-P dynamic pruning)...")
-    trace, dense_trace, savings = compute_savings(
-        "SPP2", batch.coords, batch.point_counts.astype(float)
-    )
+    print("2. Tracing SPP2 (PointPillars + SpConv-P dynamic pruning) "
+          "and its dense counterpart...")
+    trace = runner.trace_for(scenario, "SPP2")
+    dense_trace = runner.trace_for(scenario, "PP")
+    savings = trace.savings_vs(dense_trace)
     print(f"   dense PP: {dense_trace.total_ops / 1e9:.1f} GOPs, "
           f"SPP2: {trace.total_ops / 1e9:.1f} GOPs "
           f"-> {100 * savings:.1f}% computation savings")
 
-    print("4. Simulating SPADE.HE (64x64 systolic array, 8 TOPS)...")
-    spade = SpadeAccelerator(SPADE_HE).run_trace(trace)
-    dense = DenseAccelerator(SPADE_HE).run_trace(dense_trace)
+    print("3. Running the engine grid (SPADE on SPP2, DenseAcc on PP, "
+          "traces served from the cache)...")
+    table = runner.run()
+    spade = table.get(model="SPP2", simulator="SPADE.HE")
+    dense = table.get(model="PP", simulator="DenseAcc.HE")
 
     rows = [
         ("SPADE.HE on SPP2", spade.latency_ms, spade.fps,
-         spade.energy_mj, spade.utilization(SPADE_HE)),
+         spade.energy_mj, spade.utilization),
         ("DenseAcc.HE on PP", dense.latency_ms, dense.fps,
-         dense.energy_mj, dense.utilization(SPADE_HE)),
+         dense.energy_mj, dense.utilization),
     ]
     print()
     print(format_table(
         ["accelerator", "latency ms", "FPS", "energy mJ", "utilization"],
         rows,
     ))
-    print(f"\nSpeedup {dense.total_cycles / spade.total_cycles:.2f}x, "
+    print(f"\nSpeedup {dense.cycles / spade.cycles:.2f}x, "
           f"energy savings {dense.energy_mj / spade.energy_mj:.2f}x — "
           f"proportional to the {100 * savings:.0f}% sparsity, "
           f"which is the point of the paper.")

@@ -9,7 +9,9 @@ Package layout:
 * :mod:`repro.hw`        — DRAM/SRAM/cache/sorter/hash substrates;
 * :mod:`repro.core`      — the SPADE accelerator simulator (RGU/GSU/MXU);
 * :mod:`repro.baselines` — SpConv2D-Acc, PointAcc, GPU/CPU/Jetson models;
-* :mod:`repro.analysis`  — sparsity traces, trade-off studies, reports.
+* :mod:`repro.analysis`  — sparsity traces, trade-off studies, reports;
+* :mod:`repro.engine`    — unified Simulator interface, trace cache, and
+  the parallel multi-scenario experiment runner.
 """
 
 __version__ = "1.0.0"

@@ -1,6 +1,11 @@
 """Sparsity analysis, trade-off studies and experiment reporting."""
 
-from .report import format_series, format_table, paper_vs_measured
+from .report import (
+    format_results,
+    format_series,
+    format_table,
+    paper_vs_measured,
+)
 from .sparsity import (
     LayerTrace,
     ModelTrace,
@@ -30,6 +35,7 @@ __all__ = [
     "compute_savings",
     "dense_counterpart",
     "feature_map_study",
+    "format_results",
     "format_series",
     "format_table",
     "iopr_series",

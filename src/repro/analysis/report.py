@@ -54,6 +54,29 @@ def format_series(name: str, points: list, x_label: str = "x",
     return format_table([x_label, y_label], rows, title=name)
 
 
+def format_results(results, columns=None, title: str = "") -> str:
+    """Render an engine result table (or list of SimResults) as text.
+
+    This is the tidy-table consumer for
+    :class:`repro.engine.result.ExperimentTable`: pick the columns you
+    care about and get the same fixed-width artifact every benchmark
+    prints.  ``None`` metrics (a simulator that doesn't model the
+    quantity) render as ``"-"``.
+    """
+    if columns is None:
+        from ..engine.result import RESULT_COLUMNS
+
+        columns = RESULT_COLUMNS
+    rows = [
+        tuple(
+            "-" if value is None else value
+            for value in result.as_row(columns)
+        )
+        for result in results
+    ]
+    return format_table(list(columns), rows, title=title)
+
+
 def paper_vs_measured(experiment: str, rows: list) -> str:
     """Standard paper-vs-measured table: (label, paper, measured) rows."""
     return format_table(

@@ -95,7 +95,7 @@ class PlatformResult:
 
     @property
     def fps(self) -> float:
-        return 1e3 / self.latency_ms if self.latency_ms else float("inf")
+        return 1e3 / self.latency_ms if self.latency_ms else 0.0
 
     @property
     def energy_mj(self) -> float:

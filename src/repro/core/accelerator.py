@@ -8,7 +8,8 @@ DenseAcc baseline lives in :mod:`repro.core.dense`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import Counter
+from dataclasses import dataclass, field, replace
 
 from ..analysis.sparsity import LayerTrace, ModelTrace
 from ..models.specs import LayerOp
@@ -34,10 +35,28 @@ class ModelResult:
     accelerator: str
     layers: list = field(default_factory=list)
     clock_ghz: float = 1.0
+    _aggregates: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def _aggregate(self, key, compute):
+        """Memoized per-model aggregate, recomputed if layers were added.
+
+        Aggregates are accessed many times per result (every metric of
+        the unified schema, every table row), so they are computed once
+        and invalidated by layer count — layers are append-only.
+        """
+        count = len(self.layers)
+        cached = self._aggregates.get(key)
+        if cached is None or cached[0] != count:
+            cached = (count, compute())
+            self._aggregates[key] = cached
+        return cached[1]
 
     @property
     def total_cycles(self) -> int:
-        return sum(layer.schedule.total_cycles for layer in self.layers)
+        return self._aggregate(
+            "cycles",
+            lambda: sum(layer.schedule.total_cycles for layer in self.layers),
+        )
 
     @property
     def latency_ms(self) -> float:
@@ -45,22 +64,32 @@ class ModelResult:
 
     @property
     def fps(self) -> float:
-        return 1e3 / self.latency_ms if self.total_cycles else float("inf")
+        return 1e3 / self.latency_ms if self.total_cycles else 0.0
 
     @property
     def total_macs(self) -> int:
-        return sum(layer.schedule.macs for layer in self.layers)
+        return self._aggregate(
+            "macs", lambda: sum(layer.schedule.macs for layer in self.layers)
+        )
 
     @property
     def total_dram_bytes(self) -> int:
-        return sum(layer.schedule.dram_bytes for layer in self.layers)
+        return self._aggregate(
+            "dram",
+            lambda: sum(layer.schedule.dram_bytes for layer in self.layers),
+        )
 
-    @property
-    def energy(self) -> EnergyBreakdown:
+    def _sum_energy(self) -> EnergyBreakdown:
         total = EnergyBreakdown()
         for layer in self.layers:
             total.add(layer.energy)
         return total
+
+    @property
+    def energy(self) -> EnergyBreakdown:
+        # Copy so callers mutating the returned breakdown (e.g. via
+        # ``add``) cannot corrupt the cache.
+        return replace(self._aggregate("energy", self._sum_energy))
 
     @property
     def energy_mj(self) -> float:
@@ -74,11 +103,13 @@ class ModelResult:
 
     def breakdown(self) -> dict:
         """Summed instruction breakdown across layers (cycles)."""
-        total = {}
-        for layer in self.layers:
-            for key, value in layer.schedule.breakdown.items():
-                total[key] = total.get(key, 0) + value
-        return total
+        def compute():
+            total = Counter()
+            for layer in self.layers:
+                total.update(layer.schedule.breakdown)
+            return dict(total)
+
+        return dict(self._aggregate("breakdown", compute))
 
 
 class SpadeAccelerator:

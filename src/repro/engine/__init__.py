@@ -1,0 +1,58 @@
+"""Unified simulation engine: one seam for every simulator in the repo.
+
+* :mod:`repro.engine.result`     — the common :class:`SimResult` schema
+  and the tidy :class:`ExperimentTable`;
+* :mod:`repro.engine.simulators` — adapters wrapping SPADE, DenseAcc,
+  PointAcc, SpConv2D-Acc and the platform models behind one
+  :class:`Simulator` interface;
+* :mod:`repro.engine.cache`      — the content-keyed :class:`TraceCache`
+  (rulegen once per (model, frame), shared across simulators and runs);
+* :mod:`repro.engine.runner`     — the parallel multi-scenario
+  :class:`ExperimentRunner`.
+"""
+
+from .cache import (
+    TraceCache,
+    frame_fingerprint,
+    shared_trace_cache,
+    spec_fingerprint,
+)
+from .result import RESULT_COLUMNS, ExperimentTable, SimResult
+from .runner import (
+    DEFAULT_SCENARIO,
+    ExperimentRunner,
+    FrameProvider,
+    Scenario,
+)
+from .simulators import (
+    DenseAccSimulator,
+    PlatformSim,
+    PointAccSim,
+    Simulator,
+    SpConv2DSim,
+    SpadeSimulator,
+    build_simulator,
+    resolve_simulators,
+)
+
+__all__ = [
+    "DEFAULT_SCENARIO",
+    "RESULT_COLUMNS",
+    "DenseAccSimulator",
+    "ExperimentRunner",
+    "ExperimentTable",
+    "FrameProvider",
+    "PlatformSim",
+    "PointAccSim",
+    "Scenario",
+    "SimResult",
+    "Simulator",
+    "SpConv2DSim",
+    "SpadeSimulator",
+    "TraceCache",
+    "build_simulator",
+    "frame_fingerprint",
+    "resolve_simulators",
+    "shared_trace_cache",
+    "spec_fingerprint",
+]

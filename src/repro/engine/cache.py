@@ -1,0 +1,166 @@
+"""Content-keyed trace cache: rulegen runs once per (model, frame).
+
+Rule generation is the hot path of every experiment in this repo: tracing
+a model geometrically (:func:`repro.analysis.sparsity.trace_model`) runs
+:func:`repro.sparse.rulegen.build_rules` for every sparse layer, and the
+historical benchmarks re-did that work per benchmark file, per repeat,
+and per simulator.  :class:`TraceCache` memoizes the finished
+:class:`~repro.analysis.sparsity.ModelTrace` under a content key — a
+digest of the model's layer graph and the frame's exact active set — so
+any number of simulators, sweeps and repeats share one trace.
+
+The cache is thread-safe and duplicate-suppressing: when parallel workers
+request the same key simultaneously, exactly one computes and the rest
+wait for its result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+import numpy as np
+
+from ..analysis.sparsity import ModelTrace, trace_model
+from ..models.specs import ModelSpec
+
+
+def spec_fingerprint(spec: ModelSpec) -> str:
+    """Deterministic digest of a model's layer graph.
+
+    Two specs with the same layers produce the same fingerprint even if
+    they are distinct objects; any change to channels, kernel, stride,
+    conv type, pruning or ordering changes it.
+    """
+    parts = [spec.name, spec.base, spec.grid.name, str(spec.grid.shape)]
+    for layer in spec.layers:
+        parts.append(
+            "|".join(
+                str(value)
+                for value in (
+                    layer.name,
+                    layer.op.value,
+                    layer.conv_type.value if layer.conv_type else "-",
+                    layer.in_channels,
+                    layer.out_channels,
+                    layer.kernel_size,
+                    layer.stride,
+                    layer.upsample,
+                    layer.prune_keep,
+                    layer.stage,
+                )
+            )
+        )
+    return hashlib.sha1("\n".join(parts).encode()).hexdigest()
+
+
+def frame_fingerprint(coords: np.ndarray, importance: np.ndarray = None,
+                      grid_shape: tuple = None) -> str:
+    """Digest of one frame's exact active set (+ importance values)."""
+    digest = hashlib.sha1()
+    coords = np.ascontiguousarray(np.asarray(coords, dtype=np.int32))
+    digest.update(coords.tobytes())
+    digest.update(str(coords.shape).encode())
+    if importance is not None:
+        importance = np.ascontiguousarray(
+            np.asarray(importance, dtype=np.float64)
+        )
+        digest.update(importance.tobytes())
+    if grid_shape is not None:
+        digest.update(str(tuple(grid_shape)).encode())
+    return digest.hexdigest()
+
+
+class TraceCache:
+    """Thread-safe, content-keyed memoization of :func:`trace_model`.
+
+    Args:
+        maxsize: Optional entry cap; the oldest entry is evicted first
+            (insertion order — traces are immutable once built, so plain
+            FIFO keeps the implementation obvious).
+    """
+
+    def __init__(self, maxsize: int = None):
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._entries = {}
+        self._inflight = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def key_for(self, spec: ModelSpec, coords: np.ndarray,
+                importance: np.ndarray = None,
+                grid_shape: tuple = None) -> str:
+        return (
+            spec_fingerprint(spec)
+            + ":"
+            + frame_fingerprint(coords, importance, grid_shape)
+        )
+
+    def get_trace(self, spec: ModelSpec, coords: np.ndarray,
+                  importance: np.ndarray = None,
+                  grid_shape: tuple = None) -> ModelTrace:
+        """The traced model for this exact (spec, frame), computing once.
+
+        Concurrent callers with the same key block on the first caller's
+        computation instead of duplicating it.
+        """
+        key = self.key_for(spec, coords, importance, grid_shape)
+        while True:
+            with self._lock:
+                if key in self._entries:
+                    self.hits += 1
+                    return self._entries[key]
+                event = self._inflight.get(key)
+                if event is None:
+                    # We are the computing thread.
+                    self._inflight[key] = threading.Event()
+                    break
+            # Another thread is computing this key; wait and re-check.
+            event.wait()
+        try:
+            trace = trace_model(spec, coords, importance,
+                                grid_shape=grid_shape)
+        except BaseException:
+            with self._lock:
+                self._inflight.pop(key).set()
+            raise
+        with self._lock:
+            self.misses += 1
+            self._entries[key] = trace
+            if self.maxsize is not None:
+                while len(self._entries) > self.maxsize:
+                    oldest = next(iter(self._entries))
+                    del self._entries[oldest]
+            self._inflight.pop(key).set()
+        return trace
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }
+
+
+#: The shared cache is bounded: each ModelTrace retains per-layer rule
+#: arrays (tens of MB on the fine nuScenes grids), so an open-ended
+#: multi-frame sweep through the default cache must not grow forever.
+#: Sweeps that want full retention pass their own ``TraceCache()``.
+_SHARED = TraceCache(maxsize=32)
+
+
+def shared_trace_cache() -> TraceCache:
+    """The process-wide default cache (used when a runner gets none)."""
+    return _SHARED

@@ -1,0 +1,153 @@
+"""The unified simulation result schema.
+
+Every simulator family in the repo — SPADE, DenseAcc, PointAcc,
+SpConv2D-Acc, the analytic platform models — historically returned its
+own result type.  :class:`SimResult` is the common denominator all of
+them adapt to: one flat record per (scenario, model, simulator) run with
+the metrics every consumer (benchmarks, reports, sweeps) asks for, plus
+a per-layer breakdown and the untouched legacy result for clients that
+need simulator-specific detail.
+
+Metrics a simulator cannot produce are ``None`` (e.g. the analytic
+platform models have no cycle count; SpConv2D-Acc has no energy model),
+never fabricated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Canonical column order for tabular output.
+RESULT_COLUMNS = (
+    "scenario",
+    "model",
+    "simulator",
+    "cycles",
+    "latency_ms",
+    "fps",
+    "energy_mj",
+    "dram_bytes",
+    "utilization",
+)
+
+
+@dataclass
+class SimResult:
+    """One simulator's outcome on one traced model frame.
+
+    Attributes:
+        simulator: Simulator display name (``"SPADE.HE"``, ``"A6000"`` ...).
+        model: Table I model tag the trace came from.
+        scenario: Scenario label the frame came from.
+        cycles: Total core cycles, or ``None`` for analytic models.
+        latency_ms: End-to-end frame latency.
+        fps: Frames per second (``0.0`` for an empty frame).
+        energy_mj: Frame energy, or ``None`` when the simulator has no
+            energy model.
+        dram_bytes: Off-chip traffic, or ``None`` when not modelled.
+        utilization: PE-array utilization in [0, 1], or ``None``.
+        per_layer: One dict per executed layer (keys vary by simulator
+            family but always include ``"name"``).
+        extras: Simulator-specific aggregates (instruction breakdown,
+            phase split, energy components, ...).
+        raw: The legacy result object the adapter wrapped, for consumers
+            that need the full simulator-specific API.
+    """
+
+    simulator: str
+    model: str
+    scenario: str = "default"
+    cycles: int = None
+    latency_ms: float = None
+    fps: float = None
+    energy_mj: float = None
+    dram_bytes: int = None
+    utilization: float = None
+    per_layer: list = field(default_factory=list)
+    extras: dict = field(default_factory=dict)
+    raw: object = field(default=None, repr=False, compare=False)
+
+    def as_row(self, columns=RESULT_COLUMNS) -> tuple:
+        """The record as a tuple in ``columns`` order (for tables)."""
+        return tuple(getattr(self, column) for column in columns)
+
+    def as_dict(self, columns=RESULT_COLUMNS) -> dict:
+        """The record as a plain dict (for JSON serialization)."""
+        return {column: getattr(self, column) for column in columns}
+
+
+@dataclass
+class ExperimentTable:
+    """Tidy collection of :class:`SimResult` rows from one runner sweep.
+
+    Row order is deterministic — scenarios x models x simulators in the
+    order the runner was configured — regardless of which parallel worker
+    finished first.
+    """
+
+    results: list = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def filter(self, scenario: str = None, model: str = None,
+               simulator: str = None) -> "ExperimentTable":
+        """Sub-table matching every given label."""
+        kept = [
+            result
+            for result in self.results
+            if (scenario is None or result.scenario == scenario)
+            and (model is None or result.model == model)
+            and (simulator is None or result.simulator == simulator)
+        ]
+        return ExperimentTable(results=kept)
+
+    def get(self, scenario: str = None, model: str = None,
+            simulator: str = None) -> SimResult:
+        """The single row matching the given labels.
+
+        Raises:
+            KeyError: when zero or more than one row matches.
+        """
+        matches = self.filter(scenario, model, simulator).results
+        if len(matches) != 1:
+            raise KeyError(
+                f"expected exactly one result for scenario={scenario!r} "
+                f"model={model!r} simulator={simulator!r}, "
+                f"found {len(matches)}"
+            )
+        return matches[0]
+
+    def column(self, name: str) -> list:
+        """All values of one metric, in row order."""
+        return [getattr(result, name) for result in self.results]
+
+    def rows(self, columns=RESULT_COLUMNS) -> list:
+        """Row tuples for :func:`repro.analysis.report.format_table`."""
+        return [result.as_row(columns) for result in self.results]
+
+    def as_dicts(self, columns=RESULT_COLUMNS) -> list:
+        return [result.as_dict(columns) for result in self.results]
+
+    @property
+    def scenarios(self) -> list:
+        return _unique(result.scenario for result in self.results)
+
+    @property
+    def models(self) -> list:
+        return _unique(result.model for result in self.results)
+
+    @property
+    def simulators(self) -> list:
+        return _unique(result.simulator for result in self.results)
+
+
+def _unique(values) -> list:
+    seen = []
+    for value in values:
+        if value not in seen:
+            seen.append(value)
+    return seen

@@ -1,0 +1,255 @@
+"""Parallel multi-scenario experiment runner.
+
+:class:`ExperimentRunner` executes a grid of scenarios x models x
+simulators and returns a tidy :class:`~repro.engine.result.ExperimentTable`.
+Work is organized so the expensive part — geometric tracing with rule
+generation — happens exactly once per (scenario, model) through a shared
+:class:`~repro.engine.cache.TraceCache`, no matter how many simulators
+consume the trace or how many times the grid re-runs.  Simulation then
+fans out over ``concurrent.futures`` threads (the simulators are numpy-
+bound and release the GIL in their hot loops).
+
+Frames come from a :class:`FrameProvider` — by default the repo's
+deterministic synthetic scenes, seeded per scenario — or from any
+callable the caller supplies, so benchmarks can feed their session
+fixtures straight in.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..analysis.sparsity import ModelTrace
+from ..data.pillars import voxelize
+from ..data.synthetic import KITTI_SCENE, SceneGenerator, nuscenes_scene_config
+from ..models.specs import ModelSpec, build_model_spec
+from ..models.zoo import TABLE1_PAPER, grid_for, scene_config_for
+from .cache import TraceCache, shared_trace_cache
+from .result import ExperimentTable, SimResult
+from .simulators import resolve_simulators
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One experiment condition: which frame(s) feed the models.
+
+    Attributes:
+        name: Row label in the result table.
+        seed: Scene-generator seed; different seeds are different drives
+            through the same synthetic world.
+    """
+
+    name: str = "default"
+    seed: int = 0
+
+
+DEFAULT_SCENARIO = Scenario()
+
+
+class FrameProvider:
+    """Builds and caches one pillar frame per (scenario, grid).
+
+    Models sharing a grid within a scenario share the frame — matching
+    how the benchmark suite has always fed one KITTI frame to all SPP
+    variants and one nuScenes frame to all SCP variants.  Generation is
+    serialized behind a lock so parallel trace workers cannot duplicate
+    the (expensive) scene synthesis for a shared grid.
+    """
+
+    def __init__(self):
+        self._frames = {}
+        self._inflight = {}
+        self._lock = threading.Lock()
+
+    @staticmethod
+    def _grid_and_config(model):
+        """(grid, scene config) feeding one model.
+
+        Any :class:`ModelSpec` is keyed by *its own* grid — never the
+        zoo's name lookup, which would silently pick the wrong world for
+        a custom spec (unknown names default to nuScenes, and a renamed
+        spec may carry a different grid than its namesake).  For the
+        built-in Table I specs the spec's grid and the zoo pairing are
+        identical, so the behaviour matches the published setup.  A bare
+        string must be a Table I name; anything else has no grid at all
+        and is rejected rather than guessed.
+        """
+        if isinstance(model, ModelSpec):
+            grid = model.grid
+            if grid.name == "kitti":
+                return grid, KITTI_SCENE
+            return grid, nuscenes_scene_config(grid)
+        if model not in TABLE1_PAPER:
+            raise KeyError(
+                f"unknown model name {model!r}: pass a ModelSpec (its grid "
+                f"decides the frame) or one of {sorted(TABLE1_PAPER)}"
+            )
+        return grid_for(model), scene_config_for(model)
+
+    def frame_for(self, scenario: Scenario, model):
+        """The (cached) pillar frame for one model under one scenario.
+
+        ``model`` is a Table I name or a :class:`ModelSpec`.  Concurrent
+        callers for the same key wait on the first builder instead of
+        duplicating the scene synthesis; builds for distinct keys run
+        concurrently.
+        """
+        grid, scene_config = self._grid_and_config(model)
+        key = (scenario.name, scenario.seed, grid.name)
+        while True:
+            with self._lock:
+                if key in self._frames:
+                    return self._frames[key]
+                event = self._inflight.get(key)
+                if event is None:
+                    self._inflight[key] = threading.Event()
+                    break
+            event.wait()
+        try:
+            generator = SceneGenerator(scene_config, seed=scenario.seed)
+            frame = voxelize(generator.generate(), grid)
+        except BaseException:
+            with self._lock:
+                self._inflight.pop(key).set()
+            raise
+        with self._lock:
+            self._frames[key] = frame
+            self._inflight.pop(key).set()
+        return frame
+
+
+class ExperimentRunner:
+    """Run every (scenario, model, simulator) combination of a grid.
+
+    Args:
+        simulators: :class:`~repro.engine.simulators.Simulator` instances
+            or spec strings accepted by
+            :func:`~repro.engine.simulators.build_simulator`.
+        models: Table I model names or :class:`ModelSpec` instances.
+        scenarios: Experiment conditions; defaults to one seed-0 scenario.
+        cache: Trace cache to share; defaults to the process-wide cache.
+        trace_provider: Optional ``(scenario, model_name) -> ModelTrace``
+            override that bypasses frame generation entirely (used by the
+            benchmark suite to feed its session-scoped traces).
+        frame_provider: Optional frame source; ignored when
+            ``trace_provider`` is given.
+        cell_filter: Optional ``(scenario, model_name, simulator) -> bool``
+            predicate; cells returning ``False`` are skipped entirely
+            (not traced, not simulated, absent from the table).  Use it
+            when only some model/simulator pairings of a grid are
+            meaningful — e.g. SPADE on sparse models but DenseAcc on
+            their dense counterparts.
+        max_workers: Thread-pool width for parallel runs.
+    """
+
+    def __init__(self, simulators, models, scenarios=None,
+                 cache: TraceCache = None, trace_provider=None,
+                 frame_provider: FrameProvider = None,
+                 cell_filter=None, max_workers: int = None):
+        self.simulators = resolve_simulators(simulators)
+        self.models = list(models)
+        self.scenarios = list(scenarios) if scenarios else [DEFAULT_SCENARIO]
+        names = [scenario.name for scenario in self.scenarios]
+        if len(set(names)) != len(names):
+            raise ValueError(
+                f"scenario names must be unique (table rows are looked up "
+                f"by name), got {names}"
+            )
+        model_names = [self._model_name(model) for model in self.models]
+        if len(set(model_names)) != len(model_names):
+            raise ValueError(
+                f"model names must be unique (traces and table rows are "
+                f"keyed by name), got {model_names}"
+            )
+        simulator_names = [simulator.name for simulator in self.simulators]
+        if len(set(simulator_names)) != len(simulator_names):
+            raise ValueError(
+                f"simulator names must be unique (table rows are looked "
+                f"up by name), got {simulator_names}"
+            )
+        self.cell_filter = cell_filter
+        self.cache = cache if cache is not None else shared_trace_cache()
+        self.trace_provider = trace_provider
+        self.frame_provider = frame_provider or FrameProvider()
+        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self._specs = {}
+
+    def _spec_for(self, model) -> ModelSpec:
+        if isinstance(model, ModelSpec):
+            return model
+        if model not in self._specs:
+            self._specs[model] = build_model_spec(model)
+        return self._specs[model]
+
+    @staticmethod
+    def _model_name(model) -> str:
+        return model.name if isinstance(model, ModelSpec) else model
+
+    def trace_for(self, scenario: Scenario, model) -> ModelTrace:
+        """The (cached) trace feeding one grid cell."""
+        if self.trace_provider is not None:
+            return self.trace_provider(scenario, self._model_name(model))
+        frame = self.frame_provider.frame_for(scenario, model)
+        return self.cache.get_trace(
+            self._spec_for(model),
+            frame.coords,
+            frame.point_counts.astype(float),
+        )
+
+    def run(self, parallel: bool = True) -> ExperimentTable:
+        """Execute the full grid.
+
+        Args:
+            parallel: Fan out over a thread pool; ``False`` runs the same
+                jobs serially (identical results, useful for debugging
+                and for measuring the parallel speedup).
+
+        Returns:
+            An :class:`ExperimentTable` in deterministic
+            scenarios x models x simulators order.
+        """
+        sim_jobs = [
+            (scenario, model, simulator)
+            for scenario in self.scenarios
+            for model in self.models
+            for simulator in self.simulators
+            if self.cell_filter is None
+            or self.cell_filter(scenario, self._model_name(model), simulator)
+        ]
+
+        # Trace only the (scenario, model) pairs some simulator consumes,
+        # each exactly once.  Scenarios key by identity (frozen dataclass),
+        # so distinct seeds never collide.
+        trace_jobs = []
+        for scenario, model, _ in sim_jobs:
+            if (scenario, model) not in trace_jobs:
+                trace_jobs.append((scenario, model))
+        if parallel and self.max_workers > 1 and len(trace_jobs) > 1:
+            with ThreadPoolExecutor(self.max_workers) as pool:
+                traces = list(pool.map(
+                    lambda job: self.trace_for(*job), trace_jobs
+                ))
+        else:
+            traces = [self.trace_for(*job) for job in trace_jobs]
+        trace_of = {
+            (scenario, self._model_name(model)): trace
+            for (scenario, model), trace in zip(trace_jobs, traces)
+        }
+
+        def execute(job) -> SimResult:
+            scenario, model, simulator = job
+            result = simulator.run(
+                trace_of[(scenario, self._model_name(model))]
+            )
+            result.scenario = scenario.name
+            return result
+
+        if parallel and self.max_workers > 1 and len(sim_jobs) > 1:
+            with ThreadPoolExecutor(self.max_workers) as pool:
+                results = list(pool.map(execute, sim_jobs))
+        else:
+            results = [execute(job) for job in sim_jobs]
+        return ExperimentTable(results=results)

@@ -1,0 +1,291 @@
+"""Adapters putting every simulator family behind one interface.
+
+A :class:`Simulator` consumes a :class:`~repro.analysis.sparsity.ModelTrace`
+(one frame's per-layer rules and counts) and returns a
+:class:`~repro.engine.result.SimResult`.  The adapters wrap the legacy
+simulators without changing their numbers: each one calls the same code
+the pre-engine benchmarks called directly and copies the outcome into the
+unified schema, keeping the original result object in ``SimResult.raw``.
+
+``build_simulator`` turns short spec strings ("spade-he", "dense-le",
+"pointacc-he", "spconv2d", "platform:A6000") into configured instances so
+experiment grids can be declared as plain data.
+"""
+
+from __future__ import annotations
+
+from ..analysis.sparsity import ModelTrace
+from ..baselines.platforms import (
+    HIGH_END_PLATFORMS,
+    LOW_END_PLATFORMS,
+    PlatformModel,
+    PlatformSpec,
+)
+from ..baselines.pointacc import PointAccSimulator
+from ..baselines.spconv2d_acc import SpConv2DAccModel
+from ..core.accelerator import ModelResult, SpadeAccelerator
+from ..core.config import SPADE_HE, SPADE_LE, SpadeConfig
+from ..core.dense import DenseAccelerator
+from .result import SimResult
+
+
+class Simulator:
+    """Interface every engine simulator implements.
+
+    Attributes:
+        name: Stable display name; the runner uses it as the row label.
+    """
+
+    name: str = "simulator"
+
+    def run(self, trace: ModelTrace) -> SimResult:
+        raise NotImplementedError
+
+
+def _cycles_to_ms(cycles: int, clock_ghz: float) -> float:
+    return cycles / (clock_ghz * 1e9) * 1e3
+
+
+def _fps(latency_ms: float) -> float:
+    return 1e3 / latency_ms if latency_ms else 0.0
+
+
+def _from_model_result(simulator_name: str, result: ModelResult,
+                       config: SpadeConfig) -> SimResult:
+    """SPADE and DenseAcc share :class:`ModelResult`; adapt it once."""
+    per_layer = [
+        {
+            "name": layer.trace.spec.name,
+            "cycles": layer.schedule.total_cycles,
+            "macs": layer.schedule.macs,
+            "dram_bytes": layer.schedule.dram_bytes,
+            "energy_pj": layer.energy.total_pj,
+        }
+        for layer in result.layers
+    ]
+    return SimResult(
+        simulator=simulator_name,
+        model=result.model_name,
+        cycles=result.total_cycles,
+        latency_ms=result.latency_ms,
+        fps=result.fps,
+        energy_mj=result.energy_mj,
+        dram_bytes=result.total_dram_bytes,
+        utilization=result.utilization(config),
+        per_layer=per_layer,
+        extras={
+            "breakdown": dict(result.breakdown()),
+            "energy_breakdown": result.energy,
+            "total_macs": result.total_macs,
+        },
+        raw=result,
+    )
+
+
+class SpadeSimulator(Simulator):
+    """The SPADE cycle simulator behind the unified interface."""
+
+    def __init__(self, config: SpadeConfig, optimize: bool = True,
+                 name: str = None):
+        self.config = config
+        self.optimize = optimize
+        self._accelerator = SpadeAccelerator(config, optimize=optimize)
+        self.name = name or (
+            f"SPADE.{config.name}" + ("" if optimize else " (no opt)")
+        )
+
+    def run(self, trace: ModelTrace) -> SimResult:
+        result = self._accelerator.run_trace(trace)
+        sim_result = _from_model_result(self.name, result, self.config)
+        return sim_result
+
+
+class DenseAccSimulator(Simulator):
+    """DenseAcc baseline: every layer of the given trace, densified."""
+
+    def __init__(self, config: SpadeConfig, name: str = None):
+        self.config = config
+        self._accelerator = DenseAccelerator(config)
+        self.name = name or f"DenseAcc.{config.name}"
+
+    def run(self, trace: ModelTrace) -> SimResult:
+        result = self._accelerator.run_trace(trace)
+        return _from_model_result(self.name, result, self.config)
+
+
+class PointAccSim(Simulator):
+    """PointAcc-style sort-based accelerator (paper Sec. IV-B4)."""
+
+    def __init__(self, config: SpadeConfig, name: str = None, **kwargs):
+        self.config = config
+        self._simulator = PointAccSimulator(config, **kwargs)
+        self.name = name or f"PointAcc.{config.name}"
+
+    def run(self, trace: ModelTrace) -> SimResult:
+        result = self._simulator.run_trace(trace)
+        latency_ms = _cycles_to_ms(result.total_cycles, self.config.clock_ghz)
+        per_layer = [
+            {
+                "name": layer.name,
+                "cycles": layer.total_cycles,
+                "mapping_cycles": layer.mapping_cycles,
+                "gather_scatter_cycles": layer.gather_scatter_cycles,
+                "mxu_cycles": layer.mxu_cycles,
+                "dram_bytes": layer.dram_bytes,
+            }
+            for layer in result.layers
+        ]
+        return SimResult(
+            simulator=self.name,
+            model=result.model_name,
+            cycles=result.total_cycles,
+            latency_ms=latency_ms,
+            fps=_fps(latency_ms),
+            energy_mj=None,            # no energy model published
+            dram_bytes=result.total_dram_bytes,
+            utilization=None,
+            per_layer=per_layer,
+            extras={"phases": result.phase_totals()},
+            raw=result,
+        )
+
+
+class SpConv2DSim(Simulator):
+    """SpConv2D-Acc (SCNN-style) baseline over the frame's sparse layers.
+
+    Dense layers carry no element-sparsity story and are skipped, exactly
+    as the legacy Fig. 2 benchmarks did; their count lands in ``extras``.
+    """
+
+    name = "SpConv2D-Acc"
+
+    def __init__(self, pe_rows: int = 16, pe_cols: int = 16,
+                 num_banks: int = 16, clock_ghz: float = 1.0,
+                 name: str = None):
+        self._model = SpConv2DAccModel(pe_rows=pe_rows, pe_cols=pe_cols,
+                                       num_banks=num_banks)
+        self.pe_rows = pe_rows
+        self.clock_ghz = clock_ghz
+        if name:
+            self.name = name
+
+    def run(self, trace: ModelTrace) -> SimResult:
+        per_layer = []
+        total_cycles = 0
+        total_macs = 0
+        weighted_util = 0.0
+        skipped_dense = 0
+        for layer in trace.layers:
+            if layer.rules is None:
+                skipped_dense += 1
+                continue
+            report = self._model.run_rules(
+                layer.rules, layer.spec.in_channels, layer.spec.out_channels
+            )
+            per_layer.append({
+                "name": layer.spec.name,
+                "cycles": report.cycles,
+                "macs": report.macs,
+                "utilization": report.utilization,
+                "bank_conflict_rate": report.bank_conflict_rate,
+            })
+            total_cycles += report.cycles
+            total_macs += report.macs
+            weighted_util += report.utilization * report.cycles
+        latency_ms = _cycles_to_ms(total_cycles, self.clock_ghz)
+        return SimResult(
+            simulator=self.name,
+            model=trace.spec.name,
+            cycles=total_cycles,
+            latency_ms=latency_ms,
+            fps=_fps(latency_ms),
+            energy_mj=None,
+            dram_bytes=None,
+            utilization=(weighted_util / total_cycles) if total_cycles
+            else None,
+            per_layer=per_layer,
+            extras={"skipped_dense_layers": skipped_dense,
+                    "total_macs": total_macs},
+            raw=None,
+        )
+
+
+class PlatformSim(Simulator):
+    """Analytic GPU / CPU / Jetson platform model."""
+
+    def __init__(self, spec: PlatformSpec, name: str = None):
+        self.spec = spec
+        self._model = PlatformModel(spec)
+        self.name = name or spec.name
+
+    def run(self, trace: ModelTrace) -> SimResult:
+        result = self._model.run_trace(trace)
+        return SimResult(
+            simulator=self.name,
+            model=result.model_name,
+            cycles=None,               # analytic model: no cycle notion
+            latency_ms=result.latency_ms,
+            fps=result.fps,
+            energy_mj=result.energy_mj,
+            dram_bytes=None,
+            utilization=None,
+            per_layer=[],
+            extras={"phases": result.phases(), "power_w": result.power_w},
+            raw=result,
+        )
+
+
+_PLATFORMS = {
+    spec.name.lower(): spec
+    for spec in HIGH_END_PLATFORMS + LOW_END_PLATFORMS
+}
+
+_CONFIGS = {"he": SPADE_HE, "le": SPADE_LE}
+
+
+def build_simulator(spec: str) -> Simulator:
+    """Instantiate a simulator from a short declarative string.
+
+    Supported forms: ``"spade-he"``, ``"spade-le"``, ``"spade-he-noopt"``,
+    ``"dense-he"``, ``"dense-le"``, ``"pointacc-he"``, ``"pointacc-le"``,
+    ``"spconv2d"``, ``"platform:A6000"`` (any platform name).
+    """
+    token = spec.strip().lower()
+    if token.startswith("platform:"):
+        platform = token.split(":", 1)[1]
+        if platform not in _PLATFORMS:
+            raise KeyError(
+                f"unknown platform {platform!r}; "
+                f"choices: {sorted(_PLATFORMS)}"
+            )
+        return PlatformSim(_PLATFORMS[platform])
+    if token == "spconv2d":
+        return SpConv2DSim()
+    parts = token.split("-")
+    family = parts[0]
+    if len(parts) >= 2 and parts[1] in _CONFIGS:
+        config = _CONFIGS[parts[1]]
+    else:
+        raise KeyError(f"simulator spec {spec!r} needs a config (he/le)")
+    if family == "spade":
+        return SpadeSimulator(config, optimize="noopt" not in parts)
+    if family == "dense":
+        return DenseAccSimulator(config)
+    if family == "pointacc":
+        return PointAccSim(config)
+    raise KeyError(f"unknown simulator family {family!r} in {spec!r}")
+
+
+def resolve_simulators(simulators) -> list:
+    """Normalize a mixed list of instances / spec strings to instances."""
+    resolved = []
+    for item in simulators:
+        if isinstance(item, str):
+            resolved.append(build_simulator(item))
+        elif isinstance(item, Simulator):
+            resolved.append(item)
+        else:
+            raise TypeError(
+                f"expected Simulator or spec string, got {type(item)!r}"
+            )
+    return resolved

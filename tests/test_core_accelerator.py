@@ -9,6 +9,7 @@ from repro.core import (
     SPADE_HE,
     SPADE_LE,
     DenseAccelerator,
+    ModelResult,
     SpadeAccelerator,
     accelerator_area,
     pointacc_like_area,
@@ -161,3 +162,45 @@ class TestModelResultAccounting:
         trace = trace_model(spec, kitti_batch.coords)
         result = SpadeAccelerator(SPADE_HE).run_trace(trace)
         assert len(result.layers) == spec.num_layers
+
+    def test_empty_result_fps_is_zero(self):
+        # Guard: an empty frame (zero cycles) must report 0 FPS, not inf.
+        empty = ModelResult(model_name="SPP2", accelerator="SPADE.HE")
+        assert empty.total_cycles == 0
+        assert empty.latency_ms == 0.0
+        assert empty.fps == 0.0
+        assert empty.energy_mj == 0.0
+        assert empty.breakdown() == {}
+
+    def test_aggregates_cached_and_invalidated(self, kitti_traces,
+                                               spade_he):
+        full = spade_he.run_trace(kitti_traces["SPP2"][0])
+        partial = ModelResult(model_name="SPP2", accelerator="SPADE.HE",
+                              clock_ghz=SPADE_HE.clock_ghz)
+        partial.layers.extend(full.layers[:3])
+        first_cycles = partial.total_cycles
+        first_energy = partial.energy.total_pj
+        # Cached: repeated access returns the same values...
+        assert partial.total_cycles == first_cycles
+        assert partial.energy.total_pj == first_energy
+        # ...and appending a layer invalidates every aggregate.
+        partial.layers.append(full.layers[3])
+        extra = full.layers[3]
+        assert partial.total_cycles == (
+            first_cycles + extra.schedule.total_cycles
+        )
+        assert partial.energy.total_pj == pytest.approx(
+            first_energy + extra.energy.total_pj
+        )
+
+    def test_energy_and_breakdown_return_copies(self, kitti_traces,
+                                                spade_he):
+        result = spade_he.run_trace(kitti_traces["SPP3"][0])
+        energy = result.energy
+        energy.add(energy)              # mutate the returned object
+        assert result.energy.total_pj == pytest.approx(
+            energy.total_pj / 2
+        )
+        breakdown = result.breakdown()
+        breakdown["mxu"] = -1
+        assert result.breakdown()["mxu"] != -1

@@ -1,0 +1,408 @@
+"""Unified engine: trace cache behaviour, parallel/serial equality,
+schema parity with the legacy per-simulator APIs, and the Table-1
+sweep-equivalence acceptance check."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import trace_model
+from repro.baselines import (
+    A6000,
+    PlatformModel,
+    PointAccSimulator,
+    SpConv2DAccModel,
+)
+from repro.core import SPADE_HE, SPADE_LE, DenseAccelerator, SpadeAccelerator
+from repro.engine import (
+    DenseAccSimulator,
+    ExperimentRunner,
+    PlatformSim,
+    PointAccSim,
+    Scenario,
+    SimResult,
+    SpadeSimulator,
+    SpConv2DSim,
+    TraceCache,
+    build_simulator,
+    frame_fingerprint,
+    spec_fingerprint,
+)
+from repro.models import TABLE1_MODELS, build_model_spec
+
+
+@pytest.fixture(scope="module")
+def spp2_trace(kitti_batch):
+    return trace_model(
+        build_model_spec("SPP2"),
+        kitti_batch.coords,
+        kitti_batch.point_counts.astype(float),
+    )
+
+
+class TestTraceCache:
+    def test_content_keyed_hit(self, kitti_batch):
+        cache = TraceCache()
+        spec = build_model_spec("SPP2")
+        importance = kitti_batch.point_counts.astype(float)
+        first = cache.get_trace(spec, kitti_batch.coords, importance)
+        # A *distinct but equal* spec object and copied arrays still hit.
+        second = cache.get_trace(
+            build_model_spec("SPP2"),
+            kitti_batch.coords.copy(),
+            importance.copy(),
+        )
+        assert first is second
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_different_frame_misses(self, kitti_batch, mini_batch):
+        cache = TraceCache()
+        spec = build_model_spec("SPP2")
+        cache.get_trace(spec, kitti_batch.coords)
+        cache.get_trace(spec, mini_batch.coords)
+        assert cache.stats()["misses"] == 2
+
+    def test_spec_fingerprint_sensitivity(self):
+        spp2 = build_model_spec("SPP2")
+        assert spec_fingerprint(spp2) == spec_fingerprint(
+            build_model_spec("SPP2")
+        )
+        assert spec_fingerprint(spp2) != spec_fingerprint(
+            build_model_spec("SPP1")
+        )
+        mutated = build_model_spec("SPP2")
+        mutated.layers[0].out_channels += 1
+        assert spec_fingerprint(spp2) != spec_fingerprint(mutated)
+
+    def test_frame_fingerprint_sensitivity(self, mini_batch):
+        coords = mini_batch.coords
+        base = frame_fingerprint(coords)
+        assert base == frame_fingerprint(coords.copy())
+        assert base != frame_fingerprint(coords[:-1])
+        ones = frame_fingerprint(coords, np.ones(len(coords)))
+        twos = frame_fingerprint(coords, 2 * np.ones(len(coords)))
+        assert ones != twos
+
+    def test_maxsize_evicts_oldest(self, kitti_batch, mini_batch):
+        cache = TraceCache(maxsize=1)
+        spec = build_model_spec("SPP3")
+        cache.get_trace(spec, kitti_batch.coords)
+        cache.get_trace(spec, mini_batch.coords)
+        assert len(cache) == 1
+        cache.get_trace(spec, kitti_batch.coords)   # evicted -> recompute
+        assert cache.stats()["misses"] == 3
+
+
+class TestRunnerCaching:
+    def test_rulegen_once_per_model_frame(self, monkeypatch):
+        """The acceptance property: trace_model (and with it rulegen)
+        executes once per (scenario, model) no matter how many simulators
+        consume the trace or how many times the grid re-runs."""
+        import repro.engine.cache as cache_module
+
+        calls = []
+        real_trace_model = cache_module.trace_model
+
+        def counting(spec, coords, importance=None, grid_shape=None):
+            calls.append(spec.name)
+            return real_trace_model(spec, coords, importance,
+                                    grid_shape=grid_shape)
+
+        monkeypatch.setattr(cache_module, "trace_model", counting)
+        runner = ExperimentRunner(
+            simulators=["spade-he", "dense-he", "pointacc-he"],
+            models=["SPP2", "SPP3"],
+            cache=TraceCache(),
+        )
+        first = runner.run(parallel=True)
+        second = runner.run(parallel=False)
+        assert len(first) == len(second) == 6
+        assert sorted(calls) == ["SPP2", "SPP3"]
+        assert runner.cache.stats()["misses"] == 2
+        # 2 trace lookups per run x 2 runs, minus the 2 misses.
+        assert runner.cache.stats()["hits"] == 2
+
+
+class TestRunnerParallelism:
+    def test_parallel_equals_serial(self):
+        runner = ExperimentRunner(
+            simulators=["spade-he", "spade-le", "dense-he", "pointacc-he",
+                        "spconv2d", "platform:A6000"],
+            models=["SPP2", "SPP3"],
+            scenarios=[Scenario("a", seed=0), Scenario("b", seed=7)],
+            cache=TraceCache(),
+            max_workers=4,
+        )
+        serial = runner.run(parallel=False)
+        parallel = runner.run(parallel=True)
+        assert len(serial) == len(parallel) == 2 * 2 * 6
+        for left, right in zip(serial, parallel):
+            assert left == right    # SimResult equality excludes `raw`
+
+    def test_distinct_seeds_get_distinct_traces(self):
+        # Regression: the trace map must key by the full scenario (the
+        # seed included), not just its name — two seeds are two frames.
+        runner = ExperimentRunner(
+            simulators=["spade-he"],
+            models=["SPP3"],
+            scenarios=[Scenario("s0", seed=0), Scenario("s1", seed=7)],
+            cache=TraceCache(),
+        )
+        table = runner.run(parallel=True)
+        cycles = table.column("cycles")
+        assert len(cycles) == 2
+        assert cycles[0] != cycles[1]
+
+    def test_duplicate_scenario_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            ExperimentRunner(
+                simulators=["spade-he"],
+                models=["SPP3"],
+                scenarios=[Scenario("drive", seed=0),
+                           Scenario("drive", seed=1)],
+            )
+
+    def test_duplicate_model_names_rejected(self):
+        # Two distinct specs sharing a name would collapse to one trace.
+        with pytest.raises(ValueError, match="unique"):
+            ExperimentRunner(
+                simulators=["spade-he"],
+                models=[build_model_spec("SPP3"), "SPP3"],
+            )
+
+    def test_duplicate_simulator_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            ExperimentRunner(
+                simulators=["spade-he", SpadeSimulator(SPADE_HE)],
+                models=["SPP3"],
+            )
+
+    def test_table1_named_spec_with_custom_grid_uses_spec_grid(self):
+        # A spec reusing a Table-1 name but carrying a different grid
+        # must still be framed on ITS grid, not the zoo's name lookup.
+        from repro.data import MINI_GRID
+
+        custom = build_model_spec("SPP3")
+        custom.grid = MINI_GRID
+        runner = ExperimentRunner(
+            simulators=["spade-he"], models=[custom], cache=TraceCache(),
+        )
+        scenario = runner.scenarios[0]
+        frame = runner.frame_provider.frame_for(scenario, custom)
+        assert frame.grid.name == MINI_GRID.name
+        result = runner.run().get(model="SPP3", simulator="SPADE.HE")
+        assert 0 < result.cycles
+
+    def test_custom_modelspec_uses_its_own_grid(self):
+        # Regression: a renamed KITTI-grid spec must be fed a KITTI
+        # frame, not the zoo's unknown-name nuScenes fallback.
+        custom = build_model_spec("SPP2")
+        custom.name = "SPP2-custom"
+        runner = ExperimentRunner(
+            simulators=["spade-he"],
+            models=[custom, "SPP2"],
+            cache=TraceCache(),
+        )
+        table = runner.run()
+        assert (table.get(model="SPP2-custom", simulator="SPADE.HE").cycles
+                == table.get(model="SPP2", simulator="SPADE.HE").cycles)
+
+    def test_unknown_model_name_rejected(self):
+        runner = ExperimentRunner(
+            simulators=["spade-he"], models=["NotAModel"],
+            cache=TraceCache(),
+        )
+        with pytest.raises(KeyError, match="NotAModel"):
+            runner.run()
+
+    def test_cell_filter_skips_cells_and_traces(self, monkeypatch):
+        import repro.engine.cache as cache_module
+
+        calls = []
+        real_trace_model = cache_module.trace_model
+
+        def counting(spec, coords, importance=None, grid_shape=None):
+            calls.append(spec.name)
+            return real_trace_model(spec, coords, importance,
+                                    grid_shape=grid_shape)
+
+        monkeypatch.setattr(cache_module, "trace_model", counting)
+        runner = ExperimentRunner(
+            simulators=["spade-he", "dense-he"],
+            models=["SPP2", "SPP3", "PP"],
+            cache=TraceCache(),
+            # SPADE only on the sparse models, DenseAcc only on PP.
+            cell_filter=lambda scenario, model, simulator: (
+                (model != "PP") == simulator.name.startswith("SPADE")
+            ),
+        )
+        table = runner.run()
+        labels = {(r.model, r.simulator) for r in table}
+        assert labels == {("SPP2", "SPADE.HE"), ("SPP3", "SPADE.HE"),
+                          ("PP", "DenseAcc.HE")}
+        # Filtered-out cells are not traced either: 3 models, 3 traces,
+        # but had the filter leaked, nothing changes here — the real
+        # check is that no extra simulation rows exist above.
+        assert sorted(calls) == ["PP", "SPP2", "SPP3"]
+
+    def test_row_order_deterministic(self):
+        runner = ExperimentRunner(
+            simulators=["spade-he", "dense-he"],
+            models=["SPP3"],
+            scenarios=[Scenario("x"), Scenario("y", seed=5)],
+            cache=TraceCache(),
+        )
+        table = runner.run()
+        labels = [(r.scenario, r.model, r.simulator) for r in table]
+        assert labels == [
+            ("x", "SPP3", "SPADE.HE"),
+            ("x", "SPP3", "DenseAcc.HE"),
+            ("y", "SPP3", "SPADE.HE"),
+            ("y", "SPP3", "DenseAcc.HE"),
+        ]
+
+
+class TestSchemaParity:
+    """Each adapter reports exactly the numbers its legacy simulator
+    produces — the unified schema is a view, not a re-model."""
+
+    def test_spade(self, spp2_trace):
+        legacy = SpadeAccelerator(SPADE_HE).run_trace(spp2_trace)
+        unified = SpadeSimulator(SPADE_HE).run(spp2_trace)
+        assert unified.cycles == legacy.total_cycles
+        assert unified.latency_ms == legacy.latency_ms
+        assert unified.fps == legacy.fps
+        assert unified.energy_mj == legacy.energy_mj
+        assert unified.dram_bytes == legacy.total_dram_bytes
+        assert unified.utilization == legacy.utilization(SPADE_HE)
+        assert len(unified.per_layer) == len(legacy.layers)
+        assert unified.extras["breakdown"] == legacy.breakdown()
+
+    def test_dense(self, spp2_trace):
+        legacy = DenseAccelerator(SPADE_HE).run_trace(spp2_trace)
+        unified = DenseAccSimulator(SPADE_HE).run(spp2_trace)
+        assert unified.cycles == legacy.total_cycles
+        assert unified.energy_mj == legacy.energy_mj
+        assert unified.dram_bytes == legacy.total_dram_bytes
+
+    def test_pointacc(self, spp2_trace):
+        legacy = PointAccSimulator(SPADE_HE).run_trace(spp2_trace)
+        unified = PointAccSim(SPADE_HE).run(spp2_trace)
+        assert unified.cycles == legacy.total_cycles
+        assert unified.dram_bytes == legacy.total_dram_bytes
+        assert unified.extras["phases"] == legacy.phase_totals()
+        assert unified.energy_mj is None
+
+    def test_spconv2d(self, spp2_trace):
+        model = SpConv2DAccModel()
+        expected_cycles = sum(
+            model.run_rules(layer.rules, layer.spec.in_channels,
+                            layer.spec.out_channels).cycles
+            for layer in spp2_trace.layers
+            if layer.rules is not None
+        )
+        unified = SpConv2DSim().run(spp2_trace)
+        assert unified.cycles == expected_cycles
+        assert unified.extras["skipped_dense_layers"] == sum(
+            1 for layer in spp2_trace.layers if layer.rules is None
+        )
+
+    def test_platform(self, spp2_trace):
+        legacy = PlatformModel(A6000).run_trace(spp2_trace)
+        unified = PlatformSim(A6000).run(spp2_trace)
+        assert unified.latency_ms == legacy.latency_ms
+        assert unified.fps == legacy.fps
+        assert unified.energy_mj == legacy.energy_mj
+        assert unified.cycles is None
+        assert unified.extras["phases"] == legacy.phases()
+
+
+class TestBuildSimulator:
+    def test_registry_specs(self):
+        assert build_simulator("spade-he").name == "SPADE.HE"
+        assert build_simulator("spade-le-noopt").name == "SPADE.LE (no opt)"
+        assert build_simulator("dense-le").name == "DenseAcc.LE"
+        assert build_simulator("pointacc-he").name == "PointAcc.HE"
+        assert build_simulator("spconv2d").name == "SpConv2D-Acc"
+        assert build_simulator("platform:A6000").name == "A6000"
+
+    def test_unknown_specs_raise(self):
+        with pytest.raises(KeyError):
+            build_simulator("spade-xl")
+        with pytest.raises(KeyError):
+            build_simulator("platform:TPU")
+        with pytest.raises(KeyError):
+            build_simulator("warp-he")
+
+
+class TestTable1SweepEquivalence:
+    """Acceptance: the full Table-1 model sweep through the runner is
+    numerically identical to the legacy direct-call path."""
+
+    def test_full_sweep_matches_legacy(self):
+        runner = ExperimentRunner(
+            simulators=[SpadeSimulator(SPADE_HE), SpadeSimulator(SPADE_LE),
+                        DenseAccSimulator(SPADE_HE), PointAccSim(SPADE_HE)],
+            models=list(TABLE1_MODELS),
+            cache=TraceCache(),
+        )
+        table = runner.run(parallel=True)
+        assert len(table) == len(TABLE1_MODELS) * 4
+
+        scenario = runner.scenarios[0]
+        for name in TABLE1_MODELS:
+            frame = runner.frame_provider.frame_for(scenario, name)
+            trace = trace_model(
+                build_model_spec(name),
+                frame.coords,
+                frame.point_counts.astype(float),
+            )
+            legacy_he = SpadeAccelerator(SPADE_HE).run_trace(trace)
+            legacy_le = SpadeAccelerator(SPADE_LE).run_trace(trace)
+            legacy_dense = DenseAccelerator(SPADE_HE).run_trace(trace)
+            legacy_pa = PointAccSimulator(SPADE_HE).run_trace(trace)
+
+            he = table.get(model=name, simulator="SPADE.HE")
+            le = table.get(model=name, simulator="SPADE.LE")
+            dense = table.get(model=name, simulator="DenseAcc.HE")
+            pointacc = table.get(model=name, simulator="PointAcc.HE")
+
+            assert he.cycles == legacy_he.total_cycles, name
+            assert he.energy_mj == legacy_he.energy_mj, name
+            assert le.cycles == legacy_le.total_cycles, name
+            assert le.energy_mj == legacy_le.energy_mj, name
+            assert dense.cycles == legacy_dense.total_cycles, name
+            assert dense.energy_mj == legacy_dense.energy_mj, name
+            assert pointacc.cycles == legacy_pa.total_cycles, name
+            assert pointacc.dram_bytes == legacy_pa.total_dram_bytes, name
+
+
+class TestResultTable:
+    def test_filter_get_column(self):
+        results = [
+            SimResult(simulator=sim, model=model, cycles=index)
+            for index, (sim, model) in enumerate(
+                (s, m) for s in ("A", "B") for m in ("m1", "m2")
+            )
+        ]
+        from repro.engine import ExperimentTable
+
+        table = ExperimentTable(results=results)
+        assert len(table.filter(simulator="A")) == 2
+        assert table.get(simulator="B", model="m1").cycles == 2
+        with pytest.raises(KeyError):
+            table.get(simulator="A")        # ambiguous: two rows
+        with pytest.raises(KeyError):
+            table.get(simulator="C")        # no rows
+        assert table.column("cycles") == [0, 1, 2, 3]
+        assert table.simulators == ["A", "B"]
+        assert table.models == ["m1", "m2"]
+
+    def test_format_results_renders_none(self):
+        from repro.analysis import format_results
+
+        text = format_results(
+            [SimResult(simulator="S", model="M", cycles=None,
+                       latency_ms=1.5)],
+            columns=("simulator", "model", "cycles", "latency_ms"),
+        )
+        assert "S" in text and "-" in text and "1.5" in text
