@@ -6,6 +6,9 @@ BUFout, amortizing weight loads.  This bench compares against fixed-T_a
 variants (the kind of static tiling prior accelerators use) on the SPP2
 backbone, plus a buffer-size sweep showing where the adaptivity stops
 mattering.
+
+The sweep is one engine grid: four SPADE configurations (shrinking
+BUFin) as four named simulators over the cached SPP2 trace.
 """
 
 from __future__ import annotations
@@ -13,34 +16,44 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.analysis import format_table
-from repro.core import SPADE_HE, SpadeAccelerator
+from repro.core import SPADE_HE
+from repro.engine import SpadeSimulator
+
+VARIANTS = (
+    ("adaptive Ta, 32KB BUFin (paper)", 32 * 1024),
+    ("Ta capped by 8KB BUFin", 8 * 1024),
+    ("Ta capped by 2KB BUFin", 2 * 1024),
+    ("Ta capped by 512B BUFin", 512),
+)
 
 
-def _run(traces):
-    trace = traces("SPP2")
+def _run(make_runner):
+    runner = make_runner(
+        [
+            SpadeSimulator(replace(SPADE_HE, buf_in_bytes=buf_in),
+                           name=label)
+            for label, buf_in in VARIANTS
+        ],
+        ["SPP2"],
+    )
+    table = runner.run()
     rows = []
-    # Adaptive (paper) vs shrinking BUFin, which caps T_a.
-    for label, buf_in in (
-        ("adaptive Ta, 32KB BUFin (paper)", 32 * 1024),
-        ("Ta capped by 8KB BUFin", 8 * 1024),
-        ("Ta capped by 2KB BUFin", 2 * 1024),
-        ("Ta capped by 512B BUFin", 512),
-    ):
-        config = replace(SPADE_HE, buf_in_bytes=buf_in)
-        result = SpadeAccelerator(config).run_trace(trace)
-        breakdown = result.breakdown()
+    for label, buf_in in VARIANTS:
+        result = table.get(simulator=label)
+        breakdown = result.extras["breakdown"]
         rows.append((
             label,
             result.latency_ms,
-            100 * result.utilization(config),
+            100 * result.utilization,
             breakdown["load_wgt"] / 1e3,
             breakdown["copy_psum"] / 1e3,
         ))
     return rows
 
 
-def test_ablation_active_tile_size(benchmark, traces):
-    rows = benchmark.pedantic(_run, args=(traces,), rounds=1, iterations=1)
+def test_ablation_active_tile_size(benchmark, make_runner):
+    rows = benchmark.pedantic(_run, args=(make_runner,), rounds=1,
+                              iterations=1)
     print()
     print(format_table(
         ["tiling", "latency ms", "utilization %", "load_wgt kcyc",

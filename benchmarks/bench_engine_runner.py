@@ -1,28 +1,36 @@
-"""Engine performance: naive vs cold vs cached vs parallel sweeps.
+"""Engine performance: naive vs cached sweeps, backends, frame batching.
 
-Times the same scenarios x models x simulators grid four ways —
+Times the same scenarios x models x simulators grid several ways —
 
 * **naive**: the pre-engine world — every (scenario, model, simulator)
   cell re-traces the model (rulegen included) before simulating, the
   way the benchmark files looped before the engine existed;
-* **cold**: fresh trace cache, serial runner (tracing already deduped
-  to once per (scenario, model) within the run);
-* **cached serial**: same runner re-run, traces served from the cache;
-* **cached parallel**: warm cache plus thread-pool fan-out;
+* **cold / cached / parallel**: fresh-cache serial run, warm-cache
+  serial re-run, warm-cache thread fan-out (the PR-1 trajectory);
+* **backends**: a cold multi-scenario sweep through each execution
+  backend — serial, thread, process — each from its own fresh cache
+  (process workers trace in their own address spaces);
+* **batching**: one batched scenario carrying N seeded frames vs N
+  single-frame scenarios — identical numbers, one rulegen pass.
 
 and writes the timings as JSON so the perf trajectory of the engine is
-tracked across PRs.
+tracked across PRs (``check_regression.py`` gates CI on it).
 
 Run directly:  PYTHONPATH=src python benchmarks/bench_engine_runner.py
+               (add --smoke for the tiny CI grid)
 or via pytest: PYTHONPATH=src python -m pytest benchmarks/bench_engine_runner.py
 """
 
 from __future__ import annotations
 
 import json
+import os
+import sys
 import time
 from pathlib import Path
 
+# The naive sweep deliberately bypasses the engine: it reproduces the
+# pre-engine re-trace-per-cell loop as the measured baseline.
 from repro.analysis import trace_model
 from repro.engine import ExperimentRunner, Scenario, TraceCache
 from repro.models import build_model_spec
@@ -31,15 +39,30 @@ SIMULATORS = ("spade-he", "spade-le", "dense-he", "pointacc-he")
 MODELS = ("SPP1", "SPP2", "SPP3")
 SCENARIOS = (Scenario("drive-0", seed=0), Scenario("drive-1", seed=1))
 
+SMOKE_SIMULATORS = ("spade-he", "dense-he")
+SMOKE_MODELS = ("SPP2", "SPP3")
+
+BACKENDS = ("serial", "thread", "process")
+BATCH_FRAMES = 4
+
 RESULTS_PATH = Path(__file__).parent / "results" / "engine_runner_timings.json"
 
 
-def _build_runner() -> ExperimentRunner:
+def _grid(smoke: bool) -> dict:
+    return {
+        "simulators": list(SMOKE_SIMULATORS if smoke else SIMULATORS),
+        "models": list(SMOKE_MODELS if smoke else MODELS),
+        "scenarios": list(SCENARIOS),
+    }
+
+
+def _build_runner(grid: dict, **kwargs) -> ExperimentRunner:
+    kwargs.setdefault("cache", TraceCache())
     return ExperimentRunner(
-        simulators=list(SIMULATORS),
-        models=list(MODELS),
-        scenarios=list(SCENARIOS),
-        cache=TraceCache(),
+        simulators=list(grid["simulators"]),
+        models=list(grid["models"]),
+        scenarios=list(grid["scenarios"]),
+        **kwargs,
     )
 
 
@@ -64,22 +87,76 @@ def _naive_sweep(runner: ExperimentRunner) -> float:
     return time.perf_counter() - start
 
 
-def run_sweeps() -> dict:
-    """Execute the four sweeps and return the timing record."""
-    runner = _build_runner()
+def _timed_run(runner: ExperimentRunner, **kwargs) -> tuple:
+    start = time.perf_counter()
+    table = runner.run(**kwargs)
+    return table, time.perf_counter() - start
+
+
+def _backend_sweeps(grid: dict) -> tuple:
+    """Cold sweep per backend, each from a fresh cache; returns
+    (timings dict, reference table) after asserting result parity."""
+    timings = {}
+    reference = None
+    for backend in BACKENDS:
+        runner = _build_runner(grid)
+        table, elapsed = _timed_run(runner, backend=backend)
+        timings[f"cold_{backend}_s"] = elapsed
+        if reference is None:
+            reference = table
+        else:
+            assert len(table) == len(reference)
+            for left, right in zip(reference, table):
+                assert left == right, f"{backend} backend changed the numbers"
+    return timings, reference
+
+
+def _batching_sweep(grid: dict) -> dict:
+    """One batched scenario vs the same frames as single scenarios."""
+    simulators = grid["simulators"]
+    models = grid["models"]
+    single = ExperimentRunner(
+        simulators=list(simulators), models=list(models),
+        scenarios=[Scenario(f"frame-{index}", seed=index)
+                   for index in range(BATCH_FRAMES)],
+        cache=TraceCache(),
+    )
+    single_table, single_s = _timed_run(single, parallel=False)
+
+    batched = ExperimentRunner(
+        simulators=list(simulators), models=list(models),
+        scenarios=[Scenario("batch", seed=0, frames=BATCH_FRAMES)],
+        cache=TraceCache(),
+    )
+    batched_table, batched_s = _timed_run(batched, parallel=False)
+    for model in models:
+        for index in range(BATCH_FRAMES):
+            for simulator_name in single_table.simulators:
+                left = single_table.get(scenario=f"frame-{index}",
+                                        model=model,
+                                        simulator=simulator_name)
+                right = batched_table.get(scenario="batch", model=model,
+                                          simulator=simulator_name,
+                                          frame=index)
+                assert left.cycles == right.cycles, (
+                    "batched frames diverged from single-frame runs"
+                )
+    return {
+        "frames": BATCH_FRAMES,
+        "unbatched_serial_s": single_s,
+        "batched_serial_s": batched_s,
+    }
+
+
+def run_sweeps(smoke: bool = False) -> dict:
+    """Execute every sweep and return the timing record."""
+    grid = _grid(smoke)
+    runner = _build_runner(grid)
     naive_s = _naive_sweep(runner)
 
-    start = time.perf_counter()
-    cold = runner.run(parallel=False)
-    cold_s = time.perf_counter() - start
-
-    start = time.perf_counter()
-    cached = runner.run(parallel=False)
-    cached_s = time.perf_counter() - start
-
-    start = time.perf_counter()
-    parallel = runner.run(parallel=True)
-    parallel_s = time.perf_counter() - start
+    cold, cold_s = _timed_run(runner, parallel=False)
+    cached, cached_s = _timed_run(runner, parallel=False)
+    parallel, parallel_s = _timed_run(runner, parallel=True)
 
     assert len(cold) == len(cached) == len(parallel)
     for left, right in zip(cold, cached):
@@ -87,12 +164,16 @@ def run_sweeps() -> dict:
     for left, right in zip(cold, parallel):
         assert left == right, "parallel sweep changed the numbers"
 
+    backend_timings, _ = _backend_sweeps(grid)
+    batch_timings = _batching_sweep(grid)
+
     return {
         "grid": {
-            "scenarios": [scenario.name for scenario in SCENARIOS],
-            "models": list(MODELS),
-            "simulators": list(SIMULATORS),
+            "scenarios": [scenario.name for scenario in grid["scenarios"]],
+            "models": grid["models"],
+            "simulators": grid["simulators"],
             "cells": len(cold),
+            "smoke": smoke,
         },
         "naive_serial_s": naive_s,
         "cold_serial_s": cold_s,
@@ -101,8 +182,11 @@ def run_sweeps() -> dict:
         "speedup_cold_vs_naive": naive_s / cold_s,
         "speedup_cached_vs_naive": naive_s / cached_s,
         "speedup_parallel_vs_naive": naive_s / parallel_s,
+        "backends": backend_timings,
+        "batching": batch_timings,
         "trace_cache": runner.cache.stats(),
         "max_workers": runner.max_workers,
+        "cpus": os.cpu_count(),
     }
 
 
@@ -112,25 +196,45 @@ def write_timings(timings: dict, path: Path = RESULTS_PATH) -> Path:
     return path
 
 
-def test_engine_runner_perf(benchmark):
-    timings = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
-    write_timings(timings)
-    print()
-    print(json.dumps(timings, indent=2))
-    # The acceptance property: the cached (and cached+parallel) sweep
-    # must be measurably faster than the naive pre-engine loop that
-    # re-runs rulegen per simulator (it is the hot path).
+def check_sweeps(timings: dict) -> None:
+    """The acceptance properties of the engine's perf trajectory."""
+    # The cached (and cached+parallel) sweep must be measurably faster
+    # than the naive pre-engine loop that re-runs rulegen per simulator.
     assert timings["cached_serial_s"] < timings["naive_serial_s"]
     assert timings["cached_parallel_s"] < timings["naive_serial_s"]
     assert timings["cold_serial_s"] < timings["naive_serial_s"]
     # Rulegen ran once per (scenario, model), not once per simulator.
-    assert timings["trace_cache"]["misses"] == len(SCENARIOS) * len(MODELS)
+    grid = timings["grid"]
+    assert timings["trace_cache"]["misses"] == (
+        len(grid["scenarios"]) * len(grid["models"])
+    )
+    # Batched frames cost no more than the same frames as scenarios
+    # (identical work, less planning), with generous timer slack.
+    batching = timings["batching"]
+    assert (batching["batched_serial_s"]
+            < 1.5 * batching["unbatched_serial_s"])
+    # The process pool must beat the serial backend on the cold sweep
+    # whenever there is real parallel hardware to use.
+    if (timings["cpus"] or 1) > 1:
+        backends = timings["backends"]
+        assert backends["cold_process_s"] < backends["cold_serial_s"]
+
+
+def test_engine_runner_perf(benchmark, smoke):
+    timings = benchmark.pedantic(run_sweeps, args=(smoke,), rounds=1,
+                                 iterations=1)
+    write_timings(timings)
+    print()
+    print(json.dumps(timings, indent=2))
+    check_sweeps(timings)
 
 
 def main():
-    timings = run_sweeps()
+    smoke = "--smoke" in sys.argv[1:]
+    timings = run_sweeps(smoke)
     path = write_timings(timings)
     print(json.dumps(timings, indent=2))
+    check_sweeps(timings)
     print(f"\nwrote {path}")
 
 

@@ -7,8 +7,8 @@
 (d)   MXU utilization with / without dataflow optimization per conv type —
       paper: SpConv >90%; SpStConv/SpDeconv <70% without, ~90% with.
 
-(a,b) and (c) are engine grids; (d) schedules single layers and stays on
-the direct scheduling API.
+All three panels are engine grids; (d) reads the per-layer schedule
+detail (overhead fraction) off the optimized / unoptimized SPADE rows.
 """
 
 from __future__ import annotations
@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.analysis import dense_counterpart, format_table
 from repro.baselines import HIGH_END_PLATFORMS
-from repro.core import SPADE_HE, SPADE_LE, schedule_sparse_layer
+from repro.core import SPADE_HE, SPADE_LE
 from repro.engine import (
     DenseAccSimulator,
     ExperimentRunner,
@@ -117,9 +117,21 @@ def test_fig11c_ops_savings_vs_speedup(benchmark, traces):
     assert 0.5 < np.mean(alignments) < 1.3
 
 
-def test_fig11d_mxu_utilization(benchmark, traces):
+def test_fig11d_mxu_utilization(benchmark, make_runner):
     def run():
-        trace = traces("SPP2")
+        runner = make_runner(
+            [SpadeSimulator(SPADE_HE, optimize=False, name="base"),
+             SpadeSimulator(SPADE_HE, optimize=True, name="optimized")],
+            ["SPP2"],
+        )
+        table = runner.run()
+        layer_rows = {
+            name: {
+                row["name"]: row
+                for row in table.get(simulator=name).per_layer
+            }
+            for name in ("base", "optimized")
+        }
         conv_type_of = {
             "SpConv": "B2C2",
             "SpStConv": "B2C1",
@@ -127,19 +139,12 @@ def test_fig11d_mxu_utilization(benchmark, traces):
         }
         rows = []
         for label, layer_name in conv_type_of.items():
-            layer = trace.layer(layer_name)
-            base = schedule_sparse_layer(
-                layer.rules, layer.spec.in_channels,
-                layer.spec.out_channels, SPADE_HE, optimize=False,
-            )
-            opt = schedule_sparse_layer(
-                layer.rules, layer.spec.in_channels,
-                layer.spec.out_channels, SPADE_HE, optimize=True,
-            )
             rows.append((
                 label,
-                100 * (1 - base.overhead_fraction),
-                100 * (1 - opt.overhead_fraction),
+                100 * (1 - layer_rows["base"][layer_name]
+                       ["overhead_fraction"]),
+                100 * (1 - layer_rows["optimized"][layer_name]
+                       ["overhead_fraction"]),
             ))
         return rows
 

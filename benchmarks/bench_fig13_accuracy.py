@@ -17,11 +17,13 @@ from repro.analysis import (
 )
 
 
-def test_fig13a_accuracy_sparsity_tradeoff(benchmark):
+def test_fig13a_accuracy_sparsity_tradeoff(benchmark, smoke):
+    keep_ratios = (1.0, 0.25) if smoke else (1.0, 0.6, 0.4, 0.25, 0.15)
+    num_scenes = 4 if smoke else 10
+    epochs = 2 if smoke else 4
     curves = benchmark.pedantic(
         lambda: accuracy_sparsity_sweep(
-            keep_ratios=(1.0, 0.6, 0.4, 0.25, 0.15),
-            num_scenes=10, epochs=4,
+            keep_ratios=keep_ratios, num_scenes=num_scenes, epochs=epochs,
         ),
         rounds=1, iterations=1,
     )
@@ -36,6 +38,9 @@ def test_fig13a_accuracy_sparsity_tradeoff(benchmark):
         title="Fig 13(a) - accuracy vs sparsity (paper: regularized"
               " fine-tuning holds accuracy until deep sparsity)",
     ))
+    if smoke:
+        # The 2-epoch smoke budget only checks the pipeline executes.
+        return
     regularized = {p.keep_ratio: p.ap for p in curves[0].points}
     plain = {p.keep_ratio: p.ap for p in curves[1].points}
     # Both recipes reach non-trivial accuracy unpruned (short training

@@ -3,27 +3,50 @@
 Sweeps computation sparsity and reports PE utilization and bank-conflict
 rate of the outer-product element-sparse baseline.  Paper shape: both
 problems amplify as sparsity increases.
+
+The sweep runs through the unified engine: each sparsity level is a
+scenario whose frame is a seeded uniform mask, the SpConv2D-Acc adapter
+is the (single) simulator, and rulegen runs once per level in the grid's
+trace cache.
 """
 
 from __future__ import annotations
 
+from conftest import micro_runner
+
 from repro.analysis import format_table
-from repro.baselines import SpConv2DAccModel
+from repro.engine import SpConv2DSim
 
 SPARSITY_LEVELS = (0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 0.99)
+SHAPE = (128, 128)
 
 
-def _sweep():
-    model = SpConv2DAccModel(pe_rows=16, pe_cols=16, num_banks=16)
-    return model.sweep_sparsity((128, 128), SPARSITY_LEVELS, seed=0)
+def _sweep(smoke):
+    shape = (64, 64) if smoke else SHAPE
+    levels = SPARSITY_LEVELS[::2] if smoke else SPARSITY_LEVELS
+    total = shape[0] * shape[1]
+    counts = {
+        sparsity: max(4, int(round(total * (1.0 - sparsity))))
+        for sparsity in levels
+    }
+    runner = micro_runner(
+        [SpConv2DSim(pe_rows=16, pe_cols=16, num_banks=16)],
+        shape, counts.values(),
+    )
+    table = runner.run()
+    return [
+        (sparsity, table.get(scenario=f"p{count}"))
+        for sparsity, count in counts.items()
+    ]
 
 
-def test_fig2b_utilization_and_conflicts(benchmark):
-    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+def test_fig2b_utilization_and_conflicts(benchmark, smoke):
+    results = benchmark.pedantic(_sweep, args=(smoke,), rounds=1,
+                                 iterations=1)
     rows = [
-        (f"{sparsity:.0%}", report.utilization,
-         report.bank_conflict_rate)
-        for sparsity, report in results
+        (f"{sparsity:.0%}", result.utilization,
+         result.per_layer[0]["bank_conflict_rate"])
+        for sparsity, result in results
     ]
     print()
     print(format_table(
@@ -31,7 +54,9 @@ def test_fig2b_utilization_and_conflicts(benchmark):
         rows,
         title="Fig 2(b) - SpConv2D-Acc under vector sparsity",
     ))
-    utils = [report.utilization for _, report in results]
-    conflicts = [report.bank_conflict_rate for _, report in results]
+    utils = [result.utilization for _, result in results]
+    conflicts = [
+        result.per_layer[0]["bank_conflict_rate"] for _, result in results
+    ]
     assert utils[0] > utils[-1]
     assert conflicts[-1] > conflicts[0]

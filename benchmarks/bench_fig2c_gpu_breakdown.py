@@ -3,31 +3,36 @@
 Paper shape: dense PP time is dominated by Conv2D matrix multiplication;
 the SPP variants do not get faster despite the reduced convolution work,
 because sparse-library mapping overhead takes over.
+
+The sweep is one engine grid — the 2080Ti platform model over the four
+models — fed by the session's cached traces.
 """
 
 from __future__ import annotations
 
 from repro.analysis import format_table
-from repro.baselines import RTX_2080TI, PlatformModel
+from repro.baselines import RTX_2080TI
+from repro.engine import PlatformSim
 
 MODELS = ("PP", "SPP1", "SPP2", "SPP3")
 
 
-def _breakdowns(traces):
-    platform = PlatformModel(RTX_2080TI)
-    return {name: platform.run_trace(traces(name)) for name in MODELS}
+def _breakdowns(make_runner):
+    runner = make_runner([PlatformSim(RTX_2080TI)], MODELS)
+    table = runner.run()
+    return {name: table.get(model=name) for name in MODELS}
 
 
-def test_fig2c_gpu_latency_breakdown(benchmark, traces):
-    results = benchmark.pedantic(_breakdowns, args=(traces,), rounds=1,
-                                 iterations=1)
+def test_fig2c_gpu_latency_breakdown(benchmark, make_runner):
+    results = benchmark.pedantic(_breakdowns, args=(make_runner,),
+                                 rounds=1, iterations=1)
     rows = [
         (
             name,
-            result.conv_ms,
-            result.mapping_ms,
-            result.gather_scatter_ms,
-            result.overhead_ms,
+            result.extras["phases"]["conv"],
+            result.extras["phases"]["mapping"],
+            result.extras["phases"]["gather_scatter"],
+            result.extras["phases"]["overhead"],
             result.latency_ms,
         )
         for name, result in results.items()
@@ -44,4 +49,5 @@ def test_fig2c_gpu_latency_breakdown(benchmark, traces):
     # Sparse variants gain little to nothing on the GPU (paper's point).
     for name in ("SPP1", "SPP2"):
         assert results[name].latency_ms > 0.6 * dense_total
-    assert results["PP"].conv_ms > results["PP"].mapping_ms
+    assert (results["PP"].extras["phases"]["conv"]
+            > results["PP"].extras["phases"]["mapping"])

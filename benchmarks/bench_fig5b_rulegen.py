@@ -3,40 +3,47 @@
 Sweeps active pillar count up to 100k (the paper's range) and reports
 normalized mapping cycles.  Paper result: RGU is on average 5.9x faster
 than the hash table and 3.7x faster than the merge sorter.
+
+The sweep runs through the unified engine: each pillar count is a
+scenario, the three mapping substrates are the simulators, and every
+substrate consumes the same cached rule stream per count.
 """
 
 from __future__ import annotations
 
 import numpy as np
+from conftest import micro_runner
 
 from repro.analysis import format_table
-from repro.core import RGUModel, SPADE_HE
-from repro.hw import BitonicMergeRuleGen, HashTableRuleGen
-from repro.sparse import unflatten
+from repro.engine import MappingSim
 
 PILLAR_COUNTS = (1_000, 5_000, 10_000, 25_000, 50_000, 100_000)
 SHAPE = (1024, 1024)
 
+SUBSTRATES = ("hash", "sorter", "rgu")
 
-def _sweep():
-    rng = np.random.default_rng(0)
-    hash_gen = HashTableRuleGen()
-    sort_gen = BitonicMergeRuleGen()
-    rgu = RGUModel(SPADE_HE)
+
+def _sweep(smoke):
+    counts = PILLAR_COUNTS[:3] if smoke else PILLAR_COUNTS
+    runner = micro_runner(
+        [MappingSim(substrate) for substrate in SUBSTRATES], SHAPE, counts,
+    )
+    table = runner.run()
     rows = []
-    for count in PILLAR_COUNTS:
-        flat = np.sort(rng.choice(SHAPE[0] * SHAPE[1], count, replace=False))
-        coords = unflatten(flat, SHAPE)
-        hash_cycles = hash_gen.run(coords, SHAPE).cycles
-        sort_cycles = sort_gen.run(count).cycles
-        rgu_cycles = rgu.cycles_for_count(count)
+    for count in counts:
+        scenario = f"p{count}"
+        hash_cycles = table.get(scenario=scenario,
+                                simulator="HashTable").cycles
+        sort_cycles = table.get(scenario=scenario,
+                                simulator="MergeSorter").cycles
+        rgu_cycles = table.get(scenario=scenario, simulator="RGU").cycles
         rows.append((count, hash_cycles, sort_cycles, rgu_cycles,
                      hash_cycles / rgu_cycles, sort_cycles / rgu_cycles))
     return rows
 
 
-def test_fig5b_rulegen_comparison(benchmark):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+def test_fig5b_rulegen_comparison(benchmark, smoke):
+    rows = benchmark.pedantic(_sweep, args=(smoke,), rounds=1, iterations=1)
     print()
     print(format_table(
         ["pillars", "hash cycles", "sorter cycles", "RGU cycles",

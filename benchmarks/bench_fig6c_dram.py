@@ -5,61 +5,49 @@ lines) fetches input pillar vectors in output-stationary rule order; the
 GSU streams each active tile exactly once.  Paper result: RGU+GSU matches
 the ideal all-reuse DRAM latency while the cache-based method falls
 behind as the active pillar count grows.
+
+The sweep runs through the unified engine: each pillar count is a
+scenario, the three gather dataflows are the simulators, and every
+dataflow consumes the same cached rule stream per count.
 """
 
 from __future__ import annotations
 
-import numpy as np
+from conftest import micro_runner
 
 from repro.analysis import format_table
-from repro.hw import DirectMappedCache, DRAMModel, streaming_trace
-from repro.sparse import ConvType, build_rules, unflatten
+from repro.engine import GatherDramSim
 
 PILLAR_COUNTS = (2_000, 5_000, 10_000, 20_000, 40_000)
 SHAPE = (512, 512)
 CHANNELS = 64
-CACHE_BYTES = 32 * 1024
-LINE = 64
+
+DATAFLOWS = ("cache", "stream", "ideal")
 
 
-def _cache_based_cycles(rules) -> int:
-    """Input fetch DRAM cycles of the cache-based dataflow."""
-    cache = DirectMappedCache(CACHE_BYTES, LINE)
-    dram = DRAMModel()
-    for pair in rules.pairs:
-        if not len(pair):
-            continue
-        # Output-stationary visit order: inputs re-requested per offset.
-        addresses = pair.in_idx * CHANNELS
-        misses = cache.miss_addresses(addresses)
-        dram.process_trace(misses)
-    return dram.stats.cycles
-
-
-def _streamed_cycles(num_inputs: int) -> int:
-    """GSU gather: one sequential pass over the active inputs."""
-    dram = DRAMModel()
-    dram.process_trace(streaming_trace(num_inputs * CHANNELS))
-    return dram.stats.cycles
-
-
-def _sweep():
-    rng = np.random.default_rng(0)
+def _sweep(smoke):
+    counts = PILLAR_COUNTS[:3] if smoke else PILLAR_COUNTS
+    runner = micro_runner(
+        [GatherDramSim(dataflow) for dataflow in DATAFLOWS],
+        SHAPE, counts, channels=CHANNELS,
+    )
+    table = runner.run()
     rows = []
-    for count in PILLAR_COUNTS:
-        flat = np.sort(rng.choice(SHAPE[0] * SHAPE[1], count, replace=False))
-        coords = unflatten(flat, SHAPE)
-        rules = build_rules(coords, SHAPE, ConvType.SPCONV)
-        cache_cycles = _cache_based_cycles(rules)
-        gsu_cycles = _streamed_cycles(count)
-        ideal_cycles = _streamed_cycles(count)
+    for count in counts:
+        scenario = f"p{count}"
+        cache_cycles = table.get(scenario=scenario,
+                                 simulator="Hash+Cache").cycles
+        gsu_cycles = table.get(scenario=scenario,
+                               simulator="RGU+GSU").cycles
+        ideal_cycles = table.get(scenario=scenario,
+                                 simulator="Ideal").cycles
         rows.append((count, cache_cycles, gsu_cycles, ideal_cycles,
                      cache_cycles / max(gsu_cycles, 1)))
     return rows
 
 
-def test_fig6c_dram_latency(benchmark):
-    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+def test_fig6c_dram_latency(benchmark, smoke):
+    rows = benchmark.pedantic(_sweep, args=(smoke,), rounds=1, iterations=1)
     print()
     print(format_table(
         ["pillars", "hash+cache cycles", "RGU+GSU cycles", "ideal cycles",

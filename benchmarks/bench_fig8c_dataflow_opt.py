@@ -3,46 +3,56 @@
 Left: weight grouping on the first SpStConv of SPP2 (paper: overhead
 12.7% -> 6.3%).  Right: ganged scatter on the stride-4 SpDeconv of SPP2
 (paper: 37.5% -> 14.1%, via 16x weight reuse).
+
+One engine grid runs SPP2 through SPADE with and without dataflow
+optimization; the per-layer schedule detail (overhead fraction,
+effective T_a) comes straight off the unified result rows.
 """
 
 from __future__ import annotations
 
 from repro.analysis import format_table
-from repro.core import SPADE_HE, schedule_sparse_layer
+from repro.core import SPADE_HE
+from repro.engine import SpadeSimulator
+
+LAYERS = (
+    ("weight grouping (B1C1 SpStConv)", "B1C1", 12.7, 6.3),
+    ("ganged scatter (D3 SpDeconv)", "D3", 37.5, 14.1),
+)
 
 
-def _spp2_layers(traces):
-    trace = traces("SPP2")
-    strided = trace.layer("B1C1")
-    deconv = trace.layer("D3")
-    return strided, deconv
+def _layer_row(result, layer_name) -> dict:
+    for row in result.per_layer:
+        if row["name"] == layer_name:
+            return row
+    raise KeyError(layer_name)
 
 
-def _run(traces):
-    strided, deconv = _spp2_layers(traces)
+def _run(make_runner):
+    runner = make_runner(
+        [SpadeSimulator(SPADE_HE, optimize=False, name="base"),
+         SpadeSimulator(SPADE_HE, optimize=True, name="optimized")],
+        ["SPP2"],
+    )
+    table = runner.run()
+    base = table.get(simulator="base")
+    opt = table.get(simulator="optimized")
     rows = []
-    for label, layer, paper_before, paper_after in (
-        ("weight grouping (B1C1 SpStConv)", strided, 12.7, 6.3),
-        ("ganged scatter (D3 SpDeconv)", deconv, 37.5, 14.1),
-    ):
-        base = schedule_sparse_layer(
-            layer.rules, layer.spec.in_channels, layer.spec.out_channels,
-            SPADE_HE, optimize=False,
-        )
-        opt = schedule_sparse_layer(
-            layer.rules, layer.spec.in_channels, layer.spec.out_channels,
-            SPADE_HE, optimize=True,
-        )
+    for label, layer_name, paper_before, paper_after in LAYERS:
+        base_layer = _layer_row(base, layer_name)
+        opt_layer = _layer_row(opt, layer_name)
         rows.append(
-            (label, paper_before, 100 * base.overhead_fraction,
-             paper_after, 100 * opt.overhead_fraction,
-             opt.effective_ta / max(base.effective_ta, 1))
+            (label, paper_before,
+             100 * base_layer["overhead_fraction"],
+             paper_after, 100 * opt_layer["overhead_fraction"],
+             opt_layer["effective_ta"] / max(base_layer["effective_ta"], 1))
         )
     return rows
 
 
-def test_fig8c_dataflow_optimizations(benchmark, traces):
-    rows = benchmark.pedantic(_run, args=(traces,), rounds=1, iterations=1)
+def test_fig8c_dataflow_optimizations(benchmark, make_runner):
+    rows = benchmark.pedantic(_run, args=(make_runner,), rounds=1,
+                              iterations=1)
     print()
     print(format_table(
         ["optimization", "paper before %", "measured before %",

@@ -1,50 +1,87 @@
-"""Shared frame/trace fixtures for the benchmark harness.
+"""Shared engine fixtures for the benchmark harness.
 
 Every experiment runs on the same deterministic synthetic frames so
-numbers are comparable across benches and across runs.
+numbers are comparable across benches and across runs.  All frames and
+traces are served by the unified engine — a
+:class:`~repro.engine.FrameProvider` seeds and caches the scenes, a
+session :class:`~repro.engine.TraceCache` dedupes rulegen by content,
+and :func:`make_runner` wires benchmark grids straight onto the session
+traces so no benchmark calls a simulator directly.
+
+``--smoke`` (the CI bench job) thins the synthetic sweeps — coarser
+azimuth sampling, fewer objects — so every benchmark still executes its
+full grid in seconds; shape assertions that need full-density frames
+are gated on the flag.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+from types import SimpleNamespace
+
+import numpy as np
 import pytest
 
-from repro.data import (
-    KITTI_GRID,
-    KITTI_SCENE,
-    NUSCENES_FINE_GRID,
-    NUSCENES_GRID,
-    SceneGenerator,
-    nuscenes_scene_config,
-    voxelize,
-)
-from repro.engine import TraceCache
-from repro.models import TABLE1_MODELS, build_model_spec, grid_for
+from repro.data.grids import GridSpec
+from repro.engine import ExperimentRunner, FrameProvider, Scenario, TraceCache
+from repro.models import build_model_spec, grid_for
+from repro.models.specs import LayerOp, LayerSpec, ModelSpec
+from repro.sparse import ConvType
+from repro.sparse.coords import unflatten
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--smoke", action="store_true", default=False,
+        help="tiny frames and single repeats so the whole benchmark "
+             "suite exercises in CI time",
+    )
 
 
 @pytest.fixture(scope="session")
-def kitti_frame():
-    sweep = SceneGenerator(KITTI_SCENE, seed=0).generate()
-    return voxelize(sweep, KITTI_GRID)
+def smoke(request) -> bool:
+    return request.config.getoption("--smoke")
+
+
+class BenchFrames(FrameProvider):
+    """Session frame source; ``--smoke`` thins the synthetic sweeps."""
+
+    def __init__(self, smoke: bool):
+        super().__init__()
+        self._smoke = smoke
+
+    def _grid_and_config(self, model):
+        grid, config = FrameProvider._grid_and_config(model)
+        if self._smoke:
+            config = replace(
+                config,
+                azimuth_resolution=5.0 * config.azimuth_resolution,
+                num_objects=(2, 6),
+            )
+        return grid, config
+
+
+#: Benchmark frame seeds, matching the pre-engine fixtures: one KITTI
+#: frame (seed 0) for the SPP family, one nuScenes frame (seed 1) for
+#: the SCP/PN family.
+_KITTI_SCENARIO = Scenario("bench", seed=0)
+_NUSCENES_SCENARIO = Scenario("bench", seed=1)
 
 
 @pytest.fixture(scope="session")
-def nuscenes_frames():
-    sweep = SceneGenerator(nuscenes_scene_config(), seed=1).generate()
-    return {
-        "coarse": voxelize(sweep, NUSCENES_GRID),
-        "fine": voxelize(sweep, NUSCENES_FINE_GRID),
-    }
+def frame_provider(smoke) -> FrameProvider:
+    return BenchFrames(smoke)
 
 
 @pytest.fixture(scope="session")
-def frame_for(kitti_frame, nuscenes_frames):
+def frame_for(frame_provider):
     def lookup(model_name):
-        grid = grid_for(model_name)
-        if grid.name == "kitti":
-            return kitti_frame
-        if grid.name == "nuscenes-fine":
-            return nuscenes_frames["fine"]
-        return nuscenes_frames["coarse"]
+        scenario = (
+            _KITTI_SCENARIO
+            if grid_for(model_name).name == "kitti"
+            else _NUSCENES_SCENARIO
+        )
+        return frame_provider.frame_for(scenario, model_name)
 
     return lookup
 
@@ -72,3 +109,90 @@ def traces(frame_for, trace_cache):
         )
 
     return lookup
+
+
+@pytest.fixture(scope="session")
+def make_runner(traces):
+    """Factory for engine grids fed by the session's cached traces."""
+
+    def build(simulators, models, **kwargs) -> ExperimentRunner:
+        return ExperimentRunner(
+            simulators=simulators,
+            models=list(models),
+            trace_provider=lambda scenario, name: traces(name),
+            **kwargs,
+        )
+
+    return build
+
+
+# ---------------------------------------------------------------------------
+# Micro-sweep plumbing (Figs. 2(b), 5(b), 6(c)): random uniform active
+# masks at a swept pillar count, run through the engine like any frame.
+# ---------------------------------------------------------------------------
+
+
+def micro_model_spec(shape: tuple, channels: int = 64,
+                     name: str = "micro-spconv") -> ModelSpec:
+    """Single 3x3 SpConv layer on an abstract ``shape`` grid.
+
+    The micro studies sweep substrate behaviour on one layer's rule
+    stream; this spec is the minimal workload carrying it through the
+    engine.
+    """
+    grid = GridSpec(
+        name=f"{name}-{shape[0]}x{shape[1]}",
+        x_range=(0.0, float(shape[1])),
+        y_range=(0.0, float(shape[0])),
+        z_range=(-3.0, 1.0),
+        pillar_size=1.0,
+    )
+    assert grid.shape == tuple(shape)
+    return ModelSpec(
+        name=name,
+        base="micro",
+        grid=grid,
+        pillar_channels=channels,
+        layers=[
+            LayerSpec("L1", LayerOp.SPARSE, channels, channels,
+                      conv_type=ConvType.SPCONV),
+        ],
+    )
+
+
+class UniformMaskFrames(FrameProvider):
+    """Random uniform active masks, one count per scenario name.
+
+    The scenario axis of a micro sweep is the active pillar count; each
+    scenario's frame is a seeded uniform draw of that many cells.
+    """
+
+    def __init__(self, counts: dict, shape: tuple):
+        super().__init__()
+        self._counts = dict(counts)
+        self._shape = tuple(shape)
+
+    def frame_for(self, scenario, model, frame: int = 0):
+        count = self._counts[scenario.name]
+        rng = np.random.default_rng(scenario.seed + frame)
+        total = self._shape[0] * self._shape[1]
+        flat = np.sort(rng.choice(total, count, replace=False))
+        coords = unflatten(flat, self._shape)
+        return SimpleNamespace(
+            coords=coords,
+            point_counts=np.ones(len(coords)),
+            num_active=len(coords),
+        )
+
+
+def micro_runner(simulators, shape: tuple, counts, channels: int = 64,
+                 seed: int = 0) -> ExperimentRunner:
+    """Engine grid sweeping active pillar counts on one micro layer."""
+    labels = {f"p{count}": count for count in counts}
+    return ExperimentRunner(
+        simulators=simulators,
+        models=[micro_model_spec(shape, channels)],
+        scenarios=[Scenario(label, seed=seed) for label in labels],
+        frame_provider=UniformMaskFrames(labels, shape),
+        cache=TraceCache(),
+    )

@@ -6,35 +6,42 @@ per-layer IOPR, and the accuracy-relevant occupancy statistics — the
 data a model architect uses to pick a Pareto point (the paper picks
 SPP2/SCP2).
 
+Frames and traces come from the unified engine: a
+:class:`~repro.engine.FrameProvider` seeds one frame per grid and a
+:class:`~repro.engine.TraceCache` runs rulegen once per model — the
+dense counterparts and the Fig. 2(d-f) IOPR series all reuse the same
+cached traces instead of re-tracing.
+
 Run:  python examples/sparsity_explorer.py
 """
 
-from repro.analysis import (
-    compute_savings,
-    format_table,
-    iopr_series,
-)
-from repro.data import SceneGenerator, voxelize
-from repro.models import TABLE1_MODELS, TABLE1_PAPER, grid_for, scene_config_for
+from repro.analysis import dense_counterpart, format_table, iopr_series
+from repro.engine import FrameProvider, Scenario, TraceCache
+from repro.models import TABLE1_MODELS, TABLE1_PAPER, build_model_spec
 
 
 def main():
-    frames = {}
+    scenario = Scenario("explore", seed=1)
+    frames = FrameProvider()
+    cache = TraceCache()
+
+    def trace(name):
+        frame = frames.frame_for(scenario, name)
+        return cache.get_trace(
+            build_model_spec(name),
+            frame.coords,
+            frame.point_counts.astype(float),
+        )
+
     rows = []
     for name in TABLE1_MODELS:
-        grid = grid_for(name)
-        if grid.name not in frames:
-            generator = SceneGenerator(scene_config_for(name), seed=1)
-            frames[grid.name] = voxelize(generator.generate(), grid)
-        batch = frames[grid.name]
-        trace, dense_trace, savings = compute_savings(
-            name, batch.coords, batch.point_counts.astype(float)
-        )
+        model_trace = trace(name)
+        savings = model_trace.savings_vs(trace(dense_counterpart(name)))
         paper = TABLE1_PAPER[name]
         rows.append((
             name,
             paper.backbone,
-            trace.total_ops / 1e9,
+            model_trace.total_ops / 1e9,
             paper.avg_gops,
             100 * savings,
             paper.sparsity_pct,
@@ -49,16 +56,15 @@ def main():
     ))
 
     print("\nPer-layer IOPR of the three SPP variants (Fig. 2(d-f)):")
-    batch = frames["kitti"]
     for name in ("SPP1", "SPP2", "SPP3"):
-        trace, _, _ = compute_savings(name, batch.coords,
-                                      batch.point_counts.astype(float))
-        series = iopr_series(trace)
+        series = iopr_series(trace(name))
         line = ", ".join(
             f"{layer}={iopr:.2f}" for layer, iopr, _ in series[:8]
         )
         print(f"  {name}: {line} ...")
 
+    print(f"\nTrace cache: {cache.stats()} — every model traced once, "
+          "the IOPR pass served from cache.")
     print("\nReading: SpConv models (SPP1) dilate and lose sparsity; "
           "SpConv-S (SPP3) keeps IOPR=1 but costs accuracy; SpConv-P "
           "(SPP2) prunes at stage starts and lands in between — the "

@@ -64,6 +64,11 @@ class LayerTrace:
     out_count_after_prune: int
     sparse_macs: int
     rules: Rules = None
+    #: Active input coordinates of a sparse layer (a reference to the
+    #: stream state, not a copy); None for dense layers.  Substrate
+    #: micro-simulators (hash-table mapping, cache-based gather) need
+    #: the raw input set, which rules alone do not retain.
+    in_coords: np.ndarray = None
 
     @property
     def iopr(self) -> float:
@@ -167,6 +172,7 @@ def _execute_sparse_layer(spec: LayerSpec, state: StreamState) -> tuple:
         out_count_after_prune=out_after,
         sparse_macs=rules.macs(spec.in_channels, spec.out_channels),
         rules=rules,
+        in_coords=state.coords,
     )
     new_state = StreamState(
         shape=rules.out_shape, coords=out_coords, importance=out_importance

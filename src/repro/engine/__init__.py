@@ -5,21 +5,41 @@
 * :mod:`repro.engine.simulators` — adapters wrapping SPADE, DenseAcc,
   PointAcc, SpConv2D-Acc and the platform models behind one
   :class:`Simulator` interface;
+* :mod:`repro.engine.micro`      — substrate micro-simulators (mapping
+  hardware, gather dataflows) behind the same interface;
 * :mod:`repro.engine.cache`      — the content-keyed :class:`TraceCache`
   (rulegen once per (model, frame), shared across simulators and runs);
-* :mod:`repro.engine.runner`     — the parallel multi-scenario
-  :class:`ExperimentRunner`.
+* :mod:`repro.engine.backends`   — pluggable execution backends
+  (serial / thread / process) with chunked IPC and per-worker caches;
+* :mod:`repro.engine.runner`     — the multi-scenario, multi-backend
+  :class:`ExperimentRunner` with frame batching.
 """
 
+from .backends import (
+    BACKEND_ENV_VAR,
+    Backend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    WorkGroup,
+    resolve_backend,
+)
 from .cache import (
     TraceCache,
     frame_fingerprint,
     shared_trace_cache,
     spec_fingerprint,
 )
-from .result import RESULT_COLUMNS, ExperimentTable, SimResult
+from .micro import GatherDramSim, MappingSim
+from .result import (
+    RESULT_COLUMNS,
+    ExperimentTable,
+    SimResult,
+    mean_result,
+)
 from .runner import (
     DEFAULT_SCENARIO,
+    WORKERS_ENV_VAR,
     ExperimentRunner,
     FrameProvider,
     Scenario,
@@ -29,29 +49,42 @@ from .simulators import (
     PlatformSim,
     PointAccSim,
     Simulator,
-    SpConv2DSim,
+    SpadeNoOverlapSim,
     SpadeSimulator,
+    SpConv2DSim,
     build_simulator,
     resolve_simulators,
 )
 
 __all__ = [
+    "BACKEND_ENV_VAR",
     "DEFAULT_SCENARIO",
     "RESULT_COLUMNS",
+    "WORKERS_ENV_VAR",
+    "Backend",
     "DenseAccSimulator",
     "ExperimentRunner",
     "ExperimentTable",
     "FrameProvider",
+    "GatherDramSim",
+    "MappingSim",
     "PlatformSim",
     "PointAccSim",
+    "ProcessBackend",
     "Scenario",
+    "SerialBackend",
     "SimResult",
     "Simulator",
     "SpConv2DSim",
+    "SpadeNoOverlapSim",
     "SpadeSimulator",
+    "ThreadBackend",
     "TraceCache",
+    "WorkGroup",
     "build_simulator",
     "frame_fingerprint",
+    "mean_result",
+    "resolve_backend",
     "resolve_simulators",
     "shared_trace_cache",
     "spec_fingerprint",

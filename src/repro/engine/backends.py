@@ -1,0 +1,348 @@
+"""Pluggable execution backends for the :class:`ExperimentRunner`.
+
+The runner plans a grid of *work groups* — one per (scenario, model),
+carrying every simulator that consumes that trace — and hands the plan to
+a :class:`Backend` for execution:
+
+* :class:`SerialBackend`   — one thread, no pool; the debugging and
+  baseline-measurement path;
+* :class:`ThreadBackend`   — the default; traces and simulations fan out
+  over ``concurrent.futures`` threads (the simulators are numpy-bound and
+  release the GIL in their hot loops);
+* :class:`ProcessBackend`  — a process pool for many-scenario sweeps:
+  work groups are pickled to workers in contiguous chunks (amortizing
+  IPC), each worker process keeps its own :class:`TraceCache` and
+  :class:`FrameProvider` seeded on first use, and results come back with
+  the heavyweight ``raw`` legacy objects stripped so a row costs
+  kilobytes, not megabytes, to ship.
+
+Backends are selected by :class:`ExperimentRunner(backend=...)`, by the
+``REPRO_ENGINE_BACKEND`` environment variable (``serial`` / ``thread`` /
+``process``), or per call via ``runner.run(backend=...)``.
+
+Every backend produces the identical :class:`ExperimentTable` — same
+rows, same deterministic scenarios x models x simulators order — because
+frames are seeded deterministically and traces are content-keyed.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from .cache import TraceCache
+from .result import mean_result
+
+
+def _model_name(model) -> str:
+    return getattr(model, "name", model)
+
+
+@dataclass(frozen=True)
+class WorkGroup:
+    """One trace-sharing unit of a runner plan.
+
+    Attributes:
+        scenario: The experiment condition (seeds the frames).
+        model: Table I name or :class:`~repro.models.specs.ModelSpec`.
+        simulators: The simulators consuming this (scenario, model)'s
+            trace(s), in configured order.
+    """
+
+    scenario: object
+    model: object
+    simulators: tuple
+
+
+def execute_cell(scenario, simulator, traces) -> list:
+    """Run one simulator over one group's frame traces.
+
+    Returns the cell's rows in table order: one per frame (labelled with
+    its index when the scenario is batched) plus the mean aggregate row
+    for batched scenarios.
+    """
+    batched = scenario.frames > 1
+    per_frame = []
+    for index, trace in enumerate(traces):
+        result = simulator.run(trace)
+        result.scenario = scenario.name
+        if batched:
+            result.frame = index
+        per_frame.append(result)
+    rows = list(per_frame)
+    if batched:
+        rows.append(mean_result(per_frame))
+    return rows
+
+
+def execute_group(group: WorkGroup, trace_lookup) -> list:
+    """Serially execute every cell of one work group.
+
+    ``trace_lookup(scenario, model, frame)`` supplies the (cached) trace
+    of each frame; the batch is traced in a single pass here and every
+    simulator of the group then reuses the in-memory traces.
+    """
+    traces = [
+        trace_lookup(group.scenario, group.model, frame)
+        for frame in range(group.scenario.frames)
+    ]
+    results = []
+    for simulator in group.simulators:
+        results.extend(execute_cell(group.scenario, simulator, traces))
+    return results
+
+
+class Backend:
+    """Interface every execution backend implements.
+
+    ``execute`` receives the runner (for its trace/frame plumbing) and
+    the planned work groups, and returns one list of
+    :class:`~repro.engine.result.SimResult` rows per group, in plan
+    order.
+    """
+
+    name: str = "backend"
+
+    def execute(self, runner, groups: list) -> list:
+        raise NotImplementedError
+
+
+class SerialBackend(Backend):
+    """Everything on the calling thread, in plan order."""
+
+    name = "serial"
+
+    def execute(self, runner, groups: list) -> list:
+        return [execute_group(group, runner.trace_for) for group in groups]
+
+
+class ThreadBackend(Backend):
+    """Thread-pool fan-out (the default, and PR-1 behaviour).
+
+    Tracing parallelizes over (scenario, model, frame) jobs first — the
+    shared :class:`TraceCache` suppresses duplicates — then simulation
+    fans out over (group, simulator) cells.
+
+    Args:
+        max_workers: Pool width; defaults to the runner's
+            ``max_workers``.
+    """
+
+    name = "thread"
+
+    def __init__(self, max_workers: int = None):
+        self.max_workers = max_workers
+
+    def execute(self, runner, groups: list) -> list:
+        workers = self.max_workers or runner.max_workers
+        trace_jobs = [
+            (group.scenario, group.model, frame)
+            for group in groups
+            for frame in range(group.scenario.frames)
+        ]
+        if workers > 1 and len(trace_jobs) > 1:
+            with ThreadPoolExecutor(workers) as pool:
+                traces = list(pool.map(
+                    lambda job: runner.trace_for(*job), trace_jobs
+                ))
+        else:
+            traces = [runner.trace_for(*job) for job in trace_jobs]
+        # Model specs are mutable (unhashable); key by unique model name.
+        trace_of = {
+            (scenario, _model_name(model), frame): trace
+            for (scenario, model, frame), trace in zip(trace_jobs, traces)
+        }
+
+        def group_traces(group):
+            return [
+                trace_of[(group.scenario, _model_name(group.model), frame)]
+                for frame in range(group.scenario.frames)
+            ]
+
+        cells = [(group, simulator)
+                 for group in groups
+                 for simulator in group.simulators]
+
+        def run_cell(cell):
+            group, simulator = cell
+            return execute_cell(group.scenario, simulator,
+                                group_traces(group))
+
+        if workers > 1 and len(cells) > 1:
+            with ThreadPoolExecutor(workers) as pool:
+                cell_rows = list(pool.map(run_cell, cells))
+        else:
+            cell_rows = [run_cell(cell) for cell in cells]
+
+        nested = []
+        cursor = 0
+        for group in groups:
+            rows = []
+            for _ in group.simulators:
+                rows.extend(cell_rows[cursor])
+                cursor += 1
+            nested.append(rows)
+        return nested
+
+
+# ---------------------------------------------------------------------------
+# Process pool
+# ---------------------------------------------------------------------------
+
+#: Per-worker state, created lazily on first chunk: each worker process
+#: traces independently, so repeated chunks for the same (scenario,
+#: model) hit the worker-local cache instead of re-running rulegen.
+_WORKER_CACHE = None
+_WORKER_FRAMES = None
+
+
+def _worker_state():
+    global _WORKER_CACHE, _WORKER_FRAMES
+    if _WORKER_CACHE is None:
+        from .runner import FrameProvider
+
+        _WORKER_CACHE = TraceCache(maxsize=16)
+        _WORKER_FRAMES = FrameProvider()
+    return _WORKER_CACHE, _WORKER_FRAMES
+
+
+def _worker_trace(cache, frames, scenario, model, frame):
+    from ..models.specs import ModelSpec, build_model_spec
+
+    pillar_frame = frames.frame_for(scenario, model, frame)
+    spec = model if isinstance(model, ModelSpec) else build_model_spec(model)
+    return cache.get_trace(
+        spec,
+        pillar_frame.coords,
+        pillar_frame.point_counts.astype(float),
+    )
+
+
+def _run_chunk(chunk: list) -> list:
+    """Execute one pickled chunk of (scenario, model, simulators) units."""
+    cache, frames = _worker_state()
+    nested = []
+    for scenario, model, simulators in chunk:
+        group = WorkGroup(scenario, model, tuple(simulators))
+        rows = execute_group(
+            group,
+            lambda s, m, f: _worker_trace(cache, frames, s, m, f),
+        )
+        for row in rows:
+            # The legacy result objects retain whole rule arrays; never
+            # ship them back over IPC.
+            row.raw = None
+        nested.append(rows)
+    return nested
+
+
+class ProcessBackend(Backend):
+    """Process-pool fan-out for many-scenario sweeps.
+
+    Work units are (scenario, model, simulators) tuples — everything a
+    worker needs to frame, trace and simulate one group on its own.
+    Contiguous chunks keep IPC count low and let a worker's local
+    :class:`FrameProvider` reuse a scenario's frames across the models
+    that share a grid.
+
+    Restrictions: the runner must be on the default frame path — a
+    ``trace_provider`` closure or a custom frame-provider instance cannot
+    be shipped to worker processes.  ``SimResult.raw`` is ``None`` on
+    every returned row (the legacy objects are worker-local); all other
+    fields are bit-identical to the serial backend's.
+
+    Args:
+        max_workers: Pool width; defaults to the runner's
+            ``max_workers``.
+        chunksize: Work-group count per IPC submission; defaults to
+            splitting the plan roughly twice per worker for load balance.
+    """
+
+    name = "process"
+
+    def __init__(self, max_workers: int = None, chunksize: int = None):
+        self.max_workers = max_workers
+        self.chunksize = chunksize
+
+    @staticmethod
+    def incompatibility(runner) -> str:
+        """Why this runner cannot go through worker processes (or None).
+
+        Lets the runner fall back to threads when the process backend
+        was only an environment default rather than an explicit choice.
+        """
+        from .runner import FrameProvider
+
+        if runner.trace_provider is not None:
+            return (
+                "ProcessBackend cannot ship a trace_provider closure to "
+                "worker processes; use the serial or thread backend, or "
+                "let workers trace through the default frame path"
+            )
+        if type(runner.frame_provider) is not FrameProvider:
+            return (
+                "ProcessBackend re-creates the default FrameProvider "
+                f"inside each worker; a custom "
+                f"{type(runner.frame_provider).__name__} instance would "
+                "be silently ignored — use the serial or thread backend"
+            )
+        return None
+
+    def execute(self, runner, groups: list) -> list:
+        reason = self.incompatibility(runner)
+        if reason is not None:
+            raise ValueError(reason)
+        workers = self.max_workers or runner.max_workers
+        payload = [
+            (group.scenario, group.model, tuple(group.simulators))
+            for group in groups
+        ]
+        chunksize = self.chunksize or max(
+            1, (len(payload) + 2 * workers - 1) // (2 * workers)
+        )
+        chunks = [
+            payload[start:start + chunksize]
+            for start in range(0, len(payload), chunksize)
+        ]
+        if not chunks:
+            return []
+        with ProcessPoolExecutor(max_workers=min(workers,
+                                                 len(chunks))) as pool:
+            chunk_results = list(pool.map(_run_chunk, chunks))
+        return [rows for chunk in chunk_results for rows in chunk]
+
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+#: Environment variable naming the default backend for new runners.
+BACKEND_ENV_VAR = "REPRO_ENGINE_BACKEND"
+
+
+def resolve_backend(spec) -> Backend:
+    """Normalize a backend name or instance to a :class:`Backend`.
+
+    Accepted names: ``"serial"``, ``"thread"``, ``"process"`` (case
+    insensitive).  Instances pass through untouched.
+    """
+    if isinstance(spec, Backend):
+        return spec
+    if isinstance(spec, str):
+        token = spec.strip().lower()
+        if token in _BACKENDS:
+            return _BACKENDS[token]()
+        raise KeyError(
+            f"unknown backend {spec!r}; choices: {sorted(_BACKENDS)}"
+        )
+    raise TypeError(
+        f"expected a Backend instance or name string, got {type(spec)!r}"
+    )
+
+
+def default_backend_name() -> str:
+    """The backend new runners use when none is given explicitly."""
+    return os.environ.get(BACKEND_ENV_VAR, "thread")

@@ -17,9 +17,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-#: Canonical column order for tabular output.
+#: Canonical column order for tabular output.  ``frame`` distinguishes
+#: the per-frame and ``"mean"`` rows of batched scenarios (``None`` for
+#: unbatched rows).
 RESULT_COLUMNS = (
     "scenario",
+    "frame",
     "model",
     "simulator",
     "cycles",
@@ -39,6 +42,9 @@ class SimResult:
         simulator: Simulator display name (``"SPADE.HE"``, ``"A6000"`` ...).
         model: Table I model tag the trace came from.
         scenario: Scenario label the frame came from.
+        frame: Frame index within a batched scenario, ``"mean"`` for the
+            aggregate row, or ``None`` for an unbatched (single-frame)
+            scenario.
         cycles: Total core cycles, or ``None`` for analytic models.
         latency_ms: End-to-end frame latency.
         fps: Frames per second (``0.0`` for an empty frame).
@@ -57,6 +63,7 @@ class SimResult:
     simulator: str
     model: str
     scenario: str = "default"
+    frame: object = None
     cycles: int = None
     latency_ms: float = None
     fps: float = None
@@ -94,29 +101,36 @@ class ExperimentTable:
         return iter(self.results)
 
     def filter(self, scenario: str = None, model: str = None,
-               simulator: str = None) -> "ExperimentTable":
-        """Sub-table matching every given label."""
+               simulator: str = None, frame: object = "any",
+               ) -> "ExperimentTable":
+        """Sub-table matching every given label.
+
+        ``frame`` matches a per-frame row index, ``"mean"`` for the
+        aggregate row of a batched scenario, or ``None`` for unbatched
+        rows; the default (``"any"``) does not filter on frames.
+        """
         kept = [
             result
             for result in self.results
             if (scenario is None or result.scenario == scenario)
             and (model is None or result.model == model)
             and (simulator is None or result.simulator == simulator)
+            and (frame == "any" or result.frame == frame)
         ]
         return ExperimentTable(results=kept)
 
     def get(self, scenario: str = None, model: str = None,
-            simulator: str = None) -> SimResult:
+            simulator: str = None, frame: object = "any") -> SimResult:
         """The single row matching the given labels.
 
         Raises:
             KeyError: when zero or more than one row matches.
         """
-        matches = self.filter(scenario, model, simulator).results
+        matches = self.filter(scenario, model, simulator, frame).results
         if len(matches) != 1:
             raise KeyError(
                 f"expected exactly one result for scenario={scenario!r} "
-                f"model={model!r} simulator={simulator!r}, "
+                f"model={model!r} simulator={simulator!r} frame={frame!r}, "
                 f"found {len(matches)}"
             )
         return matches[0]
@@ -151,3 +165,44 @@ def _unique(values) -> list:
         if value not in seen:
             seen.append(value)
     return seen
+
+
+#: Metrics averaged by :func:`mean_result` across the frames of a batch.
+_MEAN_METRICS = (
+    "cycles",
+    "latency_ms",
+    "fps",
+    "energy_mj",
+    "dram_bytes",
+    "utilization",
+)
+
+
+def mean_result(per_frame: list) -> SimResult:
+    """Aggregate the per-frame rows of one batched cell into a mean row.
+
+    Every metric is the arithmetic mean of the per-frame values (so the
+    mean ``fps`` is the mean of the per-frame rates, not the rate of the
+    mean latency).  A metric the simulator does not produce stays
+    ``None``.  The row carries ``frame="mean"`` and
+    ``extras={"frames": N}``; per-layer detail is not aggregated.
+    """
+    if not per_frame:
+        raise ValueError("mean_result needs at least one per-frame result")
+    first = per_frame[0]
+    values = {}
+    for metric in _MEAN_METRICS:
+        samples = [getattr(result, metric) for result in per_frame]
+        if any(sample is None for sample in samples):
+            values[metric] = None
+        else:
+            values[metric] = sum(samples) / len(samples)
+    return SimResult(
+        simulator=first.simulator,
+        model=first.model,
+        scenario=first.scenario,
+        frame="mean",
+        per_layer=[],
+        extras={"frames": len(per_frame)},
+        **values,
+    )

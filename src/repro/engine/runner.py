@@ -3,23 +3,29 @@
 :class:`ExperimentRunner` executes a grid of scenarios x models x
 simulators and returns a tidy :class:`~repro.engine.result.ExperimentTable`.
 Work is organized so the expensive part — geometric tracing with rule
-generation — happens exactly once per (scenario, model) through a shared
-:class:`~repro.engine.cache.TraceCache`, no matter how many simulators
-consume the trace or how many times the grid re-runs.  Simulation then
-fans out over ``concurrent.futures`` threads (the simulators are numpy-
-bound and release the GIL in their hot loops).
+generation — happens exactly once per (scenario, model, frame) through a
+shared :class:`~repro.engine.cache.TraceCache`, no matter how many
+simulators consume the trace or how many times the grid re-runs.
+Execution then goes through a pluggable
+:class:`~repro.engine.backends.Backend` — serial, thread pool (default)
+or process pool — selected per runner, per call, or via the
+``REPRO_ENGINE_BACKEND`` environment variable.
+
+A :class:`Scenario` can carry one frame (the default) or a batch of
+``frames`` seeded frames: the batch is traced in a single rulegen pass
+per model and the result table gains per-frame rows plus a ``"mean"``
+aggregate row per cell.
 
 Frames come from a :class:`FrameProvider` — by default the repo's
-deterministic synthetic scenes, seeded per scenario — or from any
-callable the caller supplies, so benchmarks can feed their session
-fixtures straight in.
+deterministic synthetic scenes, seeded per (scenario, frame) — or from
+any provider subclass the caller supplies, so benchmarks can feed their
+session fixtures straight in.
 """
 
 from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from ..analysis.sparsity import ModelTrace
@@ -27,9 +33,50 @@ from ..data.pillars import voxelize
 from ..data.synthetic import KITTI_SCENE, SceneGenerator, nuscenes_scene_config
 from ..models.specs import ModelSpec, build_model_spec
 from ..models.zoo import TABLE1_PAPER, grid_for, scene_config_for
+from .backends import (
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    WorkGroup,
+    default_backend_name,
+    resolve_backend,
+)
 from .cache import TraceCache, shared_trace_cache
-from .result import ExperimentTable, SimResult
+from .result import ExperimentTable
 from .simulators import resolve_simulators
+
+#: Environment variable overriding the runner's default worker count.
+WORKERS_ENV_VAR = "REPRO_ENGINE_WORKERS"
+
+
+def _positive_worker_count(value, source: str) -> int:
+    """Validate a worker-count override into a positive int.
+
+    Non-integer and non-positive values raise a clear :class:`ValueError`
+    naming the offending source instead of propagating an opaque failure
+    out of the executor.
+    """
+    try:
+        count = int(str(value).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a positive integer, got {value!r}"
+        ) from None
+    if count <= 0:
+        raise ValueError(
+            f"{source} must be a positive integer, got {value!r}"
+        )
+    return count
+
+
+def _default_worker_count(max_workers=None) -> int:
+    """Resolve the pool width: argument > env override > cpu heuristic."""
+    if max_workers is not None:
+        return _positive_worker_count(max_workers, "max_workers")
+    env = os.environ.get(WORKERS_ENV_VAR)
+    if env is not None:
+        return _positive_worker_count(env, WORKERS_ENV_VAR)
+    return min(8, os.cpu_count() or 1)
 
 
 @dataclass(frozen=True)
@@ -40,17 +87,30 @@ class Scenario:
         name: Row label in the result table.
         seed: Scene-generator seed; different seeds are different drives
             through the same synthetic world.
+        frames: Number of seeded frames in this scenario's batch.  Frame
+            ``i`` uses seed ``seed + i``, so a batch of N frames is
+            numerically identical to N single-frame scenarios at
+            consecutive seeds.  Batched scenarios produce per-frame rows
+            plus one ``"mean"`` aggregate row per grid cell.
     """
 
     name: str = "default"
     seed: int = 0
+    frames: int = 1
+
+    def __post_init__(self):
+        if not isinstance(self.frames, int) or self.frames < 1:
+            raise ValueError(
+                f"scenario {self.name!r} needs frames >= 1, "
+                f"got {self.frames!r}"
+            )
 
 
 DEFAULT_SCENARIO = Scenario()
 
 
 class FrameProvider:
-    """Builds and caches one pillar frame per (scenario, grid).
+    """Builds and caches one pillar frame per (scenario, grid, frame).
 
     Models sharing a grid within a scenario share the frame — matching
     how the benchmark suite has always fed one KITTI frame to all SPP
@@ -89,16 +149,19 @@ class FrameProvider:
             )
         return grid_for(model), scene_config_for(model)
 
-    def frame_for(self, scenario: Scenario, model):
+    def frame_for(self, scenario: Scenario, model, frame: int = 0):
         """The (cached) pillar frame for one model under one scenario.
 
-        ``model`` is a Table I name or a :class:`ModelSpec`.  Concurrent
-        callers for the same key wait on the first builder instead of
-        duplicating the scene synthesis; builds for distinct keys run
-        concurrently.
+        ``model`` is a Table I name or a :class:`ModelSpec`; ``frame``
+        indexes into a batched scenario (frame ``i`` is seeded
+        ``scenario.seed + i``, so frame 0 reproduces the single-frame
+        path exactly).  Concurrent callers for the same key wait on the
+        first builder instead of duplicating the scene synthesis; builds
+        for distinct keys run concurrently.
         """
         grid, scene_config = self._grid_and_config(model)
-        key = (scenario.name, scenario.seed, grid.name)
+        seed = scenario.seed + frame
+        key = (scenario.name, seed, grid.name)
         while True:
             with self._lock:
                 if key in self._frames:
@@ -109,16 +172,16 @@ class FrameProvider:
                     break
             event.wait()
         try:
-            generator = SceneGenerator(scene_config, seed=scenario.seed)
-            frame = voxelize(generator.generate(), grid)
+            generator = SceneGenerator(scene_config, seed=seed)
+            built = voxelize(generator.generate(), grid)
         except BaseException:
             with self._lock:
                 self._inflight.pop(key).set()
             raise
         with self._lock:
-            self._frames[key] = frame
+            self._frames[key] = built
             self._inflight.pop(key).set()
-        return frame
+        return built
 
 
 class ExperimentRunner:
@@ -133,7 +196,9 @@ class ExperimentRunner:
         cache: Trace cache to share; defaults to the process-wide cache.
         trace_provider: Optional ``(scenario, model_name) -> ModelTrace``
             override that bypasses frame generation entirely (used by the
-            benchmark suite to feed its session-scoped traces).
+            benchmark suite to feed its session-scoped traces).  It is
+            single-frame: combine it with batched scenarios or the
+            process backend and the runner raises.
         frame_provider: Optional frame source; ignored when
             ``trace_provider`` is given.
         cell_filter: Optional ``(scenario, model_name, simulator) -> bool``
@@ -142,13 +207,20 @@ class ExperimentRunner:
             when only some model/simulator pairings of a grid are
             meaningful — e.g. SPADE on sparse models but DenseAcc on
             their dense counterparts.
-        max_workers: Thread-pool width for parallel runs.
+        backend: Execution backend — a
+            :class:`~repro.engine.backends.Backend` instance or one of
+            ``"serial"`` / ``"thread"`` / ``"process"``.  Defaults to the
+            ``REPRO_ENGINE_BACKEND`` environment variable, else
+            ``"thread"``.
+        max_workers: Pool width for parallel backends; the
+            ``REPRO_ENGINE_WORKERS`` environment variable overrides the
+            default when no explicit value is given.
     """
 
     def __init__(self, simulators, models, scenarios=None,
                  cache: TraceCache = None, trace_provider=None,
                  frame_provider: FrameProvider = None,
-                 cell_filter=None, max_workers: int = None):
+                 cell_filter=None, backend=None, max_workers: int = None):
         self.simulators = resolve_simulators(simulators)
         self.models = list(models)
         self.scenarios = list(scenarios) if scenarios else [DEFAULT_SCENARIO]
@@ -174,7 +246,14 @@ class ExperimentRunner:
         self.cache = cache if cache is not None else shared_trace_cache()
         self.trace_provider = trace_provider
         self.frame_provider = frame_provider or FrameProvider()
-        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        # Remember whether the backend was chosen by the caller or only
+        # inherited from the environment: an explicit incompatible
+        # choice is an error, an environment default falls back.
+        self._backend_explicit = backend is not None
+        self.backend = backend if backend is not None else (
+            default_backend_name()
+        )
+        self.max_workers = _default_worker_count(max_workers)
         self._specs = {}
 
     def _spec_for(self, model) -> ModelSpec:
@@ -188,68 +267,84 @@ class ExperimentRunner:
     def _model_name(model) -> str:
         return model.name if isinstance(model, ModelSpec) else model
 
-    def trace_for(self, scenario: Scenario, model) -> ModelTrace:
-        """The (cached) trace feeding one grid cell."""
+    def trace_for(self, scenario: Scenario, model,
+                  frame: int = 0) -> ModelTrace:
+        """The (cached) trace feeding one frame of one grid cell."""
         if self.trace_provider is not None:
+            if frame != 0:
+                raise ValueError(
+                    "trace_provider is single-frame; batched scenarios "
+                    "(frames > 1) need the frame-provider path"
+                )
             return self.trace_provider(scenario, self._model_name(model))
-        frame = self.frame_provider.frame_for(scenario, model)
+        built = self.frame_provider.frame_for(scenario, model, frame)
         return self.cache.get_trace(
             self._spec_for(model),
-            frame.coords,
-            frame.point_counts.astype(float),
+            built.coords,
+            built.point_counts.astype(float),
         )
 
-    def run(self, parallel: bool = True) -> ExperimentTable:
+    def plan(self) -> list:
+        """The work groups of one sweep, in deterministic table order.
+
+        One :class:`~repro.engine.backends.WorkGroup` per (scenario,
+        model) that has at least one simulator surviving the cell
+        filter; groups are scenario-major, matching the row order of the
+        resulting table.
+        """
+        groups = []
+        for scenario in self.scenarios:
+            for model in self.models:
+                simulators = tuple(
+                    simulator
+                    for simulator in self.simulators
+                    if self.cell_filter is None
+                    or self.cell_filter(scenario, self._model_name(model),
+                                        simulator)
+                )
+                if simulators:
+                    groups.append(WorkGroup(scenario, model, simulators))
+        return groups
+
+    def run(self, parallel: bool = True, backend=None) -> ExperimentTable:
         """Execute the full grid.
 
         Args:
-            parallel: Fan out over a thread pool; ``False`` runs the same
-                jobs serially (identical results, useful for debugging
-                and for measuring the parallel speedup).
+            parallel: ``False`` forces the serial backend (identical
+                results — useful for debugging and for measuring the
+                parallel speedup); ``True`` (default) uses the runner's
+                configured backend.
+            backend: Per-call backend override (instance or name),
+                taking precedence over both ``parallel`` and the
+                runner's configured backend.
 
         Returns:
             An :class:`ExperimentTable` in deterministic
-            scenarios x models x simulators order.
+            scenarios x models x simulators order (per-frame rows plus a
+            ``"mean"`` row per cell for batched scenarios).
         """
-        sim_jobs = [
-            (scenario, model, simulator)
-            for scenario in self.scenarios
-            for model in self.models
-            for simulator in self.simulators
-            if self.cell_filter is None
-            or self.cell_filter(scenario, self._model_name(model), simulator)
-        ]
-
-        # Trace only the (scenario, model) pairs some simulator consumes,
-        # each exactly once.  Scenarios key by identity (frozen dataclass),
-        # so distinct seeds never collide.
-        trace_jobs = []
-        for scenario, model, _ in sim_jobs:
-            if (scenario, model) not in trace_jobs:
-                trace_jobs.append((scenario, model))
-        if parallel and self.max_workers > 1 and len(trace_jobs) > 1:
-            with ThreadPoolExecutor(self.max_workers) as pool:
-                traces = list(pool.map(
-                    lambda job: self.trace_for(*job), trace_jobs
-                ))
+        if backend is not None:
+            chosen = resolve_backend(backend)
+        elif not parallel:
+            chosen = SerialBackend()
         else:
-            traces = [self.trace_for(*job) for job in trace_jobs]
-        trace_of = {
-            (scenario, self._model_name(model)): trace
-            for (scenario, model), trace in zip(trace_jobs, traces)
-        }
-
-        def execute(job) -> SimResult:
-            scenario, model, simulator = job
-            result = simulator.run(
-                trace_of[(scenario, self._model_name(model))]
+            chosen = resolve_backend(self.backend)
+            if (isinstance(chosen, ProcessBackend)
+                    and not self._backend_explicit
+                    and ProcessBackend.incompatibility(self) is not None):
+                # The process default came from REPRO_ENGINE_BACKEND but
+                # this runner needs in-process trace/frame plumbing —
+                # fall back to threads rather than failing a runner the
+                # caller never asked to put on the process pool.
+                chosen = ThreadBackend()
+        if self.trace_provider is not None and any(
+            scenario.frames > 1 for scenario in self.scenarios
+        ):
+            raise ValueError(
+                "trace_provider is single-frame; batched scenarios "
+                "(frames > 1) need the frame-provider path"
             )
-            result.scenario = scenario.name
-            return result
-
-        if parallel and self.max_workers > 1 and len(sim_jobs) > 1:
-            with ThreadPoolExecutor(self.max_workers) as pool:
-                results = list(pool.map(execute, sim_jobs))
-        else:
-            results = [execute(job) for job in sim_jobs]
-        return ExperimentTable(results=results)
+        nested = chosen.execute(self, self.plan())
+        return ExperimentTable(
+            results=[row for rows in nested for row in rows]
+        )

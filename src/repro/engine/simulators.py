@@ -60,6 +60,8 @@ def _from_model_result(simulator_name: str, result: ModelResult,
             "macs": layer.schedule.macs,
             "dram_bytes": layer.schedule.dram_bytes,
             "energy_pj": layer.energy.total_pj,
+            "overhead_fraction": layer.schedule.overhead_fraction,
+            "effective_ta": layer.schedule.effective_ta,
         }
         for layer in result.layers
     ]
@@ -145,6 +147,40 @@ class PointAccSim(Simulator):
             dram_bytes=result.total_dram_bytes,
             utilization=None,
             per_layer=per_layer,
+            extras={"phases": result.phase_totals()},
+            raw=result,
+        )
+
+
+class SpadeNoOverlapSim(Simulator):
+    """SPADE with dataflow phases fully serialized (paper Sec. IV-B4).
+
+    The Fig. 14/15 comparison setup: no overlap between mapping,
+    gather/scatter and MXU phases, matching the conditions under which
+    the paper compares against the PointAcc simulator.  Phase cycle
+    totals land in ``extras["phases"]`` with the same keys the
+    :class:`PointAccSim` adapter reports.
+    """
+
+    def __init__(self, config: SpadeConfig, name: str = None):
+        self.config = config
+        self.name = name or f"SPADE.{config.name} (no overlap)"
+
+    def run(self, trace: ModelTrace) -> SimResult:
+        from ..baselines.pointacc import spade_no_overlap
+
+        result = spade_no_overlap(trace, self.config)
+        latency_ms = _cycles_to_ms(result.total_cycles, self.config.clock_ghz)
+        return SimResult(
+            simulator=self.name,
+            model=result.model_name,
+            cycles=result.total_cycles,
+            latency_ms=latency_ms,
+            fps=_fps(latency_ms),
+            energy_mj=None,            # the comparison is latency/DRAM only
+            dram_bytes=result.dram_bytes,
+            utilization=None,
+            per_layer=[],
             extras={"phases": result.phase_totals()},
             raw=result,
         )

@@ -1,0 +1,262 @@
+"""Execution backends and frame batching: parity across serial / thread /
+process backends, batched-vs-single-frame equivalence, backend and
+worker-count selection (arguments and environment variables), and the
+process backend's restrictions."""
+
+import pytest
+
+from repro.engine import (
+    BACKEND_ENV_VAR,
+    WORKERS_ENV_VAR,
+    ExperimentRunner,
+    FrameProvider,
+    ProcessBackend,
+    Scenario,
+    SerialBackend,
+    SimResult,
+    ThreadBackend,
+    TraceCache,
+    mean_result,
+    resolve_backend,
+)
+
+#: A Table-1 subset small enough to trace in test time but covering two
+#: simulator families and two models.
+SUBSET_SIMULATORS = ["spade-he", "dense-he"]
+SUBSET_MODELS = ["SPP2", "SPP3"]
+
+
+def _subset_runner(**kwargs):
+    kwargs.setdefault("simulators", list(SUBSET_SIMULATORS))
+    kwargs.setdefault("models", list(SUBSET_MODELS))
+    kwargs.setdefault("cache", TraceCache())
+    return ExperimentRunner(**kwargs)
+
+
+class TestBackendParity:
+    def test_serial_thread_process_identical_tables(self):
+        """Acceptance: every backend produces the same ExperimentTable
+        for a Table-1 subset — rows, order and numbers."""
+        runner = _subset_runner(
+            scenarios=[Scenario("a", seed=0), Scenario("b", seed=9)],
+        )
+        serial = runner.run(backend="serial")
+        thread = runner.run(backend="thread")
+        process = runner.run(backend="process")
+        assert len(serial) == len(thread) == len(process) == 8
+        for left, right in zip(serial, thread):
+            assert left == right     # SimResult equality excludes `raw`
+        for left, right in zip(serial, process):
+            assert left == right
+
+    def test_process_backend_strips_raw(self):
+        runner = _subset_runner(models=["SPP3"], simulators=["spade-he"])
+        row = runner.run(backend="process").results[0]
+        assert row.raw is None
+        serial_row = runner.run(backend="serial").results[0]
+        assert serial_row.raw is not None
+        assert row.cycles == serial_row.cycles
+
+    def test_process_backend_rejects_trace_provider(self):
+        runner = _subset_runner(
+            trace_provider=lambda scenario, name: None,
+        )
+        with pytest.raises(ValueError, match="trace_provider"):
+            runner.run(backend="process")
+
+    def test_process_backend_rejects_custom_frame_provider(self):
+        class CustomFrames(FrameProvider):
+            pass
+
+        runner = _subset_runner(frame_provider=CustomFrames())
+        with pytest.raises(ValueError, match="FrameProvider"):
+            runner.run(backend="process")
+
+    def test_process_backend_chunking_covers_all_groups(self):
+        # More groups than workers*2 forces multi-group chunks.
+        runner = _subset_runner(
+            models=["SPP1", "SPP2", "SPP3"],
+            simulators=["spade-he"],
+            scenarios=[Scenario("a", seed=0), Scenario("b", seed=3)],
+            max_workers=2,
+        )
+        table = runner.run(backend=ProcessBackend(max_workers=2))
+        assert len(table) == 6
+        assert sorted({row.model for row in table}) == [
+            "SPP1", "SPP2", "SPP3",
+        ]
+
+
+class TestBackendSelection:
+    def test_resolve_names_and_instances(self):
+        assert isinstance(resolve_backend("serial"), SerialBackend)
+        assert isinstance(resolve_backend("Thread"), ThreadBackend)
+        assert isinstance(resolve_backend("process"), ProcessBackend)
+        backend = ThreadBackend(max_workers=2)
+        assert resolve_backend(backend) is backend
+        with pytest.raises(KeyError, match="unknown backend"):
+            resolve_backend("cluster")
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+
+    def test_env_var_selects_default_backend(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "serial")
+        runner = _subset_runner()
+        assert runner.backend == "serial"
+        monkeypatch.delenv(BACKEND_ENV_VAR)
+        assert _subset_runner().backend == "thread"
+
+    def test_constructor_backend_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        runner = _subset_runner(backend="serial")
+        assert runner.backend == "serial"
+
+    def test_env_process_default_falls_back_for_trace_provider(
+        self, monkeypatch
+    ):
+        # REPRO_ENGINE_BACKEND=process must not break fixture-fed
+        # runners: the env default falls back to threads, while the
+        # same runner still fails on an *explicit* process request.
+        from repro.analysis import trace_model
+        from repro.models import build_model_spec
+
+        provider = FrameProvider()
+        scenario = Scenario("t", seed=0)
+        frame = provider.frame_for(scenario, "SPP3")
+        trace = trace_model(
+            build_model_spec("SPP3"),
+            frame.coords,
+            frame.point_counts.astype(float),
+        )
+        monkeypatch.setenv(BACKEND_ENV_VAR, "process")
+        runner = _subset_runner(
+            simulators=["spade-he"], models=["SPP3"],
+            trace_provider=lambda scenario, name: trace,
+        )
+        table = runner.run()                    # falls back, succeeds
+        assert len(table) == 1
+        assert table.results[0].raw is not None  # ran in-process
+        with pytest.raises(ValueError, match="trace_provider"):
+            runner.run(backend="process")
+
+    def test_parallel_false_forces_serial_even_with_backend(self):
+        # parallel=False stays the debugging escape hatch regardless of
+        # the configured backend.
+        runner = _subset_runner(models=["SPP3"], simulators=["spade-he"],
+                                backend="thread")
+        table = runner.run(parallel=False)
+        assert len(table) == 1
+
+
+class TestWorkerCountValidation:
+    def test_env_override_applies(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        assert _subset_runner().max_workers == 3
+
+    @pytest.mark.parametrize("value", ["0", "-2", "two", "2.5", ""])
+    def test_invalid_env_values_rejected(self, monkeypatch, value):
+        monkeypatch.setenv(WORKERS_ENV_VAR, value)
+        with pytest.raises(ValueError, match=WORKERS_ENV_VAR):
+            _subset_runner()
+
+    @pytest.mark.parametrize("value", [0, -1, "zero", 1.5])
+    def test_invalid_argument_rejected(self, value):
+        with pytest.raises(ValueError, match="max_workers"):
+            _subset_runner(max_workers=value)
+
+    def test_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "7")
+        assert _subset_runner(max_workers=2).max_workers == 2
+
+
+class TestFrameBatching:
+    def test_batched_rows_match_single_frame_runs(self):
+        """Acceptance: a batched scenario's per-frame rows carry exactly
+        the numbers of single-frame scenarios at consecutive seeds."""
+        frames = 3
+        batched = _subset_runner(
+            simulators=["spade-he"], models=["SPP3"],
+            scenarios=[Scenario("drive", seed=5, frames=frames)],
+        ).run()
+        singles = _subset_runner(
+            simulators=["spade-he"], models=["SPP3"],
+            scenarios=[Scenario(f"s{index}", seed=5 + index)
+                       for index in range(frames)],
+        ).run()
+        assert len(batched) == frames + 1          # + the mean row
+        for index in range(frames):
+            left = batched.get(frame=index)
+            right = singles.get(scenario=f"s{index}")
+            assert left.cycles == right.cycles
+            assert left.latency_ms == right.latency_ms
+            assert left.energy_mj == right.energy_mj
+
+    def test_mean_row_aggregates_metrics(self):
+        table = _subset_runner(
+            simulators=["spade-he"], models=["SPP3"],
+            scenarios=[Scenario("drive", seed=0, frames=2)],
+        ).run()
+        mean = table.get(frame="mean")
+        per_frame = [table.get(frame=index) for index in range(2)]
+        assert mean.cycles == pytest.approx(
+            sum(row.cycles for row in per_frame) / 2
+        )
+        assert mean.extras == {"frames": 2}
+        assert mean.scenario == "drive"
+
+    def test_batched_parity_across_backends(self):
+        scenarios = [Scenario("drive", seed=2, frames=2)]
+        serial = _subset_runner(simulators=["spade-he"], models=["SPP3"],
+                                scenarios=scenarios).run(backend="serial")
+        process = _subset_runner(simulators=["spade-he"], models=["SPP3"],
+                                 scenarios=scenarios).run(backend="process")
+        for left, right in zip(serial, process):
+            assert left == right
+
+    def test_rulegen_once_per_frame(self, monkeypatch):
+        import repro.engine.cache as cache_module
+
+        calls = []
+        real_trace_model = cache_module.trace_model
+
+        def counting(spec, coords, importance=None, grid_shape=None):
+            calls.append(spec.name)
+            return real_trace_model(spec, coords, importance,
+                                    grid_shape=grid_shape)
+
+        monkeypatch.setattr(cache_module, "trace_model", counting)
+        runner = _subset_runner(
+            simulators=["spade-he", "dense-he"], models=["SPP3"],
+            scenarios=[Scenario("drive", seed=0, frames=2)],
+        )
+        table = runner.run()
+        # 2 frames x (2 simulators + mean) rows, but only 2 traces.
+        assert len(table) == 6
+        assert calls == ["SPP3", "SPP3"]
+
+    def test_invalid_frames_rejected(self):
+        with pytest.raises(ValueError, match="frames"):
+            Scenario("bad", seed=0, frames=0)
+        with pytest.raises(ValueError, match="frames"):
+            Scenario("bad", seed=0, frames=1.5)
+
+    def test_trace_provider_rejects_batched_scenarios(self):
+        runner = _subset_runner(
+            simulators=["spade-he"], models=["SPP3"],
+            scenarios=[Scenario("drive", seed=0, frames=2)],
+            trace_provider=lambda scenario, name: None,
+        )
+        with pytest.raises(ValueError, match="single-frame"):
+            runner.run()
+
+    def test_mean_result_handles_none_metrics(self):
+        rows = [
+            SimResult(simulator="S", model="M", cycles=10, energy_mj=None),
+            SimResult(simulator="S", model="M", cycles=20, energy_mj=None),
+        ]
+        mean = mean_result(rows)
+        assert mean.cycles == 15
+        assert mean.energy_mj is None
+        assert mean.frame == "mean"
+        with pytest.raises(ValueError):
+            mean_result([])
