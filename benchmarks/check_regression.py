@@ -1,13 +1,16 @@
 """CI perf-regression gate for the engine's timing trajectory.
 
 Compares a freshly-measured ``engine_runner_timings.json`` against the
-committed baseline and fails (exit 1) when the engine's cached or
-parallel sweep speedups regress by more than the threshold.
+committed baseline and fails (exit 1) when any gated speedup regresses
+by more than the threshold: the cached/parallel sweep speedups, the
+batched-vs-unbatched serial ratio (frame batching must never again be
+slower than the equivalent single-frame scenarios), and the fused-vs-
+legacy rulegen speedup (the trace-layer hot path).
 
-The gate compares *speedup ratios* (cached/parallel sweep vs the naive
-re-trace loop measured in the same run), not absolute seconds: ratios
-share the machine's noise between numerator and denominator, so the
-gate holds on shared CI runners where raw wall-clock does not.
+The gate compares *speedup ratios* (each measured against its own
+counterpart in the same run), not absolute seconds: ratios share the
+machine's noise between numerator and denominator, so the gate holds on
+shared CI runners where raw wall-clock does not.
 
 Usage:
     python benchmarks/check_regression.py [--fresh PATH]
@@ -29,6 +32,8 @@ DEFAULT_BASELINE = RESULTS_DIR / "baseline_engine_runner_timings.json"
 GATED_METRICS = (
     "speedup_cached_vs_naive",
     "speedup_parallel_vs_naive",
+    "speedup_batched_vs_unbatched",
+    "speedup_fused_vs_legacy",
 )
 
 

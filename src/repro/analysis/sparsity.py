@@ -25,7 +25,12 @@ import numpy as np
 
 from ..models.specs import LayerOp, LayerSpec, ModelSpec, build_model_spec
 from ..sparse.coords import flatten, unflatten
-from ..sparse.rulegen import ConvType, Rules, build_rules
+from ..sparse.rulegen import (
+    ConvType,
+    Rules,
+    build_rules_sharded,
+    resolve_rulegen_shards,
+)
 
 
 @dataclass
@@ -146,14 +151,18 @@ def _prune_state(
     return coords[kept], importance[kept]
 
 
-def _execute_sparse_layer(spec: LayerSpec, state: StreamState) -> tuple:
+def _execute_sparse_layer(spec: LayerSpec, state: StreamState,
+                          rulegen_shards: int = 1) -> tuple:
     """Run one sparse layer geometrically; returns (LayerTrace, new state)."""
-    rules = build_rules(
+    # build_rules_sharded degrades to the fused unsharded path at
+    # shards <= 1, so the dispatch lives in one place.
+    rules = build_rules_sharded(
         state.coords,
         state.shape,
         spec.conv_type,
         kernel_size=spec.kernel_size,
         stride=spec.stride,
+        shards=rulegen_shards,
     )
     out_importance = _propagate_importance(rules, state.importance)
     out_coords = rules.out_coords
@@ -217,6 +226,7 @@ def trace_model(
     coords: np.ndarray,
     importance: np.ndarray = None,
     grid_shape: tuple = None,
+    rulegen_shards: int = None,
 ) -> ModelTrace:
     """Execute a model spec geometrically on one frame's active pillars.
 
@@ -229,10 +239,16 @@ def trace_model(
             foreground-preserving pruning).
         grid_shape: Override the input grid shape, e.g. to run a
             full-scale layer graph on a reduced grid in tests.
+        rulegen_shards: Row-band count for
+            :func:`~repro.sparse.rulegen.build_rules_sharded`; ``None``
+            reads ``REPRO_ENGINE_RULEGEN_SHARDS`` (default 1, the fused
+            unsharded path).  Sharded rules are bit-identical, so this
+            only changes speed, never the trace.
 
     Returns:
         A :class:`ModelTrace` with one :class:`LayerTrace` per layer.
     """
+    rulegen_shards = resolve_rulegen_shards(rulegen_shards)
     coords = np.asarray(coords, dtype=np.int32)
     if importance is None:
         importance = np.ones(len(coords), dtype=np.float64)
@@ -257,7 +273,9 @@ def trace_model(
         if not is_deconv and not is_head:
             # Backbone / encoder chain layer.
             if layer.op is LayerOp.SPARSE:
-                layer_trace, state = _execute_sparse_layer(layer, state)
+                layer_trace, state = _execute_sparse_layer(
+                    layer, state, rulegen_shards
+                )
             else:
                 layer_trace, state = _execute_dense_layer(layer, state)
             stage_snapshots[layer.stage] = state
@@ -272,7 +290,9 @@ def trace_model(
                     f"deconv {layer.name} references unknown stage {layer.stage}"
                 )
             if layer.op is LayerOp.SPARSE:
-                layer_trace, out_state = _execute_sparse_layer(layer, source)
+                layer_trace, out_state = _execute_sparse_layer(
+                    layer, source, rulegen_shards
+                )
             else:
                 layer_trace, out_state = _execute_dense_layer(layer, source)
             deconv_outputs.append(out_state)
@@ -288,7 +308,9 @@ def trace_model(
             )
         source = head_shared_output if head_shared_output is not None else head_input
         if layer.op is LayerOp.SPARSE:
-            layer_trace, out_state = _execute_sparse_layer(layer, source)
+            layer_trace, out_state = _execute_sparse_layer(
+                layer, source, rulegen_shards
+            )
         else:
             layer_trace, out_state = _execute_dense_layer(layer, source)
         if layer.name == "Hshared":

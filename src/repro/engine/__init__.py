@@ -24,7 +24,9 @@ from .backends import (
     WorkGroup,
     resolve_backend,
 )
+from ..sparse.rulegen import RULEGEN_SHARDS_ENV_VAR
 from .cache import (
+    CACHE_DIR_ENV_VAR,
     TraceCache,
     frame_fingerprint,
     shared_trace_cache,
@@ -39,6 +41,7 @@ from .result import (
 )
 from .runner import (
     DEFAULT_SCENARIO,
+    TRACE_WORKERS_ENV_VAR,
     WORKERS_ENV_VAR,
     ExperimentRunner,
     FrameProvider,
@@ -58,8 +61,11 @@ from .simulators import (
 
 __all__ = [
     "BACKEND_ENV_VAR",
+    "CACHE_DIR_ENV_VAR",
     "DEFAULT_SCENARIO",
     "RESULT_COLUMNS",
+    "RULEGEN_SHARDS_ENV_VAR",
+    "TRACE_WORKERS_ENV_VAR",
     "WORKERS_ENV_VAR",
     "Backend",
     "DenseAccSimulator",

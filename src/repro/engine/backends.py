@@ -16,6 +16,16 @@ a :class:`Backend` for execution:
   the heavyweight ``raw`` legacy objects stripped so a row costs
   kilobytes, not megabytes, to ship.
 
+Parallel execution is a **split trace/simulate pipeline**: every unique
+(scenario, model, frame) is traced exactly once as a first-class work
+unit — fanned out over ``runner.trace_workers`` — before any simulator
+runs.  The process backend shares the finished traces across its workers
+through the :class:`TraceCache` disk tier (``REPRO_TRACE_CACHE_DIR``,
+or a run-scoped temporary directory when unset), so a cold sweep no
+longer re-traces the same frame once per worker.  Backends whose
+resolved worker count is 1 fall back to plain serial execution — a
+width-1 pool is pure overhead.
+
 Backends are selected by :class:`ExperimentRunner(backend=...)`, by the
 ``REPRO_ENGINE_BACKEND`` environment variable (``serial`` / ``thread`` /
 ``process``), or per call via ``runner.run(backend=...)``.
@@ -28,10 +38,13 @@ frames are seeded deterministically and traces are content-keyed.
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 
-from .cache import TraceCache
+from .cache import CACHE_DIR_ENV_VAR, TraceCache
 from .result import mean_result
 
 
@@ -120,13 +133,16 @@ class SerialBackend(Backend):
 class ThreadBackend(Backend):
     """Thread-pool fan-out (the default, and PR-1 behaviour).
 
-    Tracing parallelizes over (scenario, model, frame) jobs first — the
-    shared :class:`TraceCache` suppresses duplicates — then simulation
-    fans out over (group, simulator) cells.
+    The trace stage parallelizes over (scenario, model, frame) jobs
+    first — ``runner.trace_workers`` wide, with the shared
+    :class:`TraceCache` suppressing duplicates — then simulation fans
+    out over (group, simulator) cells at ``max_workers``.  A resolved
+    width of 1 skips the pools entirely and runs the plan serially.
 
     Args:
-        max_workers: Pool width; defaults to the runner's
-            ``max_workers``.
+        max_workers: Pool width for both stages; defaults to the
+            runner's ``max_workers`` (simulate) and ``trace_workers``
+            (trace).
     """
 
     name = "thread"
@@ -136,13 +152,20 @@ class ThreadBackend(Backend):
 
     def execute(self, runner, groups: list) -> list:
         workers = self.max_workers or runner.max_workers
+        trace_workers = self.max_workers or runner.trace_workers
+        if workers == 1 and trace_workers == 1:
+            # A width-1 pool is pure overhead (baseline: 1.30 s through
+            # the pool vs 0.87-1.11 s serial on one CPU) — run the plan
+            # exactly like the serial backend.
+            return [execute_group(group, runner.trace_for)
+                    for group in groups]
         trace_jobs = [
             (group.scenario, group.model, frame)
             for group in groups
             for frame in range(group.scenario.frames)
         ]
-        if workers > 1 and len(trace_jobs) > 1:
-            with ThreadPoolExecutor(workers) as pool:
+        if trace_workers > 1 and len(trace_jobs) > 1:
+            with ThreadPoolExecutor(trace_workers) as pool:
                 traces = list(pool.map(
                     lambda job: runner.trace_for(*job), trace_jobs
                 ))
@@ -191,10 +214,25 @@ class ThreadBackend(Backend):
 # ---------------------------------------------------------------------------
 
 #: Per-worker state, created lazily on first chunk: each worker process
-#: traces independently, so repeated chunks for the same (scenario,
-#: model) hit the worker-local cache instead of re-running rulegen.
+#: keeps a two-tier :class:`TraceCache` — the memory tier is
+#: worker-local, while the disk tier (the directory the parent's
+#: :class:`ProcessBackend` hands to :func:`_init_worker`) is shared by
+#: every worker of the pool, so a frame traced during the trace stage is
+#: loaded, not re-traced, wherever its simulate chunks land.
 _WORKER_CACHE = None
 _WORKER_FRAMES = None
+_WORKER_CACHE_DIR = None
+
+
+def _init_worker(cache_dir) -> None:
+    """Pool initializer: pin this worker to its run's shared disk tier.
+
+    The directory arrives as an explicit initializer argument — never
+    via environment mutation in the parent, which would race when two
+    process-backend runs overlap in one process.
+    """
+    global _WORKER_CACHE_DIR
+    _WORKER_CACHE_DIR = cache_dir
 
 
 def _worker_state():
@@ -202,12 +240,13 @@ def _worker_state():
     if _WORKER_CACHE is None:
         from .runner import FrameProvider
 
-        _WORKER_CACHE = TraceCache(maxsize=16)
+        _WORKER_CACHE = TraceCache(maxsize=16, disk_dir=_WORKER_CACHE_DIR)
         _WORKER_FRAMES = FrameProvider()
     return _WORKER_CACHE, _WORKER_FRAMES
 
 
-def _worker_trace(cache, frames, scenario, model, frame):
+def _worker_trace(cache, frames, scenario, model, frame,
+                  rulegen_shards=None):
     from ..models.specs import ModelSpec, build_model_spec
 
     pillar_frame = frames.frame_for(scenario, model, frame)
@@ -216,10 +255,24 @@ def _worker_trace(cache, frames, scenario, model, frame):
         spec,
         pillar_frame.coords,
         pillar_frame.point_counts.astype(float),
+        rulegen_shards=rulegen_shards,
     )
 
 
-def _run_chunk(chunk: list) -> list:
+def _trace_chunk(chunk: list, rulegen_shards=None) -> None:
+    """Trace-stage work unit: warm the shared tiers with unique frames.
+
+    Each job is one (scenario, model, frame); the finished traces land
+    in this worker's memory tier *and* the shared disk tier, making
+    them available to every simulate-stage worker.
+    """
+    cache, frames = _worker_state()
+    for scenario, model, frame in chunk:
+        _worker_trace(cache, frames, scenario, model, frame,
+                      rulegen_shards)
+
+
+def _run_chunk(chunk: list, rulegen_shards=None) -> list:
     """Execute one pickled chunk of (scenario, model, simulators) units."""
     cache, frames = _worker_state()
     nested = []
@@ -227,7 +280,8 @@ def _run_chunk(chunk: list) -> list:
         group = WorkGroup(scenario, model, tuple(simulators))
         rows = execute_group(
             group,
-            lambda s, m, f: _worker_trace(cache, frames, s, m, f),
+            lambda s, m, f: _worker_trace(cache, frames, s, m, f,
+                                          rulegen_shards),
         )
         for row in rows:
             # The legacy result objects retain whole rule arrays; never
@@ -240,11 +294,22 @@ def _run_chunk(chunk: list) -> list:
 class ProcessBackend(Backend):
     """Process-pool fan-out for many-scenario sweeps.
 
-    Work units are (scenario, model, simulators) tuples — everything a
-    worker needs to frame, trace and simulate one group on its own.
-    Contiguous chunks keep IPC count low and let a worker's local
-    :class:`FrameProvider` reuse a scenario's frames across the models
-    that share a grid.
+    Execution is a two-stage pipeline.  The **trace stage** distributes
+    every unique (scenario, model, frame) across the pool exactly once;
+    finished traces persist to the :class:`TraceCache` disk tier — the
+    ``REPRO_TRACE_CACHE_DIR`` directory, or a run-scoped temporary
+    directory the backend creates (and removes) when the variable is
+    unset.  The **simulate stage** then ships (scenario, model,
+    simulators) work units in contiguous chunks; workers load the shared
+    traces from disk instead of each re-tracing its own copy (the cold
+    per-worker re-trace was the committed baseline's regression: 1.51 s
+    process vs 1.11 s serial).  Contiguous chunks keep IPC count low and
+    let a worker's local :class:`FrameProvider` reuse a scenario's
+    frames across the models that share a grid.
+
+    A resolved worker count of 1 skips the pool entirely and runs the
+    plan in-process (still stripping ``raw``, preserving the backend's
+    result contract).
 
     Restrictions: the runner must be on the default frame path — a
     ``trace_provider`` closure or a custom frame-provider instance cannot
@@ -293,7 +358,20 @@ class ProcessBackend(Backend):
         reason = self.incompatibility(runner)
         if reason is not None:
             raise ValueError(reason)
+        if not groups:
+            return []
         workers = self.max_workers or runner.max_workers
+        if workers == 1:
+            # Pure pool overhead at width 1: run in-process through the
+            # runner's own cache, keeping the raw-stripping contract.
+            nested = [execute_group(group, runner.trace_for)
+                      for group in groups]
+            for rows in nested:
+                for row in rows:
+                    row.raw = None
+            return nested
+
+        shards = runner.rulegen_shards
         payload = [
             (group.scenario, group.model, tuple(group.simulators))
             for group in groups
@@ -305,11 +383,44 @@ class ProcessBackend(Backend):
             payload[start:start + chunksize]
             for start in range(0, len(payload), chunksize)
         ]
-        if not chunks:
-            return []
-        with ProcessPoolExecutor(max_workers=min(workers,
-                                                 len(chunks))) as pool:
-            chunk_results = list(pool.map(_run_chunk, chunks))
+
+        # Trace stage: every unique (scenario, model, frame) exactly
+        # once, round-robin across the pool.
+        seen = set()
+        trace_jobs = []
+        for group in groups:
+            for frame in range(group.scenario.frames):
+                key = (group.scenario.name, _model_name(group.model), frame)
+                if key not in seen:
+                    seen.add(key)
+                    trace_jobs.append((group.scenario, group.model, frame))
+        trace_width = min(workers, runner.trace_workers, len(trace_jobs))
+        trace_chunks = [
+            trace_jobs[start::trace_width] for start in range(trace_width)
+        ]
+
+        # Workers share traces through the disk tier, handed to each
+        # worker by the pool initializer; when the environment names no
+        # cache directory, a run-scoped temporary one stands in.
+        cache_dir = os.environ.get(CACHE_DIR_ENV_VAR) or None
+        temp_dir = None
+        if cache_dir is None:
+            temp_dir = tempfile.mkdtemp(prefix="repro-trace-cache-")
+            cache_dir = temp_dir
+        try:
+            width = min(workers, max(len(chunks), len(trace_chunks)))
+            with ProcessPoolExecutor(max_workers=width,
+                                     initializer=_init_worker,
+                                     initargs=(cache_dir,)) as pool:
+                list(pool.map(partial(_trace_chunk, rulegen_shards=shards),
+                              trace_chunks))
+                chunk_results = list(
+                    pool.map(partial(_run_chunk, rulegen_shards=shards),
+                             chunks)
+                )
+        finally:
+            if temp_dir is not None:
+                shutil.rmtree(temp_dir, ignore_errors=True)
         return [rows for chunk in chunk_results for rows in chunk]
 
 

@@ -1,4 +1,4 @@
-"""Content-keyed trace cache: rulegen runs once per (model, frame).
+"""Two-tier content-keyed trace cache: rulegen runs once per (model, frame).
 
 Rule generation is the hot path of every experiment in this repo: tracing
 a model geometrically (:func:`repro.analysis.sparsity.trace_model`) runs
@@ -9,20 +9,42 @@ and per simulator.  :class:`TraceCache` memoizes the finished
 digest of the model's layer graph and the frame's exact active set — so
 any number of simulators, sweeps and repeats share one trace.
 
-The cache is thread-safe and duplicate-suppressing: when parallel workers
-request the same key simultaneously, exactly one computes and the rest
-wait for its result.
+The cache has two tiers:
+
+* an **in-memory** tier (always on): thread-safe and
+  duplicate-suppressing — when parallel workers request the same key
+  simultaneously, exactly one computes and the rest wait for its result;
+* an optional **persistent on-disk** tier: one pickle file per trace
+  under a cache directory, content-addressed by the same key.  Because
+  keys are content digests, traces become shippable artifacts — process
+  workers, repeated benchmark runs and future distributed backends all
+  hit the same files instead of re-tracing from scratch.  Enable it by
+  passing ``disk_dir`` or by setting the ``REPRO_TRACE_CACHE_DIR``
+  environment variable (which every default-constructed cache picks up).
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
 import threading
+from pathlib import Path
 
 import numpy as np
 
 from ..analysis.sparsity import ModelTrace, trace_model
 from ..models.specs import ModelSpec
+
+#: Environment variable naming the on-disk tier's directory.  When set,
+#: every :class:`TraceCache` constructed without an explicit ``disk_dir``
+#: persists and reuses traces there.
+CACHE_DIR_ENV_VAR = "REPRO_TRACE_CACHE_DIR"
+
+#: Sentinel distinguishing "no disk_dir given, use the environment" from
+#: an explicit ``disk_dir=None`` (which disables the disk tier even when
+#: the environment variable is set).
+_FROM_ENV = object()
 
 
 def spec_fingerprint(spec: ModelSpec) -> str:
@@ -75,15 +97,26 @@ class TraceCache:
     """Thread-safe, content-keyed memoization of :func:`trace_model`.
 
     Args:
-        maxsize: Optional entry cap; the oldest entry is evicted first
-            (insertion order — traces are immutable once built, so plain
-            FIFO keeps the implementation obvious).
+        maxsize: Optional in-memory entry cap; the oldest entry is
+            evicted first (insertion order — traces are immutable once
+            built, so plain FIFO keeps the implementation obvious).  The
+            disk tier is never evicted by the cache; entries evicted
+            from memory reload from disk when requested again.
+        disk_dir: Directory of the persistent tier.  Defaults to the
+            ``REPRO_TRACE_CACHE_DIR`` environment variable; pass ``None``
+            explicitly to keep the cache memory-only regardless of the
+            environment.
     """
 
-    def __init__(self, maxsize: int = None):
+    def __init__(self, maxsize: int = None, disk_dir=_FROM_ENV):
         self.maxsize = maxsize
+        if disk_dir is _FROM_ENV:
+            disk_dir = os.environ.get(CACHE_DIR_ENV_VAR) or None
+        self.disk_dir = Path(disk_dir) if disk_dir else None
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
+        self.disk_writes = 0
         self._entries = {}
         self._inflight = {}
         self._lock = threading.Lock()
@@ -101,13 +134,67 @@ class TraceCache:
             + frame_fingerprint(coords, importance, grid_shape)
         )
 
+    # -- disk tier ---------------------------------------------------------
+
+    def _disk_path(self, key: str) -> Path:
+        return self.disk_dir / f"{key}.trace.pkl"
+
+    def _disk_load(self, key: str) -> ModelTrace:
+        """The persisted trace for ``key``, or None.
+
+        A missing, truncated or otherwise unreadable file is treated as
+        a plain miss — the trace is recomputed and rewritten — so a
+        crashed writer or a stale library version can never poison the
+        cache permanently.
+        """
+        if self.disk_dir is None:
+            return None
+        try:
+            with open(self._disk_path(key), "rb") as handle:
+                trace = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Corrupt entry: drop it so the rewrite below replaces it.
+            try:
+                self._disk_path(key).unlink()
+            except OSError:
+                pass
+            return None
+        return trace if isinstance(trace, ModelTrace) else None
+
+    def _disk_store(self, key: str, trace: ModelTrace) -> bool:
+        """Persist atomically (tmp + rename); failures are non-fatal."""
+        if self.disk_dir is None:
+            return False
+        path = self._disk_path(key)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as handle:
+                pickle.dump(trace, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return False
+        return True
+
+    # -- lookup ------------------------------------------------------------
+
     def get_trace(self, spec: ModelSpec, coords: np.ndarray,
                   importance: np.ndarray = None,
-                  grid_shape: tuple = None) -> ModelTrace:
+                  grid_shape: tuple = None,
+                  rulegen_shards: int = None) -> ModelTrace:
         """The traced model for this exact (spec, frame), computing once.
 
+        Lookup order: memory tier, disk tier, :func:`trace_model`.
         Concurrent callers with the same key block on the first caller's
-        computation instead of duplicating it.
+        computation instead of duplicating it.  ``rulegen_shards`` only
+        affects how a missing trace is computed (row-parallel rulegen) —
+        never the key, because sharded rules are bit-identical.
         """
         key = self.key_for(spec, coords, importance, grid_shape)
         while True:
@@ -122,15 +209,26 @@ class TraceCache:
                     break
             # Another thread is computing this key; wait and re-check.
             event.wait()
+        from_disk = True
         try:
-            trace = trace_model(spec, coords, importance,
-                                grid_shape=grid_shape)
+            trace = self._disk_load(key)
+            if trace is None:
+                from_disk = False
+                trace = trace_model(spec, coords, importance,
+                                    grid_shape=grid_shape,
+                                    rulegen_shards=rulegen_shards)
+                if self._disk_store(key, trace):
+                    with self._lock:
+                        self.disk_writes += 1
         except BaseException:
             with self._lock:
                 self._inflight.pop(key).set()
             raise
         with self._lock:
-            self.misses += 1
+            if from_disk:
+                self.disk_hits += 1
+            else:
+                self.misses += 1
             self._entries[key] = trace
             if self.maxsize is not None:
                 while len(self._entries) > self.maxsize:
@@ -139,11 +237,20 @@ class TraceCache:
             self._inflight.pop(key).set()
         return trace
 
-    def clear(self) -> None:
+    def clear(self, disk: bool = False) -> None:
+        """Drop the memory tier (and optionally the persisted files)."""
         with self._lock:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.disk_hits = 0
+            self.disk_writes = 0
+        if disk and self.disk_dir is not None:
+            for path in self.disk_dir.glob("*.trace.pkl"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
 
     def stats(self) -> dict:
         with self._lock:
@@ -151,6 +258,9 @@ class TraceCache:
                 "entries": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
+                "disk_hits": self.disk_hits,
+                "disk_writes": self.disk_writes,
+                "disk_dir": str(self.disk_dir) if self.disk_dir else None,
             }
 
 

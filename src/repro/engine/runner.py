@@ -33,6 +33,7 @@ from ..data.pillars import voxelize
 from ..data.synthetic import KITTI_SCENE, SceneGenerator, nuscenes_scene_config
 from ..models.specs import ModelSpec, build_model_spec
 from ..models.zoo import TABLE1_PAPER, grid_for, scene_config_for
+from ..sparse.rulegen import resolve_rulegen_shards
 from .backends import (
     ProcessBackend,
     SerialBackend,
@@ -47,6 +48,10 @@ from .simulators import resolve_simulators
 
 #: Environment variable overriding the runner's default worker count.
 WORKERS_ENV_VAR = "REPRO_ENGINE_WORKERS"
+
+#: Environment variable overriding the trace-stage pool width (defaults
+#: to the simulate-stage worker count when unset).
+TRACE_WORKERS_ENV_VAR = "REPRO_ENGINE_TRACE_WORKERS"
 
 
 def _positive_worker_count(value, source: str) -> int:
@@ -77,6 +82,16 @@ def _default_worker_count(max_workers=None) -> int:
     if env is not None:
         return _positive_worker_count(env, WORKERS_ENV_VAR)
     return min(8, os.cpu_count() or 1)
+
+
+def _default_trace_workers(trace_workers, max_workers: int) -> int:
+    """Trace-stage width: argument > env override > simulate width."""
+    if trace_workers is not None:
+        return _positive_worker_count(trace_workers, "trace_workers")
+    env = os.environ.get(TRACE_WORKERS_ENV_VAR)
+    if env is not None:
+        return _positive_worker_count(env, TRACE_WORKERS_ENV_VAR)
+    return max_workers
 
 
 @dataclass(frozen=True)
@@ -215,12 +230,22 @@ class ExperimentRunner:
         max_workers: Pool width for parallel backends; the
             ``REPRO_ENGINE_WORKERS`` environment variable overrides the
             default when no explicit value is given.
+        trace_workers: Pool width of the dedicated *trace stage* (the
+            rulegen-heavy first phase every parallel backend runs before
+            simulating); defaults to ``REPRO_ENGINE_TRACE_WORKERS``,
+            else to ``max_workers``.
+        rulegen_shards: Row-band count for within-trace parallel rule
+            generation (:func:`~repro.sparse.rulegen.build_rules_sharded`);
+            defaults to ``REPRO_ENGINE_RULEGEN_SHARDS``, else 1 (fused
+            unsharded rulegen).  Sharded rules are bit-identical, so the
+            table never changes — only trace speed.
     """
 
     def __init__(self, simulators, models, scenarios=None,
                  cache: TraceCache = None, trace_provider=None,
                  frame_provider: FrameProvider = None,
-                 cell_filter=None, backend=None, max_workers: int = None):
+                 cell_filter=None, backend=None, max_workers: int = None,
+                 trace_workers: int = None, rulegen_shards: int = None):
         self.simulators = resolve_simulators(simulators)
         self.models = list(models)
         self.scenarios = list(scenarios) if scenarios else [DEFAULT_SCENARIO]
@@ -254,6 +279,9 @@ class ExperimentRunner:
             default_backend_name()
         )
         self.max_workers = _default_worker_count(max_workers)
+        self.trace_workers = _default_trace_workers(trace_workers,
+                                                    self.max_workers)
+        self.rulegen_shards = resolve_rulegen_shards(rulegen_shards)
         self._specs = {}
 
     def _spec_for(self, model) -> ModelSpec:
@@ -282,6 +310,7 @@ class ExperimentRunner:
             self._spec_for(model),
             built.coords,
             built.point_counts.astype(float),
+            rulegen_shards=self.rulegen_shards,
         )
 
     def plan(self) -> list:

@@ -27,17 +27,30 @@ from .pruning import (
     threshold_prune,
     topk_prune,
 )
-from .rulegen import ConvType, RulePairs, Rules, build_rules
+from .rulegen import (
+    RULEGEN_SHARDS_ENV_VAR,
+    ConvType,
+    RulePairs,
+    Rules,
+    build_rules,
+    build_rules_reference,
+    build_rules_sharded,
+    resolve_rulegen_shards,
+)
 from .tensor import SparseTensor
 
 __all__ = [
     "ConvType",
     "cpr_decode",
     "cpr_encode",
+    "RULEGEN_SHARDS_ENV_VAR",
     "RulePairs",
     "Rules",
     "SparseTensor",
     "build_rules",
+    "build_rules_reference",
+    "build_rules_sharded",
+    "resolve_rulegen_shards",
     "cpr_sort",
     "dense_conv2d_reference",
     "dense_deconv2d_reference",

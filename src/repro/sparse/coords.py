@@ -106,6 +106,22 @@ def kernel_offsets(kernel_size: int) -> np.ndarray:
     return np.array(offs, dtype=np.int32)
 
 
+#: Grids up to this many cells resolve unique active sets through a dense
+#: boolean mask (one linear pass) instead of a hash/sort ``np.unique`` —
+#: the paper's BEV grids are at most ~512x512, where the mask wins by an
+#: order of magnitude.  Larger virtual grids fall back to ``np.unique``.
+_DENSE_UNIQUE_CELLS = 1 << 24
+
+
+def _unique_flat_sorted(flat: np.ndarray, total: int) -> np.ndarray:
+    """Ascending unique flat indices (all in ``[0, total)``)."""
+    if total <= _DENSE_UNIQUE_CELLS:
+        mask = np.zeros(total, dtype=bool)
+        mask[flat] = True
+        return np.flatnonzero(mask)
+    return np.unique(flat)
+
+
 def dilate(coords: np.ndarray, shape: tuple, kernel_size: int = 3) -> np.ndarray:
     """Return the CPR-sorted dilation of an active set by a kernel footprint.
 
@@ -116,17 +132,14 @@ def dilate(coords: np.ndarray, shape: tuple, kernel_size: int = 3) -> np.ndarray
     coords = np.asarray(coords, dtype=np.int32)
     if len(coords) == 0:
         return coords.reshape(0, 2)
-    offsets = kernel_offsets(kernel_size)
-    candidates = (coords[None, :, :] + offsets[:, None, :]).reshape(-1, 2)
+    offsets = kernel_offsets(kernel_size).astype(np.int64)
+    rows = coords[:, 0].astype(np.int64)[None, :] + offsets[:, None, 0]
+    cols = coords[:, 1].astype(np.int64)[None, :] + offsets[:, None, 1]
     in_bounds = (
-        (candidates[:, 0] >= 0)
-        & (candidates[:, 0] < shape[0])
-        & (candidates[:, 1] >= 0)
-        & (candidates[:, 1] < shape[1])
+        (rows >= 0) & (rows < shape[0]) & (cols >= 0) & (cols < shape[1])
     )
-    candidates = candidates[in_bounds]
-    unique_flat = np.unique(flatten(candidates, shape))
-    return unflatten(unique_flat, shape)
+    flat = (rows * shape[1] + cols)[in_bounds]
+    return unflatten(_unique_flat_sorted(flat, shape[0] * shape[1]), shape)
 
 
 def downsample_coords(coords: np.ndarray, shape: tuple, stride: int) -> tuple:
@@ -157,7 +170,9 @@ def downsample_coords(coords: np.ndarray, shape: tuple, stride: int) -> tuple:
     quotient = quotient[in_bounds]
     if len(quotient) == 0:
         return np.zeros((0, 2), dtype=np.int32), out_shape
-    unique_flat = np.unique(flatten(quotient, out_shape))
+    unique_flat = _unique_flat_sorted(
+        flatten(quotient, out_shape), out_shape[0] * out_shape[1]
+    )
     return unflatten(unique_flat, out_shape), out_shape
 
 
@@ -175,5 +190,7 @@ def upsample_coords(coords: np.ndarray, shape: tuple, stride: int) -> tuple:
         [(dr, dc) for dr in range(stride) for dc in range(stride)], dtype=np.int32
     )
     outputs = (coords[:, None, :] * stride + offsets[None, :, :]).reshape(-1, 2)
-    unique_flat = np.unique(flatten(outputs, out_shape))
+    unique_flat = _unique_flat_sorted(
+        flatten(outputs, out_shape), out_shape[0] * out_shape[1]
+    )
     return unflatten(unique_flat, out_shape), out_shape

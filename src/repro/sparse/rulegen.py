@@ -20,16 +20,38 @@ Because inputs are CPR-sorted and every kernel offset shifts all
 coordinates by a constant, the per-offset input and output index lists are
 automatically ascending — the monotonicity property the RGU, ATM and
 conflict-free scatter all rely on (asserted in tests).
+
+Three entry points share one output-set resolution:
+
+* :func:`build_rules` — the **fused** path: all K kernel-offset candidate
+  sets are formed as one (K, P) batch and resolved with a single
+  ``searchsorted`` over the concatenated flattened candidates, instead of
+  K separate lookups (rulegen is the repo's hot path; the per-offset
+  Python loop was most of its overhead);
+* :func:`build_rules_sharded` — the **row-sharded** path mirroring the
+  RGU's row-parallel processing of the CPR encoding: the frame is split
+  into row bands along the CPR ``row_pointers``, each band resolves its
+  candidates against only the halo-extended slice of the output rows it
+  can reach, bands run concurrently (the numpy kernels release the GIL),
+  and the merged per-offset lists are bit-identical to the unsharded
+  reference;
+* :func:`build_rules_reference` — the original per-offset loop, kept as
+  the validation oracle the fused and sharded paths are asserted against
+  (and as the "legacy" arm of the trace-scaling benchmark).
 """
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from enum import Enum
 
 import numpy as np
 
 from .coords import (
+    _unique_flat_sorted,
+    cpr_encode,
     dilate,
     downsample_coords,
     flatten,
@@ -37,6 +59,36 @@ from .coords import (
     unflatten,
     upsample_coords,
 )
+
+#: Environment variable giving the default shard count for
+#: :func:`build_rules_sharded` callers that do not pass one explicitly
+#: (the engine's ``ExperimentRunner(rulegen_shards=...)`` knob reads it).
+RULEGEN_SHARDS_ENV_VAR = "REPRO_ENGINE_RULEGEN_SHARDS"
+
+
+def resolve_rulegen_shards(value=None) -> int:
+    """Validate a shard count; ``None`` falls back to the environment.
+
+    Mirrors the engine's worker-count validation: non-integer and
+    non-positive values raise a :class:`ValueError` naming the offending
+    source.  With no explicit value and no environment override the
+    result is 1 (unsharded).
+    """
+    source = "rulegen_shards"
+    if value is None:
+        value = os.environ.get(RULEGEN_SHARDS_ENV_VAR)
+        if value is None:
+            return 1
+        source = RULEGEN_SHARDS_ENV_VAR
+    try:
+        count = int(str(value).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a positive integer, got {value!r}"
+        ) from None
+    if count <= 0:
+        raise ValueError(f"{source} must be a positive integer, got {value!r}")
+    return count
 
 
 class ConvType(Enum):
@@ -118,6 +170,146 @@ def _lookup_sorted(haystack_flat: np.ndarray, needles_flat: np.ndarray) -> np.nd
     return np.where(found, pos, -1).astype(np.int64)
 
 
+def _resolve_output(
+    in_coords: np.ndarray,
+    in_shape: tuple,
+    conv_type: ConvType,
+    kernel_size: int,
+    stride: int,
+) -> tuple:
+    """(out_coords, out_shape, effective kernel_size) of one layer."""
+    if conv_type in (ConvType.SPCONV, ConvType.SPCONV_P):
+        if stride != 1:
+            raise ValueError("use ConvType.STRIDED for stride > 1")
+        return dilate(in_coords, in_shape, kernel_size), in_shape, kernel_size
+    if conv_type is ConvType.SUBM:
+        if stride != 1:
+            raise ValueError("submanifold convolution requires stride 1")
+        return in_coords.copy(), in_shape, kernel_size
+    if conv_type is ConvType.STRIDED:
+        if stride < 2:
+            raise ValueError("STRIDED requires stride >= 2")
+        out_coords, out_shape = downsample_coords(in_coords, in_shape, stride)
+        return out_coords, out_shape, kernel_size
+    if conv_type is ConvType.STRIDED_SUBM:
+        # Submanifold-style downsampling (SpConv-S models): an output is
+        # active only where an input maps directly under the stride, so
+        # no spatial dilation is introduced (paper Fig. 2(f), IOPR ~= 1).
+        if stride < 2:
+            raise ValueError("STRIDED_SUBM requires stride >= 2")
+        out_shape = (
+            (in_shape[0] + stride - 1) // stride,
+            (in_shape[1] + stride - 1) // stride,
+        )
+        if len(in_coords):
+            direct = _unique_flat_sorted(
+                flatten(in_coords // stride, out_shape),
+                out_shape[0] * out_shape[1],
+            )
+            out_coords = unflatten(direct, out_shape)
+        else:
+            out_coords = np.zeros((0, 2), dtype=np.int32)
+        return out_coords, out_shape, kernel_size
+    if conv_type is ConvType.DECONV:
+        if stride < 2:
+            raise ValueError("DECONV requires stride >= 2")
+        out_coords, out_shape = upsample_coords(in_coords, in_shape, stride)
+        return out_coords, out_shape, stride
+    raise ValueError(f"unsupported conv type {conv_type}")  # pragma: no cover
+
+
+def _empty_rules(rules: Rules) -> Rules:
+    empty = np.zeros(0, dtype=np.int64)
+    num_offsets = rules.kernel_size * rules.kernel_size
+    rules.pairs = [RulePairs(empty, empty) for _ in range(num_offsets)]
+    return rules
+
+
+def _fused_pairs(
+    in_block: np.ndarray,
+    in_base: int,
+    out_flat: np.ndarray,
+    out_base: int,
+    out_shape: tuple,
+    conv_type: ConvType,
+    kernel_size: int,
+    stride: int,
+) -> list:
+    """Per-offset :class:`RulePairs` for one contiguous CPR input slice.
+
+    All K kernel offsets are resolved in one batch: candidates form a
+    (K, P) block, the valid ones are flattened offset-major and a single
+    ``searchsorted`` over ``out_flat`` replaces the K separate lookups of
+    the reference loop.  ``in_base`` / ``out_base`` lift block-local row
+    numbers to global indices so the sharded path can pass the
+    halo-restricted output slice its band can reach.
+    """
+    rows = in_block[:, 0].astype(np.int64)
+    cols = in_block[:, 1].astype(np.int64)
+
+    if conv_type is ConvType.DECONV:
+        offsets = np.array(
+            [(dr, dc) for dr in range(stride) for dc in range(stride)],
+            dtype=np.int64,
+        )
+        flat = (
+            (rows[None, :] * stride + offsets[:, None, 0]) * out_shape[1]
+            + cols[None, :] * stride
+            + offsets[:, None, 1]
+        )
+        # Every upsampled position exists by construction, so the lookup
+        # needs no found-mask.
+        pos = np.searchsorted(out_flat, flat.reshape(-1))
+        pos = (out_base + pos).reshape(len(offsets), -1)
+        return [
+            RulePairs(
+                in_base + np.arange(len(in_block), dtype=np.int64),
+                pos[index],
+            )
+            for index in range(len(offsets))
+        ]
+
+    offsets = kernel_offsets(kernel_size).astype(np.int64)
+    # Input p at kernel offset o feeds output q with stride*q + o = p.
+    # Rows and columns stay separate planes: the (K, P) arithmetic is
+    # materially cheaper than broadcasting a (K, P, 2) block.
+    cand_rows = rows[None, :] - offsets[:, None, 0]
+    cand_cols = cols[None, :] - offsets[:, None, 1]
+    if stride == 1:
+        valid = np.ones((len(offsets), len(in_block)), dtype=bool)
+    else:
+        valid = (cand_rows % stride == 0) & (cand_cols % stride == 0)
+        cand_rows = cand_rows // stride
+        cand_cols = cand_cols // stride
+    valid &= (
+        (cand_rows >= 0)
+        & (cand_rows < out_shape[0])
+        & (cand_cols >= 0)
+        & (cand_cols < out_shape[1])
+    )
+    flat = cand_rows * out_shape[1] + cand_cols
+    needles = flat[valid]
+    if len(needles) and len(out_flat):
+        pos = np.searchsorted(out_flat, needles)
+        np.minimum(pos, len(out_flat) - 1, out=pos)
+        found = out_flat[pos] == needles
+    else:
+        pos = np.zeros(len(needles), dtype=np.int64)
+        found = np.zeros(len(needles), dtype=bool)
+
+    pairs = []
+    counts = valid.sum(axis=1)
+    cursor = 0
+    for index in range(len(offsets)):
+        stop = cursor + counts[index]
+        offset_found = found[cursor:stop]
+        in_idx = in_base + np.flatnonzero(valid[index])[offset_found]
+        out_idx = (out_base + pos[cursor:stop][offset_found]).astype(np.int64)
+        pairs.append(RulePairs(in_idx.astype(np.int64), out_idx))
+        cursor = stop
+    return pairs
+
+
 def build_rules(
     in_coords: np.ndarray,
     in_shape: tuple,
@@ -126,6 +318,9 @@ def build_rules(
     stride: int = 1,
 ) -> Rules:
     """Generate the input-output mapping for one sparse convolution layer.
+
+    This is the fused path: one (K, P) candidate batch, one
+    ``searchsorted``.  Bit-identical to :func:`build_rules_reference`.
 
     Args:
         in_coords: (P, 2) CPR-sorted active input coordinates.
@@ -138,44 +333,119 @@ def build_rules(
         A :class:`Rules` with ascending per-offset index lists.
     """
     in_coords = np.asarray(in_coords, dtype=np.int32)
+    out_coords, out_shape, kernel_size = _resolve_output(
+        in_coords, in_shape, conv_type, kernel_size, stride
+    )
+    rules = Rules(
+        conv_type=conv_type,
+        kernel_size=kernel_size,
+        stride=stride,
+        in_shape=in_shape,
+        out_shape=out_shape,
+        in_coords=in_coords,
+        out_coords=out_coords,
+    )
+    if len(in_coords) == 0:
+        return _empty_rules(rules)
+    rules.pairs = _fused_pairs(
+        in_coords,
+        0,
+        flatten(out_coords, out_shape),
+        0,
+        out_shape,
+        conv_type,
+        kernel_size,
+        stride,
+    )
+    return rules
 
-    if conv_type in (ConvType.SPCONV, ConvType.SPCONV_P):
-        if stride != 1:
-            raise ValueError("use ConvType.STRIDED for stride > 1")
-        out_coords = dilate(in_coords, in_shape, kernel_size)
-        out_shape = in_shape
-    elif conv_type is ConvType.SUBM:
-        if stride != 1:
-            raise ValueError("submanifold convolution requires stride 1")
-        out_coords = in_coords.copy()
-        out_shape = in_shape
-    elif conv_type is ConvType.STRIDED:
-        if stride < 2:
-            raise ValueError("STRIDED requires stride >= 2")
-        out_coords, out_shape = downsample_coords(in_coords, in_shape, stride)
-    elif conv_type is ConvType.STRIDED_SUBM:
-        # Submanifold-style downsampling (SpConv-S models): an output is
-        # active only where an input maps directly under the stride, so
-        # no spatial dilation is introduced (paper Fig. 2(f), IOPR ~= 1).
-        if stride < 2:
-            raise ValueError("STRIDED_SUBM requires stride >= 2")
-        out_shape = (
-            (in_shape[0] + stride - 1) // stride,
-            (in_shape[1] + stride - 1) // stride,
-        )
-        if len(in_coords):
-            direct = np.unique(flatten(in_coords // stride, out_shape))
-            out_coords = unflatten(direct, out_shape)
-        else:
-            out_coords = np.zeros((0, 2), dtype=np.int32)
-    elif conv_type is ConvType.DECONV:
-        if stride < 2:
-            raise ValueError("DECONV requires stride >= 2")
-        kernel_size = stride
-        out_coords, out_shape = upsample_coords(in_coords, in_shape, stride)
-    else:  # pragma: no cover - exhaustive enum
-        raise ValueError(f"unsupported conv type {conv_type}")
 
+def _band_bounds(row_pointers: np.ndarray, in_coords: np.ndarray,
+                 shards: int) -> list:
+    """Row-aligned (start, stop) pillar slices of ~equal population.
+
+    Cut points target equal pillar counts, then snap outward to the CPR
+    row boundary so every band is a whole number of rows (a row is the
+    RGU's atomic work unit).  Degenerate frames (fewer occupied rows than
+    shards) simply yield fewer bands.
+    """
+    total = len(in_coords)
+    targets = (np.arange(1, shards) * total) // shards
+    cut_rows = in_coords[targets, 0]
+    starts = row_pointers[cut_rows]
+    bounds = np.unique(np.concatenate([[0], starts, [total]]))
+    return [
+        (int(bounds[index]), int(bounds[index + 1]))
+        for index in range(len(bounds) - 1)
+        if bounds[index + 1] > bounds[index]
+    ]
+
+
+def _band_out_rows(first_row: int, last_row: int, out_rows: int,
+                   conv_type: ConvType, kernel_size: int,
+                   stride: int) -> tuple:
+    """Output-row halo a band of input rows [first, last] can reach.
+
+    The halo is ``kernel_size // 2`` rows for the stride-1 convolutions
+    (an even kernel reaches asymmetrically, matching
+    :func:`repro.sparse.coords.kernel_offsets`); strided variants divide
+    it through the stride and DECONV scales it up.  The returned range is
+    clamped to the output grid and is a superset of the rows the band's
+    candidates can land in — resolving against this slice is therefore
+    exactly equivalent to resolving against the full output set.
+    """
+    if conv_type is ConvType.DECONV:
+        lo = first_row * stride
+        hi = last_row * stride + stride - 1
+    else:
+        half = (kernel_size - 1) // 2
+        hi_offset = kernel_size - 1 - half
+        lo = (first_row - hi_offset) // stride
+        hi = (last_row + half) // stride
+    return max(lo, 0), min(hi, out_rows - 1)
+
+
+def build_rules_sharded(
+    in_coords: np.ndarray,
+    in_shape: tuple,
+    conv_type: ConvType,
+    kernel_size: int = 3,
+    stride: int = 1,
+    shards: int = None,
+    max_workers: int = None,
+) -> Rules:
+    """Row-parallel rule generation over CPR row bands.
+
+    The frame is split into ``shards`` contiguous row bands along the CPR
+    ``row_pointers`` (the paper's RGU processes the CPR encoding
+    row-parallel the same way); each band fuses its candidate lookups
+    against only the ``kernel_size // 2``-halo slice of output rows it
+    can reach, bands run on a thread pool (the numpy kernels release the
+    GIL), and the per-offset lists are merged in band order — which
+    preserves the ascending-index invariant because bands partition the
+    inputs in CPR order.
+
+    The result is bit-identical to :func:`build_rules` /
+    :func:`build_rules_reference` for every :class:`ConvType`, any shard
+    count (including counts exceeding the occupied-row count) and empty
+    frames.
+
+    Args:
+        shards: Number of row bands; ``None`` reads
+            ``REPRO_ENGINE_RULEGEN_SHARDS`` (default 1).  Values larger
+            than the occupied-row count degrade gracefully.
+        max_workers: Thread-pool width for the band fan-out; defaults to
+            ``min(bands, cpu_count)``.
+    """
+    shards = resolve_rulegen_shards(shards)
+    in_coords = np.asarray(in_coords, dtype=np.int32)
+    if shards <= 1 or len(in_coords) == 0:
+        return build_rules(in_coords, in_shape, conv_type, kernel_size,
+                           stride)
+
+    out_coords, out_shape, kernel_size = _resolve_output(
+        in_coords, in_shape, conv_type, kernel_size, stride
+    )
     rules = Rules(
         conv_type=conv_type,
         kernel_size=kernel_size,
@@ -186,11 +456,88 @@ def build_rules(
         out_coords=out_coords,
     )
 
+    row_pointers, _ = cpr_encode(in_coords, in_shape)
+    bands = _band_bounds(row_pointers, in_coords, shards)
+    out_flat = flatten(out_coords, out_shape)
+    # CPR row pointers of the *output* set: each band resolves against
+    # only the slice of output rows inside its halo.
+    out_row_pointers = np.searchsorted(
+        out_coords[:, 0], np.arange(out_shape[0] + 1)
+    )
+
+    def band_pairs(bounds: tuple) -> list:
+        start, stop = bounds
+        block = in_coords[start:stop]
+        lo_row, hi_row = _band_out_rows(
+            int(block[0, 0]), int(block[-1, 0]), out_shape[0],
+            conv_type, kernel_size, stride,
+        )
+        if hi_row < lo_row:
+            slice_start = slice_stop = 0
+        else:
+            slice_start = int(out_row_pointers[lo_row])
+            slice_stop = int(out_row_pointers[hi_row + 1])
+        return _fused_pairs(
+            block,
+            start,
+            out_flat[slice_start:slice_stop],
+            slice_start,
+            out_shape,
+            conv_type,
+            kernel_size,
+            stride,
+        )
+
+    if len(bands) > 1:
+        workers = max_workers or min(len(bands), os.cpu_count() or 1)
+    else:
+        workers = 1
+    if workers > 1:
+        with ThreadPoolExecutor(min(workers, len(bands))) as pool:
+            per_band = list(pool.map(band_pairs, bands))
+    else:
+        per_band = [band_pairs(bounds) for bounds in bands]
+
+    num_offsets = len(per_band[0])
+    rules.pairs = [
+        RulePairs(
+            np.concatenate([band[index].in_idx for band in per_band]),
+            np.concatenate([band[index].out_idx for band in per_band]),
+        )
+        for index in range(num_offsets)
+    ]
+    return rules
+
+
+def build_rules_reference(
+    in_coords: np.ndarray,
+    in_shape: tuple,
+    conv_type: ConvType,
+    kernel_size: int = 3,
+    stride: int = 1,
+) -> Rules:
+    """The original per-offset rule-generation loop (validation oracle).
+
+    K separate lookups, one per kernel offset — the pre-fusion hot path.
+    :func:`build_rules` and :func:`build_rules_sharded` are asserted
+    bit-identical to this implementation in the test suite, and the
+    trace-scaling benchmark measures the fused speedup against it.
+    """
+    in_coords = np.asarray(in_coords, dtype=np.int32)
+    out_coords, out_shape, kernel_size = _resolve_output(
+        in_coords, in_shape, conv_type, kernel_size, stride
+    )
+    rules = Rules(
+        conv_type=conv_type,
+        kernel_size=kernel_size,
+        stride=stride,
+        in_shape=in_shape,
+        out_shape=out_shape,
+        in_coords=in_coords,
+        out_coords=out_coords,
+    )
     if len(in_coords) == 0:
-        empty = np.zeros(0, dtype=np.int64)
-        num_offsets = kernel_size * kernel_size
-        rules.pairs = [RulePairs(empty, empty) for _ in range(num_offsets)]
-        return rules
+        return _empty_rules(rules)
 
     out_flat = flatten(out_coords, out_shape)
 

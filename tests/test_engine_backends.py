@@ -7,6 +7,9 @@ import pytest
 
 from repro.engine import (
     BACKEND_ENV_VAR,
+    CACHE_DIR_ENV_VAR,
+    RULEGEN_SHARDS_ENV_VAR,
+    TRACE_WORKERS_ENV_VAR,
     WORKERS_ENV_VAR,
     ExperimentRunner,
     FrameProvider,
@@ -219,10 +222,12 @@ class TestFrameBatching:
         calls = []
         real_trace_model = cache_module.trace_model
 
-        def counting(spec, coords, importance=None, grid_shape=None):
+        def counting(spec, coords, importance=None, grid_shape=None,
+                     rulegen_shards=None):
             calls.append(spec.name)
             return real_trace_model(spec, coords, importance,
-                                    grid_shape=grid_shape)
+                                    grid_shape=grid_shape,
+                                    rulegen_shards=rulegen_shards)
 
         monkeypatch.setattr(cache_module, "trace_model", counting)
         runner = _subset_runner(
@@ -260,3 +265,144 @@ class TestFrameBatching:
         assert mean.frame == "mean"
         with pytest.raises(ValueError):
             mean_result([])
+
+
+class TestTraceStageKnobs:
+    def test_trace_workers_defaults_to_max_workers(self, monkeypatch):
+        monkeypatch.delenv(TRACE_WORKERS_ENV_VAR, raising=False)
+        runner = _subset_runner(max_workers=3)
+        assert runner.trace_workers == 3
+
+    def test_trace_workers_env_override(self, monkeypatch):
+        monkeypatch.setenv(TRACE_WORKERS_ENV_VAR, "5")
+        assert _subset_runner(max_workers=2).trace_workers == 5
+
+    def test_trace_workers_argument_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv(TRACE_WORKERS_ENV_VAR, "5")
+        runner = _subset_runner(max_workers=2, trace_workers=4)
+        assert runner.trace_workers == 4
+
+    @pytest.mark.parametrize("value", ["0", "-1", "one", "1.5", ""])
+    def test_invalid_trace_workers_env_rejected(self, monkeypatch, value):
+        monkeypatch.setenv(TRACE_WORKERS_ENV_VAR, value)
+        with pytest.raises(ValueError, match=TRACE_WORKERS_ENV_VAR):
+            _subset_runner()
+
+    @pytest.mark.parametrize("value", [0, -2, "two", 2.5])
+    def test_invalid_trace_workers_argument_rejected(self, value):
+        with pytest.raises(ValueError, match="trace_workers"):
+            _subset_runner(trace_workers=value)
+
+    @pytest.mark.parametrize("value", ["0", "-1", "half", ""])
+    def test_invalid_rulegen_shards_env_rejected(self, monkeypatch, value):
+        monkeypatch.setenv(RULEGEN_SHARDS_ENV_VAR, value)
+        with pytest.raises(ValueError, match=RULEGEN_SHARDS_ENV_VAR):
+            _subset_runner()
+
+    @pytest.mark.parametrize("value", [0, -1, "many", 1.5])
+    def test_invalid_rulegen_shards_argument_rejected(self, value):
+        with pytest.raises(ValueError, match="rulegen_shards"):
+            _subset_runner(rulegen_shards=value)
+
+    def test_rulegen_shards_env_default(self, monkeypatch):
+        monkeypatch.setenv(RULEGEN_SHARDS_ENV_VAR, "2")
+        assert _subset_runner().rulegen_shards == 2
+        monkeypatch.delenv(RULEGEN_SHARDS_ENV_VAR)
+        assert _subset_runner().rulegen_shards == 1
+
+    def test_sharded_runner_table_identical(self):
+        """Acceptance: rulegen sharding changes speed only — the table is
+        bit-identical to the unsharded run."""
+        plain = _subset_runner(models=["SPP3"]).run(backend="serial")
+        sharded = _subset_runner(models=["SPP3"], rulegen_shards=3,
+                                 trace_workers=2).run(backend="serial")
+        assert len(plain) == len(sharded)
+        for left, right in zip(plain, sharded):
+            assert left == right
+
+
+class TestSerialFallback:
+    def test_thread_backend_width_one_skips_pool(self, monkeypatch):
+        import repro.engine.backends as backends_module
+
+        def no_pool(*args, **kwargs):
+            raise AssertionError("width-1 thread backend must not pool")
+
+        monkeypatch.setattr(backends_module, "ThreadPoolExecutor", no_pool)
+        runner = _subset_runner(models=["SPP3"], simulators=["spade-he"],
+                                max_workers=1)
+        table = runner.run(backend="thread")
+        assert len(table) == 1
+        assert table.results[0].raw is not None  # in-process, like serial
+
+    def test_process_backend_width_one_skips_pool(self, monkeypatch):
+        import repro.engine.backends as backends_module
+
+        def no_pool(*args, **kwargs):
+            raise AssertionError("width-1 process backend must not pool")
+
+        monkeypatch.setattr(backends_module, "ProcessPoolExecutor", no_pool)
+        runner = _subset_runner(models=["SPP3"], simulators=["spade-he"],
+                                max_workers=1)
+        table = runner.run(backend="process")
+        assert len(table) == 1
+        # The backend's contract survives the fallback: raw never ships.
+        assert table.results[0].raw is None
+        serial = runner.run(backend="serial")
+        assert table.results[0] == serial.results[0]
+
+    def test_width_one_fallback_matches_pooled_numbers(self):
+        pooled = _subset_runner(models=["SPP3"], simulators=["spade-he"],
+                                max_workers=2).run(backend="process")
+        fallback = _subset_runner(models=["SPP3"], simulators=["spade-he"],
+                                  max_workers=1).run(backend="process")
+        for left, right in zip(pooled, fallback):
+            assert left == right
+
+
+class TestProcessTraceStage:
+    def test_workers_share_traces_through_disk_tier(self, tmp_path,
+                                                    monkeypatch):
+        """The trace stage persists every unique (scenario, model, frame)
+        to the shared disk tier, and the simulate stage's rows match the
+        serial backend bit for bit."""
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
+        scenarios = [Scenario("a", seed=0), Scenario("b", seed=9)]
+        process = _subset_runner(
+            models=["SPP3"], simulators=["spade-he"],
+            scenarios=list(scenarios), max_workers=2,
+        ).run(backend="process")
+        # one trace file per unique (scenario, frame) on this one model
+        assert len(list(tmp_path.glob("*.trace.pkl"))) == 2
+        monkeypatch.delenv(CACHE_DIR_ENV_VAR)
+        serial = _subset_runner(
+            models=["SPP3"], simulators=["spade-he"],
+            scenarios=list(scenarios),
+        ).run(backend="serial")
+        assert len(process) == len(serial) == 2
+        for left, right in zip(serial, process):
+            assert left == right
+
+    def test_auto_tempdir_cleaned_up(self, monkeypatch):
+        import repro.engine.backends as backends_module
+
+        monkeypatch.delenv(CACHE_DIR_ENV_VAR, raising=False)
+        created = []
+        real_mkdtemp = backends_module.tempfile.mkdtemp
+
+        def tracking_mkdtemp(*args, **kwargs):
+            path = real_mkdtemp(*args, **kwargs)
+            created.append(path)
+            return path
+
+        monkeypatch.setattr(backends_module.tempfile, "mkdtemp",
+                            tracking_mkdtemp)
+        table = _subset_runner(
+            models=["SPP3"], simulators=["spade-he"], max_workers=2,
+        ).run(backend="process")
+        assert len(table) == 1
+        assert len(created) == 1
+        import os
+
+        assert not os.path.exists(created[0])
+        assert os.environ.get(CACHE_DIR_ENV_VAR) is None

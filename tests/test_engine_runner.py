@@ -52,7 +52,14 @@ class TestTraceCache:
             importance.copy(),
         )
         assert first is second
-        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+        assert cache.stats() == {
+            "entries": 1,
+            "hits": 1,
+            "misses": 1,
+            "disk_hits": 0,
+            "disk_writes": 0,
+            "disk_dir": None,
+        }
 
     def test_different_frame_misses(self, kitti_batch, mini_batch):
         cache = TraceCache()
@@ -102,10 +109,12 @@ class TestRunnerCaching:
         calls = []
         real_trace_model = cache_module.trace_model
 
-        def counting(spec, coords, importance=None, grid_shape=None):
+        def counting(spec, coords, importance=None, grid_shape=None,
+                     rulegen_shards=None):
             calls.append(spec.name)
             return real_trace_model(spec, coords, importance,
-                                    grid_shape=grid_shape)
+                                    grid_shape=grid_shape,
+                                    rulegen_shards=rulegen_shards)
 
         monkeypatch.setattr(cache_module, "trace_model", counting)
         runner = ExperimentRunner(
@@ -220,10 +229,12 @@ class TestRunnerParallelism:
         calls = []
         real_trace_model = cache_module.trace_model
 
-        def counting(spec, coords, importance=None, grid_shape=None):
+        def counting(spec, coords, importance=None, grid_shape=None,
+                     rulegen_shards=None):
             calls.append(spec.name)
             return real_trace_model(spec, coords, importance,
-                                    grid_shape=grid_shape)
+                                    grid_shape=grid_shape,
+                                    rulegen_shards=rulegen_shards)
 
         monkeypatch.setattr(cache_module, "trace_model", counting)
         runner = ExperimentRunner(
