@@ -5,8 +5,11 @@ Xeon / Jetson Nano.  Paper averages (HE): 3.5x / 4.1x / 28.8x speedup and
 349.8x / 349.3x / 84.6x energy savings; overall ranges 1.1-77.6x speedup,
 48.8-1117.8x energy savings.
 
-The sweep runs through the unified engine: one ExperimentRunner grid of
-models x (SPADE + platforms), all sharing the session trace cache.
+The sweep is *declared*, not assembled: one
+:class:`~repro.engine.ExperimentSpec` of registry spec strings
+(``"spade-he"``, ``"platform:A6000"`` ...) — the exact grid shape a
+``repro run`` spec file carries (see ``examples/specs/fig9_kitti.json``)
+— materialized onto the session trace cache.
 """
 
 from __future__ import annotations
@@ -16,15 +19,18 @@ import numpy as np
 from repro.analysis import format_table
 from repro.baselines import HIGH_END_PLATFORMS, LOW_END_PLATFORMS
 from repro.core import SPADE_HE, SPADE_LE
-from repro.engine import ExperimentRunner, PlatformSim, SpadeSimulator
+from repro.engine import ExperimentSpec
 from repro.models import SPARSE_MODELS
 
 
 def _compare(traces, config, platforms):
-    runner = ExperimentRunner(
-        simulators=[SpadeSimulator(config)]
-        + [PlatformSim(platform) for platform in platforms],
+    spec = ExperimentSpec(
+        name=f"fig9-{config.name.lower()}",
+        simulators=[f"spade-{config.name.lower()}"]
+        + [f"platform:{platform.name}" for platform in platforms],
         models=list(SPARSE_MODELS),
+    )
+    runner = spec.build_runner(
         trace_provider=lambda scenario, name: traces(name),
     )
     table = runner.run()

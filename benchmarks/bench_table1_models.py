@@ -5,6 +5,12 @@ frames: average GOPs per frame and computation savings relative to the
 dense counterpart, for all seven sparse models plus the dense baselines.
 (The mAP columns are covered by bench_fig13a_accuracy_sparsity.py, which
 runs the scaled-down accuracy pipeline.)
+
+The sweep runs as a declarative engine grid — the registered ``"stats"``
+workload simulator over every Table I model (the shape a
+``repro run`` spec file carries, see ``examples/specs/table1_kitti.json``)
+— so the GOPs/savings columns come out of an
+:class:`~repro.engine.ExperimentTable` instead of hand-walked traces.
 """
 
 from __future__ import annotations
@@ -13,18 +19,25 @@ from repro.analysis import dense_counterpart, format_table
 from repro.models import TABLE1_MODELS, TABLE1_PAPER
 
 
-def _table1_rows(traces):
+def _table1_rows(make_runner):
+    # Table I already lists every dense counterpart (PP, CP, PN-Dense).
+    table = make_runner(["stats"], list(TABLE1_MODELS)).run()
+
+    def gops(name):
+        result = table.get(model=name, simulator="TraceStats")
+        return result.extras["total_ops"] / 1e9
+
     rows = []
     for name in TABLE1_MODELS:
-        trace = traces(name)
-        dense_trace = traces(dense_counterpart(name))
-        savings = trace.savings_vs(dense_trace)
+        measured = gops(name)
+        dense = gops(dense_counterpart(name))
+        savings = 1.0 - measured / dense if dense else 0.0
         paper = TABLE1_PAPER[name]
         rows.append(
             (
                 name,
                 paper.avg_gops,
-                trace.total_ops / 1e9,
+                measured,
                 paper.sparsity_pct,
                 100.0 * savings,
             )
@@ -32,8 +45,8 @@ def _table1_rows(traces):
     return rows
 
 
-def test_table1_gops_and_sparsity(benchmark, traces):
-    rows = benchmark.pedantic(_table1_rows, args=(traces,), rounds=1,
+def test_table1_gops_and_sparsity(benchmark, make_runner):
+    rows = benchmark.pedantic(_table1_rows, args=(make_runner,), rounds=1,
                               iterations=1)
     print()
     print(format_table(

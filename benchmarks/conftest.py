@@ -23,7 +23,13 @@ import numpy as np
 import pytest
 
 from repro.data.grids import GridSpec
-from repro.engine import ExperimentRunner, FrameProvider, Scenario, TraceCache
+from repro.engine import (
+    ExperimentRunner,
+    ExperimentSpec,
+    FrameProvider,
+    Scenario,
+    TraceCache,
+)
 from repro.models import build_model_spec, grid_for
 from repro.models.specs import LayerOp, LayerSpec, ModelSpec
 from repro.sparse import ConvType
@@ -113,12 +119,23 @@ def traces(frame_for, trace_cache):
 
 @pytest.fixture(scope="session")
 def make_runner(traces):
-    """Factory for engine grids fed by the session's cached traces."""
+    """Factory for engine grids fed by the session's cached traces.
+
+    Grids are declared through :class:`ExperimentSpec` — the same
+    declarative layer ``repro run`` executes — with the session trace
+    provider injected as the runtime override a spec file cannot carry;
+    remaining keyword arguments pass through to
+    :meth:`ExperimentSpec.build_runner` (knob overrides, cell filters).
+    """
 
     def build(simulators, models, **kwargs) -> ExperimentRunner:
-        return ExperimentRunner(
-            simulators=simulators,
+        spec = ExperimentSpec(
+            name="bench",
+            simulators=list(simulators),
             models=list(models),
+            scenarios=kwargs.pop("scenarios", None),
+        )
+        return spec.build_runner(
             trace_provider=lambda scenario, name: traces(name),
             **kwargs,
         )
@@ -189,10 +206,13 @@ def micro_runner(simulators, shape: tuple, counts, channels: int = 64,
                  seed: int = 0) -> ExperimentRunner:
     """Engine grid sweeping active pillar counts on one micro layer."""
     labels = {f"p{count}": count for count in counts}
-    return ExperimentRunner(
-        simulators=simulators,
+    spec = ExperimentSpec(
+        name="micro",
+        simulators=list(simulators),
         models=[micro_model_spec(shape, channels)],
         scenarios=[Scenario(label, seed=seed) for label in labels],
+    )
+    return spec.build_runner(
         frame_provider=UniformMaskFrames(labels, shape),
         cache=TraceCache(),
     )

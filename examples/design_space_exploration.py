@@ -2,12 +2,16 @@
 
 A hardware architect adopting SPADE would sweep the microarchitecture:
 PE array size, buffer capacities, and the dataflow optimizations.  This
-example declares the whole sweep as one engine grid — ten simulator
-variants on the SPP2 workload — and lets the
-:class:`~repro.engine.ExperimentRunner` trace the frame once and fan the
-configurations out over worker threads.  The printed table shows
-latency / energy / area / efficiency so the Pareto frontier is visible,
-including the paper's HE and LE design points.
+example shows the engine's *plugin registry* doing real work: the sweep
+registers its own simulator family (``@register_simulator("dse")``)
+whose factory maps variant keys to custom :class:`SpadeConfig` points,
+then declares the whole sweep as an
+:class:`~repro.engine.ExperimentSpec` of plain ``"dse-..."`` spec
+strings — exactly what a third-party accelerator plugin would do, and
+the registered family works in JSON spec files and the ``repro`` CLI
+too (``repro describe dse-he`` once this module is imported).  The
+printed table shows latency / energy / area / efficiency so the Pareto
+frontier is visible, including the paper's HE and LE design points.
 
 Run:  python examples/design_space_exploration.py
 """
@@ -16,56 +20,69 @@ from dataclasses import replace
 
 from repro.analysis import format_table
 from repro.core import SPADE_HE, SPADE_LE, SpadeConfig, accelerator_area
-from repro.engine import ExperimentRunner, Scenario, SpadeSimulator
+from repro.engine import ExperimentSpec, SpadeSimulator, register_simulator
+
+#: The sweep: array sizes around the paper's HE/LE design points.
+CANDIDATES = {
+    "le": ("LE (paper)", SPADE_LE),
+    "32x32": ("32x32", SpadeConfig(name="32x32", pe_rows=32, pe_cols=32,
+                                   buf_in_bytes=32 * 1024,
+                                   buf_out_bytes=128 * 1024,
+                                   dram_bytes_per_cycle=32)),
+    "he": ("HE (paper)", SPADE_HE),
+    "hesmallbuf": ("HE small-buf", replace(SPADE_HE,
+                                           buf_in_bytes=8 * 1024,
+                                           buf_out_bytes=64 * 1024)),
+    "128x128": ("128x128", SpadeConfig(name="128x128", pe_rows=128,
+                                       pe_cols=128,
+                                       buf_in_bytes=64 * 1024,
+                                       buf_out_bytes=512 * 1024,
+                                       dram_bytes_per_cycle=128)),
+}
 
 
-def candidate_configs():
-    """The sweep: array sizes around the paper's HE/LE points."""
-    yield "LE (paper)", SPADE_LE
-    yield "32x32", SpadeConfig(name="32x32", pe_rows=32, pe_cols=32,
-                               buf_in_bytes=32 * 1024,
-                               buf_out_bytes=128 * 1024,
-                               dram_bytes_per_cycle=32)
-    yield "HE (paper)", SPADE_HE
-    yield "HE small-buf", replace(SPADE_HE, buf_in_bytes=8 * 1024,
-                                  buf_out_bytes=64 * 1024)
-    yield "128x128", SpadeConfig(name="128x128", pe_rows=128, pe_cols=128,
-                                 buf_in_bytes=64 * 1024,
-                                 buf_out_bytes=512 * 1024,
-                                 dram_bytes_per_cycle=128)
+@register_simulator("dse", overwrite=True)
+def build_dse_variant(key: str = "", *flags):
+    """This sweep's SPADE variants: ``dse-<key>`` / ``dse-<key>-noopt``."""
+    if key not in CANDIDATES:
+        raise ValueError(
+            f"unknown DSE variant {key!r}; choices: {sorted(CANDIDATES)}"
+        )
+    label, config = CANDIDATES[key]
+    optimize = "noopt" not in flags
+    name = label + ("" if optimize else " (no opt)")
+    return SpadeSimulator(config, optimize=optimize, name=name)
 
 
 def main():
-    variants = []
-    for label, config in candidate_configs():
-        for optimize in (True, False):
-            name = label + ("" if optimize else " (no opt)")
-            variants.append(
-                (name, config,
-                 SpadeSimulator(config, optimize=optimize, name=name))
-            )
-
-    runner = ExperimentRunner(
-        simulators=[simulator for _, _, simulator in variants],
+    # Ten simulators — five design points, with and without the
+    # dataflow optimizations — declared as spec strings resolved
+    # through the registered "dse" family.
+    spec = ExperimentSpec(
+        name="design-space",
+        simulators=[f"dse-{key}" for key in CANDIDATES]
+        + [f"dse-{key}-noopt" for key in CANDIDATES],
         models=["SPP2"],
-        scenarios=[Scenario("kitti-dse", seed=3)],
+        scenarios=[{"name": "kitti-dse", "seed": 3}],
     )
-    table = runner.run()  # one trace, ten configs, parallel fan-out
+    table = spec.run()  # one trace, ten configs, parallel fan-out
 
     rows = []
-    for name, config, _ in variants:
-        result = table.get(model="SPP2", simulator=name)
-        area = accelerator_area(config).total_mm2
-        rows.append((
-            name,
-            config.peak_tops,
-            result.latency_ms,
-            result.fps,
-            result.energy_mj,
-            area,
-            result.fps / area,
-            result.utilization,
-        ))
+    for key, (label, config) in CANDIDATES.items():
+        for optimize in (True, False):
+            name = label + ("" if optimize else " (no opt)")
+            result = table.get(model="SPP2", simulator=name)
+            area = accelerator_area(config).total_mm2
+            rows.append((
+                name,
+                config.peak_tops,
+                result.latency_ms,
+                result.fps,
+                result.energy_mj,
+                area,
+                result.fps / area,
+                result.utilization,
+            ))
 
     print(format_table(
         ["config", "peak TOPS", "latency ms", "FPS", "energy mJ",

@@ -6,35 +6,43 @@ and the ideal dense accelerator — printing the computation savings,
 latency, FPS and energy, which is the paper's headline result in
 miniature.
 
-Everything drives through the unified engine: one
-:class:`~repro.engine.ExperimentRunner` grid owns frame generation, the
-trace cache (rulegen runs once per model) and both simulators.
+The experiment is *declared as data*: an
+:class:`~repro.engine.ExperimentSpec` names the simulators (registry
+spec strings), the models, the scenario and the two meaningful grid
+cells — the same JSON-serializable form the ``repro`` CLI executes
+(``repro run examples/specs/smoke.json``), materialized here with
+:meth:`~repro.engine.ExperimentSpec.build_runner`.
 
 Run:  python examples/quickstart.py
 """
 
 from repro.analysis import format_table
-from repro.core import SPADE_HE
-from repro.engine import (
-    DenseAccSimulator,
-    ExperimentRunner,
-    Scenario,
-    SpadeSimulator,
-)
+from repro.engine import ExperimentSpec
 
 
 def main():
-    scenario = Scenario("kitti-demo", seed=42)
-    runner = ExperimentRunner(
-        simulators=[SpadeSimulator(SPADE_HE), DenseAccSimulator(SPADE_HE)],
+    spec = ExperimentSpec(
+        name="quickstart",
+        simulators=["spade-he", "dense-he"],
         models=["SPP2", "PP"],
-        scenarios=[scenario],
+        scenarios=[{"name": "kitti-demo", "seed": 42}],
         # Only the two cells the story needs: SPADE runs the sparse
         # model, the ideal dense accelerator runs its dense counterpart.
-        cell_filter=lambda scenario, model, simulator: (
-            (model == "SPP2") == simulator.name.startswith("SPADE")
-        ),
+        cells=[
+            {"model": "SPP2", "simulator": "SPADE*"},
+            {"model": "PP", "simulator": "DenseAcc*"},
+        ],
     )
+    runner = spec.build_runner()
+    scenario = runner.scenarios[0]
+
+    print("0. The whole experiment is one declarative spec "
+          "(runnable as `repro run spec.json`):")
+    print("   " + ", ".join(
+        f"{key}={value!r}"
+        for key, value in spec.to_dict().items()
+        if value and key in ("simulators", "models", "cells")
+    ))
 
     print("1. Generating a synthetic 64-beam LiDAR sweep and encoding "
           "pillars on the KITTI grid (432 x 496)...")

@@ -6,42 +6,47 @@ per-layer IOPR, and the accuracy-relevant occupancy statistics — the
 data a model architect uses to pick a Pareto point (the paper picks
 SPP2/SCP2).
 
-Frames and traces come from the unified engine: a
-:class:`~repro.engine.FrameProvider` seeds one frame per grid and a
-:class:`~repro.engine.TraceCache` runs rulegen once per model — the
-dense counterparts and the Fig. 2(d-f) IOPR series all reuse the same
+The whole exploration is one declarative
+:class:`~repro.engine.ExperimentSpec`: the registered ``"stats"``
+workload simulator over all eleven Table I models (also runnable from
+the shell — ``repro run examples/specs/table1_kitti.json`` carries the
+KITTI half).  The runner owns frame generation and the trace cache, so
+rulegen happens once per model and the Fig. 2(d-f) IOPR pass reuses the
 cached traces instead of re-tracing.
 
 Run:  python examples/sparsity_explorer.py
 """
 
 from repro.analysis import dense_counterpart, format_table, iopr_series
-from repro.engine import FrameProvider, Scenario, TraceCache
-from repro.models import TABLE1_MODELS, TABLE1_PAPER, build_model_spec
+from repro.engine import ExperimentSpec
+from repro.models import TABLE1_MODELS, TABLE1_PAPER
 
 
 def main():
-    scenario = Scenario("explore", seed=1)
-    frames = FrameProvider()
-    cache = TraceCache()
+    spec = ExperimentSpec(
+        name="sparsity-explorer",
+        simulators=["stats"],
+        models=list(TABLE1_MODELS),
+        scenarios=[{"name": "explore", "seed": 1}],
+    )
+    runner = spec.build_runner()
+    scenario = runner.scenarios[0]
+    table = runner.run()
 
-    def trace(name):
-        frame = frames.frame_for(scenario, name)
-        return cache.get_trace(
-            build_model_spec(name),
-            frame.coords,
-            frame.point_counts.astype(float),
-        )
+    def gops(name):
+        row = table.get(model=name, simulator="TraceStats")
+        return row.extras["total_ops"] / 1e9
 
     rows = []
     for name in TABLE1_MODELS:
-        model_trace = trace(name)
-        savings = model_trace.savings_vs(trace(dense_counterpart(name)))
+        measured = gops(name)
+        dense = gops(dense_counterpart(name))
+        savings = 1.0 - measured / dense if dense else 0.0
         paper = TABLE1_PAPER[name]
         rows.append((
             name,
             paper.backbone,
-            model_trace.total_ops / 1e9,
+            measured,
             paper.avg_gops,
             100 * savings,
             paper.sparsity_pct,
@@ -57,14 +62,14 @@ def main():
 
     print("\nPer-layer IOPR of the three SPP variants (Fig. 2(d-f)):")
     for name in ("SPP1", "SPP2", "SPP3"):
-        series = iopr_series(trace(name))
+        series = iopr_series(runner.trace_for(scenario, name))
         line = ", ".join(
             f"{layer}={iopr:.2f}" for layer, iopr, _ in series[:8]
         )
         print(f"  {name}: {line} ...")
 
-    print(f"\nTrace cache: {cache.stats()} — every model traced once, "
-          "the IOPR pass served from cache.")
+    print(f"\nTrace cache: {runner.cache.stats()} — every model traced "
+          "once, the IOPR pass served from cache.")
     print("\nReading: SpConv models (SPP1) dilate and lose sparsity; "
           "SpConv-S (SPP3) keeps IOPR=1 but costs accuracy; SpConv-P "
           "(SPP2) prunes at stage starts and lands in between — the "

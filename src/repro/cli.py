@@ -1,0 +1,334 @@
+"""``repro`` — the command-line front-end for the simulation engine.
+
+Experiments are declarative :class:`~repro.engine.spec.ExperimentSpec`
+JSON files; this module is the thin shell over the engine that runs
+them and inspects the registries:
+
+* ``repro run spec.json [--backend process] [--out results.csv]``
+  — load, validate and execute a spec, writing the resulting
+  :class:`~repro.engine.ExperimentTable` as CSV/JSON (``--out -`` for
+  stdout, no ``--out`` for a formatted text table);
+* ``repro list simulators|models|backends|frame-providers``
+  — enumerate what the registries and the Table I zoo offer;
+* ``repro list scenarios spec.json``
+  — the scenario axis of one spec file;
+* ``repro describe <name>`` — details on a simulator spec string, a
+  Table I model, a backend, a frame provider, or a spec file.
+
+Everything resolves through the same code paths the Python API uses —
+the simulator/backend/provider registries and the
+:class:`~repro.engine.settings.EngineSettings` environment resolver —
+so a spec run from the shell is bit-identical to the equivalent
+hand-built :class:`~repro.engine.ExperimentRunner` (a tested parity
+contract).  Third-party plugins registered at import time appear in
+``repro list`` automatically.
+
+Exit codes: 0 success, 2 usage/validation error (bad spec, unknown
+name), 1 unexpected failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis.report import format_results, format_table
+from .engine.registry import BACKENDS, FRAME_PROVIDERS, SIMULATORS
+from .engine.simulators import build_simulator
+from .engine.spec import ExperimentSpec
+from .models.specs import build_model_spec
+from .models.zoo import TABLE1_PAPER
+
+#: ``repro list`` categories backed by a registry.
+_REGISTRY_CATEGORIES = {
+    "simulators": SIMULATORS,
+    "backends": BACKENDS,
+    "frame-providers": FRAME_PROVIDERS,
+}
+
+_LIST_CATEGORIES = tuple(_REGISTRY_CATEGORIES) + ("models", "scenarios")
+
+
+def _out(text: str = "") -> None:
+    print(text)
+
+
+def _status(text: str) -> None:
+    """Progress/summary chatter — stderr, so ``--out -`` stays clean."""
+    print(text, file=sys.stderr)
+
+
+# ---------------------------------------------------------------------------
+# repro run
+# ---------------------------------------------------------------------------
+
+
+def _infer_format(out: str, explicit: str) -> str:
+    if explicit:
+        return explicit
+    suffix = Path(out).suffix.lower()
+    if suffix == ".csv":
+        return "csv"
+    if suffix == ".json":
+        return "json"
+    raise ValueError(
+        f"cannot infer output format from {out!r}; use a .csv/.json "
+        f"path or pass --format csv|json"
+    )
+
+
+def _emit_table(table, out, fmt: str) -> None:
+    if out is None:
+        _out(format_results(table.results, title=f"{len(table)} rows"))
+        return
+    if out == "-":
+        text = table.to_csv() if (fmt or "csv") == "csv" \
+            else table.to_json()
+        sys.stdout.write(text)
+        return
+    fmt = _infer_format(out, fmt)
+    if fmt == "csv":
+        table.to_csv(path=out)
+    else:
+        table.to_json(path=out)
+    _status(f"wrote {len(table)} rows to {out} ({fmt})")
+
+
+def _cmd_run(args) -> int:
+    spec = ExperimentSpec.load(args.spec)
+    overrides = {
+        key: value
+        for key, value in (
+            ("backend", args.backend),
+            ("workers", args.workers),
+            ("trace_workers", args.trace_workers),
+            ("rulegen_shards", args.rulegen_shards),
+            ("cache_dir", args.cache_dir),
+        )
+        if value is not None
+    }
+    # Fail on an unusable sink *before* the (possibly long) run, not
+    # after the table is already computed.
+    out = args.out if args.out is not None else spec.out
+    if out is not None and out != "-":
+        _infer_format(out, args.format)
+    runner = spec.build_runner(**overrides)
+    backend = runner.backend
+    backend_name = backend if isinstance(backend, str) else backend.name
+    _status(
+        f"{spec.name}: {len(runner.scenarios)} scenario(s) x "
+        f"{len(runner.models)} model(s) x "
+        f"{len(runner.simulators)} simulator(s) "
+        f"on the {backend_name} backend"
+    )
+    table = runner.run()
+    _emit_table(table, out, args.format)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro list
+# ---------------------------------------------------------------------------
+
+
+def _list_registry(registry) -> None:
+    for name in registry.names():
+        summary = registry.describe(name)
+        _out(f"{name:16} {summary}" if summary else name)
+
+
+def _list_models() -> None:
+    rows = [
+        (row.model, row.backbone, row.head, row.avg_gops,
+         row.sparsity_pct)
+        for row in TABLE1_PAPER.values()
+    ]
+    _out(format_table(
+        ["model", "backbone", "head", "paper GOPs", "paper savings %"],
+        rows,
+        title="Table I model zoo",
+    ))
+
+
+def _list_scenarios(spec_path) -> None:
+    if spec_path is None:
+        raise ValueError(
+            "scenarios live in spec files; usage: "
+            "repro list scenarios <spec.json>"
+        )
+    spec = ExperimentSpec.load(spec_path)
+    rows = [(s.name, s.seed, s.frames) for s in spec.scenarios]
+    _out(format_table(["scenario", "seed", "frames"], rows,
+                      title=f"scenarios of {spec.name!r}"))
+
+
+def _cmd_list(args) -> int:
+    if args.category == "models":
+        _list_models()
+    elif args.category == "scenarios":
+        _list_scenarios(args.spec)
+    else:
+        _list_registry(_REGISTRY_CATEGORIES[args.category])
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro describe
+# ---------------------------------------------------------------------------
+
+
+def _first_doc_line(obj) -> str:
+    doc = (getattr(obj, "__doc__", None) or "").strip()
+    return doc.splitlines()[0] if doc else ""
+
+
+def _describe_simulator(name: str) -> bool:
+    try:
+        simulator = build_simulator(name)
+    except (ValueError, KeyError):
+        return False
+    _out(f"simulator spec {name!r}")
+    _out(f"  resolves to : {type(simulator).__name__} "
+         f"(name {simulator.name!r})")
+    summary = _first_doc_line(type(simulator))
+    if summary:
+        _out(f"  about       : {summary}")
+    family = name.strip().lower().partition(":")[0].split("-")[0]
+    if family in SIMULATORS:
+        _out(f"  family      : {family} — {SIMULATORS.describe(family)}")
+    return True
+
+
+def _describe_model(name: str) -> bool:
+    if name not in TABLE1_PAPER:
+        return False
+    row = TABLE1_PAPER[name]
+    spec = build_model_spec(name)
+    _out(f"model {name!r} (Table I)")
+    _out(f"  backbone    : {row.backbone}   head: {row.head}")
+    _out(f"  paper       : {row.avg_gops} GOPs, "
+         f"{row.sparsity_pct}% savings, "
+         f"{row.accuracy} {row.accuracy_metric}")
+    _out(f"  grid        : {spec.grid.name} {spec.grid.shape}")
+    _out(f"  layers      : {len(spec.layers)}")
+    return True
+
+
+def _describe_registry_entry(name: str) -> bool:
+    for label, registry in (("backend", BACKENDS),
+                            ("frame provider", FRAME_PROVIDERS)):
+        if name in registry:
+            _out(f"{label} {name!r}")
+            summary = registry.describe(name)
+            if summary:
+                _out(f"  about       : {summary}")
+            return True
+    return False
+
+
+def _describe_spec_file(name: str) -> bool:
+    path = Path(name)
+    if path.suffix.lower() != ".json" or not path.exists():
+        return False
+    spec = ExperimentSpec.load(path)
+    settings = spec.settings()
+    _out(f"experiment spec {spec.name!r} ({path})")
+    _out(f"  simulators  : {[str(s) for s in spec.simulators]}")
+    _out(f"  models      : {list(spec.models)}")
+    _out(f"  scenarios   : "
+         f"{[(s.name, s.seed, s.frames) for s in spec.scenarios]}")
+    _out(f"  resolved    : backend={settings.backend} "
+         f"workers={settings.workers} "
+         f"trace_workers={settings.trace_workers} "
+         f"rulegen_shards={settings.rulegen_shards}")
+    _out(f"  cache_dir   : {settings.cache_dir}")
+    if spec.cells:
+        _out(f"  cells       : {spec.cells}")
+    return True
+
+
+def _cmd_describe(args) -> int:
+    name = args.name
+    for describe in (_describe_spec_file, _describe_model,
+                     _describe_simulator, _describe_registry_entry):
+        if describe(name):
+            return 0
+    raise ValueError(
+        f"nothing named {name!r}: not a simulator spec string "
+        f"(families: {SIMULATORS.names()}), a Table I model "
+        f"({sorted(TABLE1_PAPER)}), a backend ({BACKENDS.names()}), a "
+        f"frame provider ({FRAME_PROVIDERS.names()}), or a spec file"
+    )
+
+
+# ---------------------------------------------------------------------------
+# parser / entry point
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run and inspect declarative SPADE-engine "
+                    "experiments.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run = commands.add_parser(
+        "run", help="execute an experiment spec JSON file"
+    )
+    run.add_argument("spec", help="path to an ExperimentSpec .json file")
+    run.add_argument("--backend",
+                     help="override the spec's execution backend")
+    run.add_argument("--workers", help="simulate-stage pool width")
+    run.add_argument("--trace-workers", dest="trace_workers",
+                     help="trace-stage pool width")
+    run.add_argument("--rulegen-shards", dest="rulegen_shards",
+                     help="rulegen row bands")
+    run.add_argument("--cache-dir", dest="cache_dir",
+                     help="persistent trace-cache directory")
+    run.add_argument("--out",
+                     help="result sink: a .csv/.json path, or '-' for "
+                          "stdout (default: the spec's `out`, else a "
+                          "formatted table)")
+    run.add_argument("--format", choices=("csv", "json"),
+                     help="output format for --out (inferred from the "
+                          "file suffix when omitted; '-' defaults to "
+                          "csv)")
+    run.set_defaults(func=_cmd_run)
+
+    lister = commands.add_parser(
+        "list", help="enumerate registered names"
+    )
+    lister.add_argument("category", choices=_LIST_CATEGORIES)
+    lister.add_argument("spec", nargs="?",
+                        help="spec file (required for 'scenarios')")
+    lister.set_defaults(func=_cmd_list)
+
+    describe = commands.add_parser(
+        "describe",
+        help="details on a simulator / model / backend / provider / "
+             "spec file",
+    )
+    describe.add_argument("name")
+    describe.set_defaults(func=_cmd_describe)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ValueError as error:
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        return 130
+
+
+if __name__ == "__main__":
+    sys.exit(main())

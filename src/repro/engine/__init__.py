@@ -1,7 +1,7 @@
 """Unified simulation engine: one seam for every simulator in the repo.
 
 * :mod:`repro.engine.result`     — the common :class:`SimResult` schema
-  and the tidy :class:`ExperimentTable`;
+  and the tidy :class:`ExperimentTable` (CSV/JSON round trip);
 * :mod:`repro.engine.simulators` — adapters wrapping SPADE, DenseAcc,
   PointAcc, SpConv2D-Acc and the platform models behind one
   :class:`Simulator` interface;
@@ -12,11 +12,19 @@
 * :mod:`repro.engine.backends`   — pluggable execution backends
   (serial / thread / process) with chunked IPC and per-worker caches;
 * :mod:`repro.engine.runner`     — the multi-scenario, multi-backend
-  :class:`ExperimentRunner` with frame batching.
+  :class:`ExperimentRunner` with frame batching;
+* :mod:`repro.engine.registry`   — named-factory registries
+  (``@register_simulator`` / ``@register_frame_provider`` /
+  ``@register_backend``): the plugin seam third-party code extends;
+* :mod:`repro.engine.settings`   — :class:`EngineSettings`, the single
+  resolver for every ``REPRO_ENGINE_*`` / ``REPRO_TRACE_CACHE_DIR``
+  environment knob;
+* :mod:`repro.engine.spec`       — :class:`ExperimentSpec`, the
+  declarative (JSON-serializable) form of an experiment, which the
+  ``repro`` CLI front-end (:mod:`repro.cli`) runs from the shell.
 """
 
 from .backends import (
-    BACKEND_ENV_VAR,
     Backend,
     ProcessBackend,
     SerialBackend,
@@ -24,15 +32,23 @@ from .backends import (
     WorkGroup,
     resolve_backend,
 )
-from ..sparse.rulegen import RULEGEN_SHARDS_ENV_VAR
 from .cache import (
-    CACHE_DIR_ENV_VAR,
     TraceCache,
     frame_fingerprint,
     shared_trace_cache,
     spec_fingerprint,
 )
 from .micro import GatherDramSim, MappingSim
+from .registry import (
+    BACKENDS,
+    FRAME_PROVIDERS,
+    SIMULATORS,
+    Registry,
+    UnknownNameError,
+    register_backend,
+    register_frame_provider,
+    register_simulator,
+)
 from .result import (
     RESULT_COLUMNS,
     ExperimentTable,
@@ -41,11 +57,19 @@ from .result import (
 )
 from .runner import (
     DEFAULT_SCENARIO,
-    TRACE_WORKERS_ENV_VAR,
-    WORKERS_ENV_VAR,
     ExperimentRunner,
     FrameProvider,
     Scenario,
+    validate_scenario,
+)
+from .settings import (
+    BACKEND_ENV_VAR,
+    CACHE_DIR_ENV_VAR,
+    ENGINE_ENV_VARS,
+    RULEGEN_SHARDS_ENV_VAR,
+    TRACE_WORKERS_ENV_VAR,
+    WORKERS_ENV_VAR,
+    EngineSettings,
 )
 from .simulators import (
     DenseAccSimulator,
@@ -55,21 +79,34 @@ from .simulators import (
     SpadeNoOverlapSim,
     SpadeSimulator,
     SpConv2DSim,
+    TraceStatsSim,
     build_simulator,
     resolve_simulators,
 )
+from .spec import (
+    SPEC_VERSION,
+    ExperimentSpec,
+    cell_filter_from_rules,
+)
 
 __all__ = [
+    "BACKENDS",
     "BACKEND_ENV_VAR",
     "CACHE_DIR_ENV_VAR",
     "DEFAULT_SCENARIO",
+    "ENGINE_ENV_VARS",
+    "FRAME_PROVIDERS",
     "RESULT_COLUMNS",
     "RULEGEN_SHARDS_ENV_VAR",
+    "SIMULATORS",
+    "SPEC_VERSION",
     "TRACE_WORKERS_ENV_VAR",
     "WORKERS_ENV_VAR",
     "Backend",
     "DenseAccSimulator",
+    "EngineSettings",
     "ExperimentRunner",
+    "ExperimentSpec",
     "ExperimentTable",
     "FrameProvider",
     "GatherDramSim",
@@ -77,6 +114,7 @@ __all__ = [
     "PlatformSim",
     "PointAccSim",
     "ProcessBackend",
+    "Registry",
     "Scenario",
     "SerialBackend",
     "SimResult",
@@ -86,12 +124,19 @@ __all__ = [
     "SpadeSimulator",
     "ThreadBackend",
     "TraceCache",
+    "TraceStatsSim",
+    "UnknownNameError",
     "WorkGroup",
     "build_simulator",
+    "cell_filter_from_rules",
     "frame_fingerprint",
     "mean_result",
+    "register_backend",
+    "register_frame_provider",
+    "register_simulator",
     "resolve_backend",
     "resolve_simulators",
     "shared_trace_cache",
     "spec_fingerprint",
+    "validate_scenario",
 ]

@@ -37,15 +37,20 @@ frames are seeded deterministically and traces are content-keyed.
 
 from __future__ import annotations
 
-import os
 import shutil
 import tempfile
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import partial
 
-from .cache import CACHE_DIR_ENV_VAR, TraceCache
+from .cache import TraceCache
+from .registry import BACKENDS, register_backend
 from .result import mean_result
+from .settings import (
+    BACKEND_ENV_VAR,
+    resolve_backend_name,
+    resolve_cache_dir,
+)
 
 
 def _model_name(model) -> str:
@@ -121,6 +126,7 @@ class Backend:
         raise NotImplementedError
 
 
+@register_backend("serial")
 class SerialBackend(Backend):
     """Everything on the calling thread, in plan order."""
 
@@ -130,6 +136,7 @@ class SerialBackend(Backend):
         return [execute_group(group, runner.trace_for) for group in groups]
 
 
+@register_backend("thread")
 class ThreadBackend(Backend):
     """Thread-pool fan-out (the default, and PR-1 behaviour).
 
@@ -291,6 +298,7 @@ def _run_chunk(chunk: list, rulegen_shards=None) -> list:
     return nested
 
 
+@register_backend("process")
 class ProcessBackend(Backend):
     """Process-pool fan-out for many-scenario sweeps.
 
@@ -402,7 +410,7 @@ class ProcessBackend(Backend):
         # Workers share traces through the disk tier, handed to each
         # worker by the pool initializer; when the environment names no
         # cache directory, a run-scoped temporary one stands in.
-        cache_dir = os.environ.get(CACHE_DIR_ENV_VAR) or None
+        cache_dir = resolve_cache_dir()
         temp_dir = None
         if cache_dir is None:
             temp_dir = tempfile.mkdtemp(prefix="repro-trace-cache-")
@@ -424,31 +432,21 @@ class ProcessBackend(Backend):
         return [rows for chunk in chunk_results for rows in chunk]
 
 
-_BACKENDS = {
-    "serial": SerialBackend,
-    "thread": ThreadBackend,
-    "process": ProcessBackend,
-}
-
-#: Environment variable naming the default backend for new runners.
-BACKEND_ENV_VAR = "REPRO_ENGINE_BACKEND"
-
-
 def resolve_backend(spec) -> Backend:
     """Normalize a backend name or instance to a :class:`Backend`.
 
-    Accepted names: ``"serial"``, ``"thread"``, ``"process"`` (case
-    insensitive).  Instances pass through untouched.
+    Names resolve through the backend registry — ``"serial"`` /
+    ``"thread"`` / ``"process"`` built in, case insensitive, plus
+    anything third-party code added via
+    :func:`~repro.engine.registry.register_backend`.  Instances pass
+    through untouched; unknown names raise a
+    :class:`~repro.engine.registry.UnknownNameError` listing the
+    registered choices.
     """
     if isinstance(spec, Backend):
         return spec
     if isinstance(spec, str):
-        token = spec.strip().lower()
-        if token in _BACKENDS:
-            return _BACKENDS[token]()
-        raise KeyError(
-            f"unknown backend {spec!r}; choices: {sorted(_BACKENDS)}"
-        )
+        return BACKENDS.create(spec)
     raise TypeError(
         f"expected a Backend instance or name string, got {type(spec)!r}"
     )
@@ -456,4 +454,4 @@ def resolve_backend(spec) -> Backend:
 
 def default_backend_name() -> str:
     """The backend new runners use when none is given explicitly."""
-    return os.environ.get(BACKEND_ENV_VAR, "thread")
+    return resolve_backend_name()

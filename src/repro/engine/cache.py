@@ -35,16 +35,14 @@ import numpy as np
 
 from ..analysis.sparsity import ModelTrace, trace_model
 from ..models.specs import ModelSpec
-
-#: Environment variable naming the on-disk tier's directory.  When set,
-#: every :class:`TraceCache` constructed without an explicit ``disk_dir``
-#: persists and reuses traces there.
-CACHE_DIR_ENV_VAR = "REPRO_TRACE_CACHE_DIR"
+from .settings import CACHE_DIR_ENV_VAR, UNSET, resolve_cache_dir
 
 #: Sentinel distinguishing "no disk_dir given, use the environment" from
 #: an explicit ``disk_dir=None`` (which disables the disk tier even when
-#: the environment variable is set).
-_FROM_ENV = object()
+#: the environment variable is set).  The environment read itself lives
+#: in :mod:`repro.engine.settings` — the one resolver for every engine
+#: knob.
+_FROM_ENV = UNSET
 
 
 def spec_fingerprint(spec: ModelSpec) -> str:
@@ -110,8 +108,7 @@ class TraceCache:
 
     def __init__(self, maxsize: int = None, disk_dir=_FROM_ENV):
         self.maxsize = maxsize
-        if disk_dir is _FROM_ENV:
-            disk_dir = os.environ.get(CACHE_DIR_ENV_VAR) or None
+        disk_dir = resolve_cache_dir(disk_dir)
         self.disk_dir = Path(disk_dir) if disk_dir else None
         self.hits = 0
         self.misses = 0

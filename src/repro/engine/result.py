@@ -15,7 +15,11 @@ never fabricated.
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 
 #: Canonical column order for tabular output.  ``frame`` distinguishes
 #: the per-frame and ``"mean"`` rows of batched scenarios (``None`` for
@@ -83,6 +87,71 @@ class SimResult:
         return {column: getattr(self, column) for column in columns}
 
 
+#: Sentinel for values :func:`_jsonable` cannot represent in JSON.
+_DROP = object()
+
+
+def _jsonable(value):
+    """Best-effort JSON projection of one value.
+
+    Numpy scalars collapse to native ints/floats, tuples become lists,
+    dict keys are stringified; leaves JSON cannot carry (legacy result
+    objects in ``extras``) return the ``_DROP`` sentinel and are elided
+    from their container — never stringified, which would silently
+    corrupt a later :meth:`ExperimentTable.from_json` round trip.
+    """
+    if value is None or isinstance(value, (str, bool, int)):
+        return value
+    if isinstance(value, float):
+        return value
+    item = getattr(value, "item", None)
+    if item is not None and getattr(value, "shape", None) == ():
+        # 0-d numpy scalar (int64 cycles, float64 metrics).
+        return _jsonable(item())
+    if isinstance(value, dict):
+        projected = {}
+        for key, entry in value.items():
+            converted = _jsonable(entry)
+            if converted is not _DROP:
+                projected[str(key)] = converted
+        return projected
+    if isinstance(value, (list, tuple)):
+        converted = [_jsonable(entry) for entry in value]
+        return [entry for entry in converted if entry is not _DROP]
+    return _DROP
+
+
+def _result_to_record(result: SimResult) -> dict:
+    """One :class:`SimResult` as a JSON-ready record.
+
+    Scalar columns plus the ``per_layer`` / ``extras`` detail; ``raw``
+    legacy objects never serialize (matching the process backend's IPC
+    contract).
+    """
+    record = {
+        column: _jsonable(getattr(result, column))
+        for column in RESULT_COLUMNS
+    }
+    record["per_layer"] = _jsonable(result.per_layer)
+    record["extras"] = _jsonable(result.extras)
+    return record
+
+
+def _record_to_result(record: dict) -> SimResult:
+    known = set(RESULT_COLUMNS) | {"per_layer", "extras"}
+    unknown = sorted(set(record) - known)
+    if unknown:
+        raise ValueError(
+            f"result record has unknown key(s) {unknown}; "
+            f"expected {sorted(known)}"
+        )
+    return SimResult(
+        per_layer=record.get("per_layer") or [],
+        extras=record.get("extras") or {},
+        **{column: record.get(column) for column in RESULT_COLUMNS},
+    )
+
+
 @dataclass
 class ExperimentTable:
     """Tidy collection of :class:`SimResult` rows from one runner sweep.
@@ -145,6 +214,89 @@ class ExperimentTable:
 
     def as_dicts(self, columns=RESULT_COLUMNS) -> list:
         return [result.as_dict(columns) for result in self.results]
+
+    # -- serialization (backs the `repro run --out` CLI sinks) -------------
+
+    def to_csv(self, path=None, columns=RESULT_COLUMNS) -> str:
+        """The table as CSV text (header + one line per row).
+
+        ``None`` metrics render as empty cells.  When ``path`` is given
+        the text is also written there; the text is returned either way.
+        """
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(columns)
+        for result in self.results:
+            writer.writerow([
+                "" if value is None else value
+                for value in result.as_row(columns)
+            ])
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    def to_json(self, path=None, indent: int = 2) -> str:
+        """The table as a JSON document that :meth:`from_json` reads back.
+
+        Every row serializes its scalar columns plus the JSON-safe parts
+        of ``per_layer`` and ``extras``; ``raw`` legacy objects are
+        dropped (they never survive IPC either).  When ``path`` is given
+        the text is also written there; the text is returned either way.
+        """
+        payload = {
+            "schema": "repro.ExperimentTable",
+            "version": 1,
+            "columns": list(RESULT_COLUMNS),
+            "results": [
+                _result_to_record(result) for result in self.results
+            ],
+        }
+        text = json.dumps(payload, indent=indent) + "\n"
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_json(cls, source) -> "ExperimentTable":
+        """Rebuild a table from :meth:`to_json` output.
+
+        ``source`` may be the JSON text itself, an already-parsed
+        payload dict, or a path to a ``.json`` file.
+        """
+        if isinstance(source, dict):
+            payload = source
+        else:
+            text = str(source)
+            if not text.lstrip().startswith("{"):
+                try:
+                    text = Path(text).read_text()
+                except OSError as error:
+                    raise ValueError(
+                        f"not an ExperimentTable JSON document or a "
+                        f"readable path: {error}"
+                    ) from None
+            try:
+                payload = json.loads(text)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"not an ExperimentTable JSON document: {error}"
+                ) from None
+        if not isinstance(payload, dict) \
+                or payload.get("schema") != "repro.ExperimentTable":
+            raise ValueError(
+                "not an ExperimentTable JSON document (missing "
+                "schema='repro.ExperimentTable')"
+            )
+        if payload.get("version") != 1:
+            raise ValueError(
+                f"unsupported ExperimentTable version "
+                f"{payload.get('version')!r} (this engine reads 1)"
+            )
+        return cls(results=[
+            _record_to_result(record)
+            for record in payload.get("results", [])
+        ])
 
     @property
     def scenarios(self) -> list:

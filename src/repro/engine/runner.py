@@ -24,7 +24,6 @@ session fixtures straight in.
 
 from __future__ import annotations
 
-import os
 import threading
 from dataclasses import dataclass
 
@@ -33,7 +32,6 @@ from ..data.pillars import voxelize
 from ..data.synthetic import KITTI_SCENE, SceneGenerator, nuscenes_scene_config
 from ..models.specs import ModelSpec, build_model_spec
 from ..models.zoo import TABLE1_PAPER, grid_for, scene_config_for
-from ..sparse.rulegen import resolve_rulegen_shards
 from .backends import (
     ProcessBackend,
     SerialBackend,
@@ -43,55 +41,40 @@ from .backends import (
     resolve_backend,
 )
 from .cache import TraceCache, shared_trace_cache
+from .registry import register_frame_provider
 from .result import ExperimentTable
+from .settings import (
+    TRACE_WORKERS_ENV_VAR,
+    WORKERS_ENV_VAR,
+    resolve_rulegen_shards,
+    resolve_trace_workers,
+    resolve_workers,
+)
 from .simulators import resolve_simulators
 
-#: Environment variable overriding the runner's default worker count.
-WORKERS_ENV_VAR = "REPRO_ENGINE_WORKERS"
 
-#: Environment variable overriding the trace-stage pool width (defaults
-#: to the simulate-stage worker count when unset).
-TRACE_WORKERS_ENV_VAR = "REPRO_ENGINE_TRACE_WORKERS"
+def validate_scenario(name, seed, frames) -> None:
+    """The one scenario validator, shared by every construction path.
 
-
-def _positive_worker_count(value, source: str) -> int:
-    """Validate a worker-count override into a positive int.
-
-    Non-integer and non-positive values raise a clear :class:`ValueError`
-    naming the offending source instead of propagating an opaque failure
-    out of the executor.
+    :class:`Scenario` calls it from ``__post_init__`` (kwarg-built
+    scenarios) and :class:`~repro.engine.spec.ExperimentSpec` builds its
+    scenarios through :class:`Scenario`, so a dict in a JSON spec file
+    and a keyword argument produce the *same* error for the same
+    mistake — no drift between the two paths.
     """
-    try:
-        count = int(str(value).strip())
-    except (TypeError, ValueError):
+    if not isinstance(name, str) or not name:
         raise ValueError(
-            f"{source} must be a positive integer, got {value!r}"
-        ) from None
-    if count <= 0:
-        raise ValueError(
-            f"{source} must be a positive integer, got {value!r}"
+            f"scenario name must be a non-empty string, got {name!r}"
         )
-    return count
-
-
-def _default_worker_count(max_workers=None) -> int:
-    """Resolve the pool width: argument > env override > cpu heuristic."""
-    if max_workers is not None:
-        return _positive_worker_count(max_workers, "max_workers")
-    env = os.environ.get(WORKERS_ENV_VAR)
-    if env is not None:
-        return _positive_worker_count(env, WORKERS_ENV_VAR)
-    return min(8, os.cpu_count() or 1)
-
-
-def _default_trace_workers(trace_workers, max_workers: int) -> int:
-    """Trace-stage width: argument > env override > simulate width."""
-    if trace_workers is not None:
-        return _positive_worker_count(trace_workers, "trace_workers")
-    env = os.environ.get(TRACE_WORKERS_ENV_VAR)
-    if env is not None:
-        return _positive_worker_count(env, TRACE_WORKERS_ENV_VAR)
-    return max_workers
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise ValueError(
+            f"scenario {name!r} needs an integer seed, got {seed!r}"
+        )
+    if not isinstance(frames, int) or isinstance(frames, bool) \
+            or frames < 1:
+        raise ValueError(
+            f"scenario {name!r} needs frames >= 1, got {frames!r}"
+        )
 
 
 @dataclass(frozen=True)
@@ -114,11 +97,7 @@ class Scenario:
     frames: int = 1
 
     def __post_init__(self):
-        if not isinstance(self.frames, int) or self.frames < 1:
-            raise ValueError(
-                f"scenario {self.name!r} needs frames >= 1, "
-                f"got {self.frames!r}"
-            )
+        validate_scenario(self.name, self.seed, self.frames)
 
 
 DEFAULT_SCENARIO = Scenario()
@@ -197,6 +176,13 @@ class FrameProvider:
             self._frames[key] = built
             self._inflight.pop(key).set()
         return built
+
+
+#: The default provider under its registry name: declarative spec files
+#: select it with ``"frame_provider": "synthetic"`` (the default), and
+#: third-party providers registered via ``@register_frame_provider``
+#: slot in the same way.
+register_frame_provider("synthetic", FrameProvider)
 
 
 class ExperimentRunner:
@@ -278,9 +264,9 @@ class ExperimentRunner:
         self.backend = backend if backend is not None else (
             default_backend_name()
         )
-        self.max_workers = _default_worker_count(max_workers)
-        self.trace_workers = _default_trace_workers(trace_workers,
-                                                    self.max_workers)
+        self.max_workers = resolve_workers(max_workers)
+        self.trace_workers = resolve_trace_workers(trace_workers,
+                                                   self.max_workers)
         self.rulegen_shards = resolve_rulegen_shards(rulegen_shards)
         self._specs = {}
 

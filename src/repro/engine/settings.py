@@ -1,0 +1,181 @@
+"""The single resolver for every engine environment knob.
+
+Before this module, each engine layer read its own ``os.environ``:
+the runner parsed ``REPRO_ENGINE_WORKERS`` / ``REPRO_ENGINE_TRACE_WORKERS``,
+the backends read ``REPRO_ENGINE_BACKEND``, the trace cache read
+``REPRO_TRACE_CACHE_DIR`` and rulegen read
+``REPRO_ENGINE_RULEGEN_SHARDS`` — five copies of the same
+argument > environment > default resolution with subtly duplicated
+validation.  :class:`EngineSettings` (and the per-knob ``resolve_*``
+helpers it is built from) is now the *one* place those variables are
+read; the runner, the backends, the cache and rulegen all delegate
+here, and declarative :class:`~repro.engine.spec.ExperimentSpec` files
+resolve through the identical code path, so a spec, a keyword argument
+and an environment override can never disagree about precedence or
+error wording.
+
+Every knob resolves explicit value > environment variable > default,
+and a malformed value — wherever it came from — raises a
+:class:`ValueError` naming the offending source (the keyword argument
+or the environment variable, verbatim).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+#: Environment variable naming the default execution backend.
+BACKEND_ENV_VAR = "REPRO_ENGINE_BACKEND"
+
+#: Environment variable overriding the simulate-stage pool width.
+WORKERS_ENV_VAR = "REPRO_ENGINE_WORKERS"
+
+#: Environment variable overriding the trace-stage pool width
+#: (defaults to the simulate-stage width when unset).
+TRACE_WORKERS_ENV_VAR = "REPRO_ENGINE_TRACE_WORKERS"
+
+#: Environment variable giving the default row-band count for sharded
+#: rule generation.
+RULEGEN_SHARDS_ENV_VAR = "REPRO_ENGINE_RULEGEN_SHARDS"
+
+#: Environment variable naming the trace cache's persistent disk tier.
+CACHE_DIR_ENV_VAR = "REPRO_TRACE_CACHE_DIR"
+
+#: Every environment variable the engine reads, in one tuple — the
+#: contract tested by ``tests/test_engine_settings.py``.
+ENGINE_ENV_VARS = (
+    BACKEND_ENV_VAR,
+    WORKERS_ENV_VAR,
+    TRACE_WORKERS_ENV_VAR,
+    RULEGEN_SHARDS_ENV_VAR,
+    CACHE_DIR_ENV_VAR,
+)
+
+#: Sentinel distinguishing "no value given, consult the environment"
+#: from an explicit ``None`` (which for ``cache_dir`` means "disable the
+#: disk tier even when the environment names a directory").
+UNSET = object()
+
+
+def positive_int(value, source: str) -> int:
+    """Validate any count-like knob into a positive int.
+
+    Non-integer and non-positive values raise a clear
+    :class:`ValueError` naming the offending source — a keyword
+    argument (``"max_workers"``) or an environment variable
+    (``"REPRO_ENGINE_WORKERS"``) — instead of propagating an opaque
+    failure out of an executor or a worker process.
+    """
+    try:
+        count = int(str(value).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a positive integer, got {value!r}"
+        ) from None
+    if count <= 0:
+        raise ValueError(
+            f"{source} must be a positive integer, got {value!r}"
+        )
+    return count
+
+
+def resolve_backend_name(value=None) -> str:
+    """Backend name: explicit value > ``REPRO_ENGINE_BACKEND`` > thread."""
+    if value is not None:
+        return value
+    return os.environ.get(BACKEND_ENV_VAR, "thread")
+
+
+def resolve_workers(value=None, source: str = "max_workers") -> int:
+    """Simulate-stage width: value > ``REPRO_ENGINE_WORKERS`` > cpus."""
+    if value is not None:
+        return positive_int(value, source)
+    env = os.environ.get(WORKERS_ENV_VAR)
+    if env is not None:
+        return positive_int(env, WORKERS_ENV_VAR)
+    return min(8, os.cpu_count() or 1)
+
+
+def resolve_trace_workers(value=None, workers: int = None,
+                          source: str = "trace_workers") -> int:
+    """Trace-stage width: value > ``REPRO_ENGINE_TRACE_WORKERS`` >
+    the simulate-stage width (resolved here when not supplied)."""
+    if value is not None:
+        return positive_int(value, source)
+    env = os.environ.get(TRACE_WORKERS_ENV_VAR)
+    if env is not None:
+        return positive_int(env, TRACE_WORKERS_ENV_VAR)
+    return workers if workers is not None else resolve_workers()
+
+
+def resolve_rulegen_shards(value=None,
+                           source: str = "rulegen_shards") -> int:
+    """Rulegen row bands: value > ``REPRO_ENGINE_RULEGEN_SHARDS`` > 1."""
+    if value is None:
+        value = os.environ.get(RULEGEN_SHARDS_ENV_VAR)
+        if value is None:
+            return 1
+        source = RULEGEN_SHARDS_ENV_VAR
+    return positive_int(value, source)
+
+
+def resolve_cache_dir(value=UNSET):
+    """Disk-tier directory: value > ``REPRO_TRACE_CACHE_DIR`` > None.
+
+    An explicit ``None`` (or empty string) disables the disk tier even
+    when the environment names a directory; pass nothing to inherit the
+    environment.
+    """
+    if value is UNSET:
+        value = os.environ.get(CACHE_DIR_ENV_VAR)
+    return str(value) if value else None
+
+
+@dataclass(frozen=True)
+class EngineSettings:
+    """One fully-resolved snapshot of every engine knob.
+
+    Attributes:
+        backend: Execution backend name (``"serial"`` / ``"thread"`` /
+            ``"process"`` or any registered third-party backend).
+        workers: Simulate-stage pool width.
+        trace_workers: Trace-stage pool width.
+        rulegen_shards: Row bands per rule-generation pass.
+        cache_dir: Persistent trace-cache directory, or ``None`` for a
+            memory-only cache.
+    """
+
+    backend: str = "thread"
+    workers: int = 1
+    trace_workers: int = 1
+    rulegen_shards: int = 1
+    cache_dir: str = None
+
+    @classmethod
+    def resolve(cls, backend=None, workers=None, trace_workers=None,
+                rulegen_shards=None, cache_dir=UNSET) -> "EngineSettings":
+        """Resolve every knob: explicit argument > environment > default.
+
+        This is the constructor the runner and the declarative spec
+        layer share; each argument may be ``None`` (inherit the
+        environment) or an explicit override, and malformed values from
+        either source raise a :class:`ValueError` naming the offender.
+        """
+        workers = resolve_workers(workers)
+        return cls(
+            backend=resolve_backend_name(backend),
+            workers=workers,
+            trace_workers=resolve_trace_workers(trace_workers, workers),
+            rulegen_shards=resolve_rulegen_shards(rulegen_shards),
+            cache_dir=resolve_cache_dir(cache_dir),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "backend": self.backend,
+            "workers": self.workers,
+            "trace_workers": self.trace_workers,
+            "rulegen_shards": self.rulegen_shards,
+            "cache_dir": self.cache_dir,
+        }

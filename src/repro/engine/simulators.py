@@ -9,7 +9,14 @@ unified schema, keeping the original result object in ``SimResult.raw``.
 
 ``build_simulator`` turns short spec strings ("spade-he", "dense-le",
 "pointacc-he", "spconv2d", "platform:A6000") into configured instances so
-experiment grids can be declared as plain data.
+experiment grids can be declared as plain data.  Resolution goes through
+the :mod:`~repro.engine.registry` simulator registry: the first token of
+the spec string names a registered *family factory* and the remaining
+dash/colon-separated tokens are its arguments, so third-party simulators
+registered via ``@register_simulator`` plug into runners, declarative
+spec files and the ``repro`` CLI without touching this module.  Unknown
+or malformed spec strings raise a :class:`ValueError` listing the
+registered names.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from ..baselines.spconv2d_acc import SpConv2DAccModel
 from ..core.accelerator import ModelResult, SpadeAccelerator
 from ..core.config import SPADE_HE, SPADE_LE, SpadeConfig
 from ..core.dense import DenseAccelerator
+from .registry import SIMULATORS, UnknownNameError, register_simulator
 from .result import SimResult
 
 
@@ -271,6 +279,51 @@ class PlatformSim(Simulator):
         )
 
 
+class TraceStatsSim(Simulator):
+    """Workload statistics of the trace itself — no hardware model.
+
+    Reports the geometric quantities Table I and the sparsity studies
+    are built from (total MACs/ops, active input count, layer count) so
+    workload characterization sweeps run through the same engine grid as
+    the cycle simulators instead of hand-walking traces.
+    """
+
+    name = "TraceStats"
+
+    def run(self, trace: ModelTrace) -> SimResult:
+        per_layer = [
+            {
+                "name": layer.spec.name,
+                "macs": int(layer.sparse_macs),
+                "inputs": int(layer.in_count),
+                "outputs": int(layer.out_count),
+            }
+            for layer in trace.layers
+        ]
+        return SimResult(
+            simulator=self.name,
+            model=trace.spec.name,
+            cycles=None,
+            latency_ms=None,
+            fps=None,
+            energy_mj=None,
+            dram_bytes=None,
+            utilization=None,
+            per_layer=per_layer,
+            extras={
+                "total_macs": int(trace.total_macs),
+                "total_ops": int(trace.total_ops),
+                "input_active": int(trace.input_active),
+                "layers": len(trace.layers),
+            },
+            raw=None,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Spec-string resolution through the simulator registry
+# ---------------------------------------------------------------------------
+
 _PLATFORMS = {
     spec.name.lower(): spec
     for spec in HIGH_END_PLATFORMS + LOW_END_PLATFORMS
@@ -279,37 +332,105 @@ _PLATFORMS = {
 _CONFIGS = {"he": SPADE_HE, "le": SPADE_LE}
 
 
+def _spade_config(family: str, args: tuple) -> SpadeConfig:
+    """The HE/LE config token every SPADE-family factory requires."""
+    if not args or args[0] not in _CONFIGS:
+        raise UnknownNameError(
+            f"simulator spec {family!r} needs a config token: "
+            f"{sorted(_CONFIGS)} (e.g. {family}-he)"
+        )
+    return _CONFIGS[args[0]]
+
+
+@register_simulator("spade")
+def _build_spade(*args) -> Simulator:
+    """SPADE cycle simulator: ``spade-he``, ``spade-le``, ``spade-he-noopt``."""
+    return SpadeSimulator(_spade_config("spade", args),
+                          optimize="noopt" not in args)
+
+
+@register_simulator("dense")
+def _build_dense(*args) -> Simulator:
+    """Ideal dense accelerator: ``dense-he``, ``dense-le``."""
+    return DenseAccSimulator(_spade_config("dense", args))
+
+
+@register_simulator("pointacc")
+def _build_pointacc(*args) -> Simulator:
+    """PointAcc sort-based baseline: ``pointacc-he``, ``pointacc-le``."""
+    return PointAccSim(_spade_config("pointacc", args))
+
+
+@register_simulator("spconv2d")
+def _build_spconv2d() -> Simulator:
+    """SpConv2D-Acc (SCNN-style) element-sparsity baseline: ``spconv2d``."""
+    return SpConv2DSim()
+
+
+@register_simulator("platform")
+def _build_platform(*args) -> Simulator:
+    """Analytic platform model: ``platform:A6000`` (any platform name)."""
+    if len(args) != 1 or not args[0]:
+        raise UnknownNameError(
+            f"platform spec needs exactly one platform name "
+            f"(e.g. platform:A6000); choices: {sorted(_PLATFORMS)}"
+        )
+    platform = args[0]
+    if platform not in _PLATFORMS:
+        raise UnknownNameError(
+            f"unknown platform {platform!r}; choices: {sorted(_PLATFORMS)}"
+        )
+    return PlatformSim(_PLATFORMS[platform])
+
+
+@register_simulator("stats")
+def _build_stats() -> Simulator:
+    """Trace workload statistics (GOPs, active inputs): ``stats``."""
+    return TraceStatsSim()
+
+
 def build_simulator(spec: str) -> Simulator:
     """Instantiate a simulator from a short declarative string.
 
-    Supported forms: ``"spade-he"``, ``"spade-le"``, ``"spade-he-noopt"``,
+    Built-in forms: ``"spade-he"``, ``"spade-le"``, ``"spade-he-noopt"``,
     ``"dense-he"``, ``"dense-le"``, ``"pointacc-he"``, ``"pointacc-le"``,
-    ``"spconv2d"``, ``"platform:A6000"`` (any platform name).
+    ``"spconv2d"``, ``"stats"``, ``"platform:A6000"`` (any platform
+    name) — plus any family added via
+    :func:`~repro.engine.registry.register_simulator`.  The first token
+    (before ``-`` or ``:``) names the registered family; the remaining
+    tokens are the factory's arguments.
+
+    Raises:
+        ValueError: for an unknown family (listing every registered
+            name) or a malformed argument list (listing the valid
+            choices); also a :class:`KeyError` for backward
+            compatibility.
     """
+    if not isinstance(spec, str) or not spec.strip():
+        raise UnknownNameError(
+            f"simulator spec must be a non-empty string, got {spec!r}; "
+            f"registered families: {SIMULATORS.names()}"
+        )
     token = spec.strip().lower()
-    if token.startswith("platform:"):
-        platform = token.split(":", 1)[1]
-        if platform not in _PLATFORMS:
-            raise KeyError(
-                f"unknown platform {platform!r}; "
-                f"choices: {sorted(_PLATFORMS)}"
-            )
-        return PlatformSim(_PLATFORMS[platform])
-    if token == "spconv2d":
-        return SpConv2DSim()
-    parts = token.split("-")
-    family = parts[0]
-    if len(parts) >= 2 and parts[1] in _CONFIGS:
-        config = _CONFIGS[parts[1]]
+    if ":" in token:
+        family, _, arg = token.partition(":")
+        args = (arg,)
     else:
-        raise KeyError(f"simulator spec {spec!r} needs a config (he/le)")
-    if family == "spade":
-        return SpadeSimulator(config, optimize="noopt" not in parts)
-    if family == "dense":
-        return DenseAccSimulator(config)
-    if family == "pointacc":
-        return PointAccSim(config)
-    raise KeyError(f"unknown simulator family {family!r} in {spec!r}")
+        parts = token.split("-")
+        family, args = parts[0], tuple(parts[1:])
+    factory = SIMULATORS.get(family)
+    try:
+        return factory(*args)
+    except TypeError:
+        # A factory fed arguments its signature rejects ("spconv2d-he",
+        # "stats-x") keeps the spec-string error contract: a ValueError
+        # naming the family's usage, never a bare traceback.
+        usage = SIMULATORS.describe(family)
+        raise UnknownNameError(
+            f"simulator spec {spec!r} has arguments the {family!r} "
+            f"family does not accept"
+            + (f"; usage: {usage}" if usage else "")
+        ) from None
 
 
 def resolve_simulators(simulators) -> list:

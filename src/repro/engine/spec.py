@@ -1,0 +1,516 @@
+"""Declarative experiment specs: an experiment as serializable data.
+
+:class:`ExperimentSpec` is the data form of an
+:class:`~repro.engine.runner.ExperimentRunner` invocation — which
+simulators, which models, which scenarios, which backend and knobs —
+with a JSON round trip (:meth:`to_dict` / :meth:`from_dict`,
+:meth:`to_json` / :meth:`from_json`, :meth:`load` / :meth:`save`), full
+validation with actionable errors, and a :meth:`build_runner` /
+:meth:`run` pair that resolves every name through the
+:mod:`~repro.engine.registry` and every knob through
+:class:`~repro.engine.settings.EngineSettings`.
+
+Because a spec is plain data it can be validated before any work starts,
+diffed between experiments, committed next to results, launched from a
+shell (``repro run spec.json``), and — the reason this layer exists —
+shipped to a remote worker: a spec plus a scenario subset is exactly the
+work unit the planned distributed backend needs.
+
+A minimal spec file::
+
+    {
+      "name": "smoke",
+      "simulators": ["spade-he", "dense-he"],
+      "models": ["SPP3"],
+      "scenarios": [{"name": "smoke", "seed": 0}],
+      "backend": "serial"
+    }
+
+Programmatic construction accepts richer objects than JSON does —
+:class:`~repro.engine.simulators.Simulator` instances in ``simulators``
+and :class:`~repro.models.specs.ModelSpec` instances in ``models`` — so
+benchmarks build their grids through the same class; :meth:`to_dict`
+refuses (with an actionable error) to serialize what JSON cannot carry.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..models.specs import ModelSpec
+from ..models.zoo import TABLE1_PAPER
+from .cache import TraceCache
+from .registry import BACKENDS, FRAME_PROVIDERS
+from .runner import ExperimentRunner, Scenario
+from .settings import EngineSettings, UNSET, positive_int
+from .simulators import Simulator, build_simulator
+
+#: Schema version stamped into serialized specs; bumped on breaking
+#: layout changes so old files fail loudly instead of misparsing.
+SPEC_VERSION = 1
+
+#: Default frame-provider registry name (the synthetic-scene provider).
+DEFAULT_FRAME_PROVIDER = "synthetic"
+
+_SCENARIO_KEYS = ("name", "seed", "frames")
+_CELL_KEYS = ("scenario", "model", "simulator")
+
+
+def _spec_error(name, message: str) -> ValueError:
+    return ValueError(f"experiment spec {name!r}: {message}")
+
+
+def _as_scenario(entry, index: int, spec_name: str) -> Scenario:
+    """One scenario from a :class:`Scenario` or a spec-file dict.
+
+    Dict entries go through the :class:`Scenario` constructor, so the
+    shared ``validate_scenario`` raises the *same* message a keyword
+    construction would — one validator, no drift.
+    """
+    if isinstance(entry, Scenario):
+        return entry
+    if isinstance(entry, dict):
+        unknown = sorted(set(entry) - set(_SCENARIO_KEYS))
+        if unknown:
+            raise _spec_error(
+                spec_name,
+                f"scenario #{index} has unknown key(s) {unknown}; "
+                f"allowed: {list(_SCENARIO_KEYS)}",
+            )
+        return Scenario(**entry)
+    raise _spec_error(
+        spec_name,
+        f"scenario #{index} must be a Scenario or a dict with keys "
+        f"{list(_SCENARIO_KEYS)}, got {type(entry).__name__}",
+    )
+
+
+def cell_filter_from_rules(rules: list):
+    """Compile declarative cell include-rules into a runner cell filter.
+
+    Each rule is a dict with any of ``scenario`` / ``model`` /
+    ``simulator`` as :mod:`fnmatch` patterns (a missing key matches
+    everything); a cell survives when *any* rule matches all its
+    labels.  An empty rule list means "keep every cell" and compiles to
+    ``None`` (no filter).
+    """
+    if not rules:
+        return None
+    frozen = [dict(rule) for rule in rules]
+
+    def matches(rule, scenario_name, model_name, simulator_name):
+        labels = {
+            "scenario": scenario_name,
+            "model": model_name,
+            "simulator": simulator_name,
+        }
+        return all(
+            fnmatch.fnmatchcase(labels[key], str(pattern))
+            for key, pattern in rule.items()
+        )
+
+    def cell_filter(scenario, model_name, simulator):
+        return any(
+            matches(rule, scenario.name, model_name, simulator.name)
+            for rule in frozen
+        )
+
+    return cell_filter
+
+
+@dataclass
+class ExperimentSpec:
+    """One experiment, declared as data.
+
+    Attributes:
+        simulators: Spec strings resolved through the simulator registry
+            (``"spade-he"``, ``"platform:A6000"``, any registered
+            family); :class:`Simulator` instances are accepted for
+            programmatic use but cannot be serialized.
+        models: Table I model names (validated against the zoo when the
+            default synthetic frame provider is used); :class:`ModelSpec`
+            instances are accepted for programmatic use.
+        scenarios: :class:`Scenario` objects, or dicts with ``name`` /
+            ``seed`` / ``frames`` in spec files.
+        name: Label for error messages, output files and the CLI.
+        backend: Execution-backend registry name, or ``None`` to inherit
+            ``REPRO_ENGINE_BACKEND`` (default thread).
+        workers: Simulate-stage pool width, or ``None`` to inherit
+            ``REPRO_ENGINE_WORKERS``.
+        trace_workers: Trace-stage pool width, or ``None`` to inherit
+            ``REPRO_ENGINE_TRACE_WORKERS``.
+        rulegen_shards: Rulegen row bands, or ``None`` to inherit
+            ``REPRO_ENGINE_RULEGEN_SHARDS``.
+        cache_dir: Persistent trace-cache directory for this experiment,
+            or ``None`` to inherit ``REPRO_TRACE_CACHE_DIR``.
+        frame_provider: Frame-provider registry name (default
+            ``"synthetic"``).
+        cells: Declarative cell include-rules (see
+            :func:`cell_filter_from_rules`); empty keeps every cell.
+        out: Default output sink for ``repro run`` — a ``.csv`` /
+            ``.json`` path or ``"-"`` for stdout; ``None`` prints a
+            formatted table.
+    """
+
+    simulators: list
+    models: list
+    scenarios: list = None
+    name: str = "experiment"
+    backend: str = None
+    workers: int = None
+    trace_workers: int = None
+    rulegen_shards: int = None
+    cache_dir: str = None
+    frame_provider: str = DEFAULT_FRAME_PROVIDER
+    cells: list = field(default_factory=list)
+    out: str = None
+
+    def __post_init__(self):
+        self.validate()
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self) -> "ExperimentSpec":
+        """Check every field, raising actionable :class:`ValueError`\\ s.
+
+        Name lookups go through the live registries, so validation
+        reflects whatever third-party simulators / backends / providers
+        are registered at the time — a spec naming a plugin validates
+        once the plugin has imported.
+        """
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError(
+                f"experiment spec name must be a non-empty string, "
+                f"got {self.name!r}"
+            )
+        self._validate_simulators()
+        self._validate_models()
+        self.scenarios = self._validate_scenarios()
+        self._validate_knobs()
+        self._validate_cells()
+        if self.out is not None and not isinstance(self.out, str):
+            raise _spec_error(
+                self.name,
+                f"out must be a path string, '-' or null, got {self.out!r}",
+            )
+        return self
+
+    def _validate_simulators(self):
+        if not isinstance(self.simulators, (list, tuple)) \
+                or not self.simulators:
+            raise _spec_error(
+                self.name,
+                "simulators must be a non-empty list of spec strings "
+                "(e.g. [\"spade-he\", \"platform:A6000\"])",
+            )
+        built = []
+        for item in self.simulators:
+            # Instantiating is the validation: the registry raises a
+            # ValueError listing the registered families for unknown or
+            # malformed spec strings.  The instances are kept so
+            # build_runner does not construct everything a second time.
+            built.append(item if isinstance(item, Simulator)
+                         else build_simulator(item))
+        self._validated_source = list(self.simulators)
+        self._validated_simulators = built
+
+    def _validate_models(self):
+        if not isinstance(self.models, (list, tuple)) or not self.models:
+            raise _spec_error(
+                self.name,
+                f"models must be a non-empty list of Table I names "
+                f"{sorted(TABLE1_PAPER)} or ModelSpec instances",
+            )
+        synthetic = self.frame_provider == DEFAULT_FRAME_PROVIDER
+        for model in self.models:
+            if isinstance(model, ModelSpec):
+                continue
+            if not isinstance(model, str):
+                raise _spec_error(
+                    self.name,
+                    f"model entries must be Table I names or ModelSpec "
+                    f"instances, got {type(model).__name__}",
+                )
+            # Custom frame providers may feed models the zoo does not
+            # know; only the default synthetic provider pins the names.
+            if synthetic and model not in TABLE1_PAPER:
+                raise _spec_error(
+                    self.name,
+                    f"unknown model {model!r}; Table I names: "
+                    f"{sorted(TABLE1_PAPER)}",
+                )
+
+    def _validate_scenarios(self) -> list:
+        if self.scenarios is None:
+            return [Scenario()]
+        if not isinstance(self.scenarios, (list, tuple)) \
+                or not self.scenarios:
+            raise _spec_error(
+                self.name,
+                "scenarios must be null (one default scenario) or a "
+                "non-empty list of {name, seed, frames} entries",
+            )
+        return [
+            _as_scenario(entry, index, self.name)
+            for index, entry in enumerate(self.scenarios)
+        ]
+
+    def _validate_knobs(self):
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise _spec_error(
+                self.name,
+                f"unknown backend {self.backend!r}; "
+                f"registered: {BACKENDS.names()}",
+            )
+        if self.frame_provider not in FRAME_PROVIDERS:
+            raise _spec_error(
+                self.name,
+                f"unknown frame provider {self.frame_provider!r}; "
+                f"registered: {FRAME_PROVIDERS.names()}",
+            )
+        for knob in ("workers", "trace_workers", "rulegen_shards"):
+            value = getattr(self, knob)
+            if value is not None:
+                positive_int(value, knob)
+        if self.cache_dir is not None \
+                and not isinstance(self.cache_dir, (str, Path)):
+            raise _spec_error(
+                self.name,
+                f"cache_dir must be a directory path or null, "
+                f"got {self.cache_dir!r}",
+            )
+
+    def _validate_cells(self):
+        if not isinstance(self.cells, (list, tuple)):
+            raise _spec_error(
+                self.name,
+                "cells must be a list of include-rules "
+                "({scenario/model/simulator: fnmatch pattern})",
+            )
+        for index, rule in enumerate(self.cells):
+            if not isinstance(rule, dict):
+                raise _spec_error(
+                    self.name,
+                    f"cells[{index}] must be a dict, "
+                    f"got {type(rule).__name__}",
+                )
+            unknown = sorted(set(rule) - set(_CELL_KEYS))
+            if unknown:
+                raise _spec_error(
+                    self.name,
+                    f"cells[{index}] has unknown key(s) {unknown}; "
+                    f"allowed: {list(_CELL_KEYS)}",
+                )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The spec as a JSON-ready dict (round-trips via
+        :meth:`from_dict`).
+
+        Raises:
+            ValueError: when the spec carries objects JSON cannot —
+                simulator or model *instances* — naming the offending
+                entry.
+        """
+        simulators = []
+        for item in self.simulators:
+            if isinstance(item, Simulator):
+                raise _spec_error(
+                    self.name,
+                    f"cannot serialize simulator instance {item.name!r}; "
+                    f"declarative specs carry registry spec strings — "
+                    f"register a factory (@register_simulator) and name "
+                    f"it instead",
+                )
+            simulators.append(str(item))
+        models = []
+        for model in self.models:
+            if isinstance(model, ModelSpec):
+                raise _spec_error(
+                    self.name,
+                    f"cannot serialize ModelSpec instance {model.name!r}; "
+                    f"declarative specs carry Table I model names",
+                )
+            models.append(str(model))
+        return {
+            "version": SPEC_VERSION,
+            "name": self.name,
+            "simulators": simulators,
+            "models": models,
+            "scenarios": [
+                {"name": s.name, "seed": s.seed, "frames": s.frames}
+                for s in self.scenarios
+            ],
+            "backend": self.backend,
+            "workers": self.workers,
+            "trace_workers": self.trace_workers,
+            "rulegen_shards": self.rulegen_shards,
+            "cache_dir": (str(self.cache_dir)
+                          if self.cache_dir is not None else None),
+            "frame_provider": self.frame_provider,
+            "cells": [dict(rule) for rule in self.cells],
+            "out": self.out,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        """Build (and fully validate) a spec from a plain dict."""
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"experiment spec must be a JSON object, "
+                f"got {type(data).__name__}"
+            )
+        data = dict(data)
+        version = data.pop("version", SPEC_VERSION)
+        if version != SPEC_VERSION:
+            raise ValueError(
+                f"experiment spec version {version!r} is not supported "
+                f"(this engine reads version {SPEC_VERSION})"
+            )
+        allowed = {
+            "name", "simulators", "models", "scenarios", "backend",
+            "workers", "trace_workers", "rulegen_shards", "cache_dir",
+            "frame_provider", "cells", "out",
+        }
+        unknown = sorted(set(data) - allowed)
+        if unknown:
+            raise ValueError(
+                f"experiment spec has unknown key(s) {unknown}; "
+                f"allowed: {sorted(allowed)}"
+            )
+        for required in ("simulators", "models"):
+            if required not in data:
+                raise ValueError(
+                    f"experiment spec is missing required key "
+                    f"{required!r} (allowed keys: {sorted(allowed)})"
+                )
+        return cls(**data)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        """Parse a JSON document into a validated spec."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(
+                f"experiment spec is not valid JSON: {error}"
+            ) from None
+        return cls.from_dict(data)
+
+    def save(self, path) -> Path:
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path) -> "ExperimentSpec":
+        """Read and validate a spec file, naming the file in errors."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as error:
+            raise ValueError(
+                f"cannot read experiment spec {str(path)!r}: {error}"
+            ) from None
+        try:
+            return cls.from_json(text)
+        except ValueError as error:
+            raise ValueError(f"{path}: {error}") from None
+
+    # -- execution ---------------------------------------------------------
+
+    def settings(self, **overrides) -> EngineSettings:
+        """This spec's knobs resolved through the one settings resolver
+        (spec value > environment > default; ``overrides`` win over
+        both)."""
+        return EngineSettings.resolve(
+            backend=overrides.get("backend", self.backend),
+            workers=overrides.get("workers", self.workers),
+            trace_workers=overrides.get("trace_workers",
+                                        self.trace_workers),
+            rulegen_shards=overrides.get("rulegen_shards",
+                                         self.rulegen_shards),
+            cache_dir=(overrides["cache_dir"] if "cache_dir" in overrides
+                       else (self.cache_dir if self.cache_dir is not None
+                             else UNSET)),
+        )
+
+    def build_runner(self, *, cache=None, trace_provider=None,
+                     frame_provider=None, cell_filter=None,
+                     **overrides) -> ExperimentRunner:
+        """Materialize the spec into an :class:`ExperimentRunner`.
+
+        Keyword-only arguments carry the *runtime* objects a declarative
+        file cannot: a shared :class:`TraceCache`, a ``trace_provider``
+        closure (the benchmark suite's session traces), a ready
+        frame-provider instance, or a Python ``cell_filter`` overriding
+        the spec's declarative ``cells`` rules.  ``overrides`` may also
+        rebind any engine knob (``backend=``, ``workers=``, ...) —
+        that is how CLI flags beat spec values.
+        """
+        unknown = sorted(
+            set(overrides)
+            - {"backend", "workers", "trace_workers", "rulegen_shards",
+               "cache_dir"}
+        )
+        if unknown:
+            raise _spec_error(
+                self.name,
+                f"unknown build_runner override(s) {unknown}",
+            )
+        backend = overrides.get("backend", self.backend)
+        explicit_cache_dir = "cache_dir" in overrides
+        cache_dir = (overrides["cache_dir"] if explicit_cache_dir
+                     else self.cache_dir)
+        if cache is None:
+            if cache_dir is not None:
+                cache = TraceCache(disk_dir=cache_dir)
+            elif explicit_cache_dir:
+                # An explicit None override means "memory-only", even
+                # when REPRO_TRACE_CACHE_DIR is set — matching
+                # spec.settings() and TraceCache(disk_dir=None).
+                cache = TraceCache(disk_dir=None)
+        if frame_provider is None and trace_provider is None \
+                and self.frame_provider != DEFAULT_FRAME_PROVIDER:
+            frame_provider = FRAME_PROVIDERS.create(self.frame_provider)
+        if cell_filter is None:
+            cell_filter = cell_filter_from_rules(self.cells)
+        # Validate knob overrides under their spec-file names, so a CLI
+        # `--workers 0` errors as "workers", never the runner-internal
+        # "max_workers" kwarg the user never typed.
+        knobs = {}
+        for knob in ("workers", "trace_workers", "rulegen_shards"):
+            value = overrides.get(knob, getattr(self, knob))
+            if value is not None:
+                value = positive_int(value, knob)
+            knobs[knob] = value
+        # Reuse the instances validation already built (unless the list
+        # was mutated since); resolve_simulators accepts instances.
+        if self.simulators == getattr(self, "_validated_source", None):
+            simulators = list(self._validated_simulators)
+        else:
+            simulators = list(self.simulators)
+        return ExperimentRunner(
+            simulators=simulators,
+            models=list(self.models),
+            scenarios=list(self.scenarios),
+            cache=cache,
+            trace_provider=trace_provider,
+            frame_provider=frame_provider,
+            cell_filter=cell_filter,
+            backend=backend,
+            max_workers=knobs["workers"],
+            trace_workers=knobs["trace_workers"],
+            rulegen_shards=knobs["rulegen_shards"],
+        )
+
+    def run(self, **kwargs):
+        """Build the runner and execute the grid in one step."""
+        return self.build_runner(**kwargs).run()

@@ -63,32 +63,26 @@ from .coords import (
 #: Environment variable giving the default shard count for
 #: :func:`build_rules_sharded` callers that do not pass one explicitly
 #: (the engine's ``ExperimentRunner(rulegen_shards=...)`` knob reads it).
+#: The canonical definition lives in :mod:`repro.engine.settings` — the
+#: one place every engine knob is read — but the sparse layer cannot
+#: import the engine at module level (the engine imports this module),
+#: so the literal is mirrored here and pinned equal by a test.
 RULEGEN_SHARDS_ENV_VAR = "REPRO_ENGINE_RULEGEN_SHARDS"
 
 
 def resolve_rulegen_shards(value=None) -> int:
     """Validate a shard count; ``None`` falls back to the environment.
 
-    Mirrors the engine's worker-count validation: non-integer and
-    non-positive values raise a :class:`ValueError` naming the offending
-    source.  With no explicit value and no environment override the
-    result is 1 (unsharded).
+    Delegates to :func:`repro.engine.settings.resolve_rulegen_shards` —
+    the single resolver for every engine environment knob — imported
+    lazily to keep the sparse layer free of module-level engine
+    dependencies.  Non-integer and non-positive values raise a
+    :class:`ValueError` naming the offending source; with no explicit
+    value and no environment override the result is 1 (unsharded).
     """
-    source = "rulegen_shards"
-    if value is None:
-        value = os.environ.get(RULEGEN_SHARDS_ENV_VAR)
-        if value is None:
-            return 1
-        source = RULEGEN_SHARDS_ENV_VAR
-    try:
-        count = int(str(value).strip())
-    except (TypeError, ValueError):
-        raise ValueError(
-            f"{source} must be a positive integer, got {value!r}"
-        ) from None
-    if count <= 0:
-        raise ValueError(f"{source} must be a positive integer, got {value!r}")
-    return count
+    from ..engine.settings import resolve_rulegen_shards as _resolve
+
+    return _resolve(value)
 
 
 class ConvType(Enum):

@@ -1,0 +1,151 @@
+"""The `repro` CLI front-end: run/list/describe over the engine."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.engine import (
+    ExperimentRunner,
+    ExperimentTable,
+    Scenario,
+    shared_trace_cache,
+)
+
+SPEC = {
+    "version": 1,
+    "name": "cli-test",
+    "simulators": ["spade-he", "dense-he"],
+    "models": ["SPP3"],
+    "scenarios": [{"name": "cli", "seed": 0}],
+    "backend": "serial",
+}
+
+
+@pytest.fixture()
+def spec_path(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC))
+    return str(path)
+
+
+class TestList:
+    def test_simulators_non_empty(self, capsys):
+        assert main(["list", "simulators"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert out, "repro list simulators must be non-empty"
+        assert "spade" in out
+        assert "platform" in out
+
+    def test_models_backends_providers(self, capsys):
+        assert main(["list", "models"]) == 0
+        assert "SPP2" in capsys.readouterr().out
+        assert main(["list", "backends"]) == 0
+        out = capsys.readouterr().out
+        assert "serial" in out and "thread" in out and "process" in out
+        assert main(["list", "frame-providers"]) == 0
+        assert "synthetic" in capsys.readouterr().out
+
+    def test_scenarios_need_a_spec(self, capsys, spec_path):
+        assert main(["list", "scenarios"]) == 2
+        assert "spec" in capsys.readouterr().err
+        assert main(["list", "scenarios", spec_path]) == 0
+        assert "cli" in capsys.readouterr().out
+
+
+class TestDescribe:
+    @pytest.mark.parametrize("name, expect", [
+        ("spade-he", "SpadeSimulator"),
+        ("SPP2", "Table I"),
+        ("serial", "backend"),
+        ("synthetic", "frame provider"),
+    ])
+    def test_describe_kinds(self, capsys, name, expect):
+        assert main(["describe", name]) == 0
+        assert expect in capsys.readouterr().out
+
+    def test_describe_spec_file(self, capsys, spec_path):
+        assert main(["describe", spec_path]) == 0
+        out = capsys.readouterr().out
+        assert "cli-test" in out and "backend=serial" in out
+
+    def test_describe_unknown_exits_2(self, capsys):
+        assert main(["describe", "gibberish"]) == 2
+        assert "nothing named" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_parity_with_hand_built_runner(self, capsys, spec_path,
+                                               tmp_path):
+        """Acceptance: `repro run spec.json` produces a table identical
+        row-for-row to the equivalent hand-built ExperimentRunner."""
+        out_path = tmp_path / "results.json"
+        assert main(["run", spec_path, "--out", str(out_path)]) == 0
+        cli_table = ExperimentTable.from_json(out_path)
+
+        hand_built = ExperimentRunner(
+            simulators=["spade-he", "dense-he"],
+            models=["SPP3"],
+            scenarios=[Scenario("cli", seed=0)],
+            backend="serial",
+            cache=shared_trace_cache(),
+        ).run()
+        assert len(cli_table) == len(hand_built) == 2
+        for cli_row, hand_row in zip(cli_table, hand_built):
+            assert cli_row.as_dict() == hand_row.as_dict()
+
+    def test_run_stdout_csv(self, capsys, spec_path):
+        assert main(["run", spec_path, "--out", "-"]) == 0
+        captured = capsys.readouterr()
+        rows = list(csv.reader(io.StringIO(captured.out)))
+        assert rows[0][0] == "scenario"
+        assert len(rows) == 3
+        # Status chatter goes to stderr, keeping stdout machine-clean.
+        assert "cli-test" in captured.err
+
+    def test_run_stdout_json(self, capsys, spec_path):
+        assert main(["run", spec_path, "--out", "-",
+                     "--format", "json"]) == 0
+        table = ExperimentTable.from_json(capsys.readouterr().out)
+        assert table.simulators == ["SPADE.HE", "DenseAcc.HE"]
+
+    def test_run_csv_file_format_inferred(self, capsys, tmp_path,
+                                          spec_path):
+        out_path = tmp_path / "results.csv"
+        assert main(["run", spec_path, "--out", str(out_path)]) == 0
+        rows = list(csv.reader(io.StringIO(out_path.read_text())))
+        assert rows[0][0] == "scenario" and len(rows) == 3
+
+    def test_run_default_prints_table(self, capsys, spec_path):
+        assert main(["run", spec_path]) == 0
+        out = capsys.readouterr().out
+        assert "SPADE.HE" in out and "DenseAcc.HE" in out
+
+    def test_run_backend_override_validated(self, capsys, spec_path):
+        assert main(["run", spec_path, "--backend", "quantum"]) == 2
+        err = capsys.readouterr().err
+        assert "quantum" in err and "serial" in err
+
+    def test_run_bad_workers_names_knob(self, capsys, spec_path):
+        assert main(["run", spec_path, "--workers", "lots"]) == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_run_missing_spec_file(self, capsys):
+        assert main(["run", "no/such/spec.json"]) == 2
+        assert "spec" in capsys.readouterr().err
+
+    def test_run_invalid_spec_names_problem(self, capsys, tmp_path):
+        bad = dict(SPEC, simulators=["warp-he"])
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(bad))
+        assert main(["run", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "unknown simulator" in err
+
+    def test_unknown_format_target_rejected(self, capsys, tmp_path,
+                                            spec_path):
+        out_path = tmp_path / "results.xlsx"
+        assert main(["run", spec_path, "--out", str(out_path)]) == 2
+        assert "format" in capsys.readouterr().err

@@ -1,0 +1,126 @@
+"""ExperimentTable CSV/JSON serialization round trips."""
+
+import csv
+import io
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    ExperimentRunner,
+    ExperimentTable,
+    RESULT_COLUMNS,
+    SimResult,
+    TraceCache,
+    mean_result,
+)
+
+
+def _row(simulator="S", model="M", scenario="default", frame=None,
+         cycles=100, latency_ms=1.5):
+    return SimResult(
+        simulator=simulator, model=model, scenario=scenario, frame=frame,
+        cycles=cycles, latency_ms=latency_ms, fps=1e3 / latency_ms,
+        energy_mj=None, dram_bytes=2048, utilization=0.5,
+        per_layer=[{"name": "L1", "cycles": 60},
+                   {"name": "L2", "cycles": 40}],
+        extras={"phases": {"map": 10, "mxu": 90}},
+    )
+
+
+def _batched_table():
+    per_frame = [_row(frame=0), _row(frame=1, cycles=200, latency_ms=3.0)]
+    return ExperimentTable(
+        results=per_frame + [mean_result(per_frame)] + [
+            _row(simulator="T", cycles=None, latency_ms=2.0),
+        ]
+    )
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = _batched_table().to_csv()
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == list(RESULT_COLUMNS)
+        assert len(rows) == 1 + 4
+        # The mean aggregate row is labelled and averaged.
+        mean_row = rows[3]
+        assert mean_row[rows[0].index("frame")] == "mean"
+        assert float(mean_row[rows[0].index("cycles")]) == 150.0
+        # None metrics are empty cells.
+        assert rows[4][rows[0].index("cycles")] == ""
+
+    def test_writes_path(self, tmp_path):
+        path = tmp_path / "table.csv"
+        text = _batched_table().to_csv(path=path)
+        assert path.read_text() == text
+
+
+class TestJsonRoundTrip:
+    def test_full_round_trip_including_batched_and_mean_rows(self):
+        table = _batched_table()
+        again = ExperimentTable.from_json(table.to_json())
+        assert len(again) == len(table)
+        for left, right in zip(table, again):
+            assert left == right            # dataclass eq (raw excluded)
+        # The mean row survives with its frame label and extras.
+        mean = again.get(simulator="S", frame="mean")
+        assert mean.extras == {"frames": 2}
+        assert mean.cycles == 150.0
+
+    def test_numpy_scalars_serialize_native(self):
+        table = ExperimentTable(results=[
+            _row(cycles=np.int64(123), latency_ms=float(np.float64(2.0)))
+        ])
+        again = ExperimentTable.from_json(table.to_json())
+        assert again.results[0].cycles == 123
+        assert isinstance(again.results[0].cycles, int)
+
+    def test_unserializable_extras_dropped_not_stringified(self):
+        row = _row()
+        row.extras["legacy"] = object()
+        text = ExperimentTable(results=[row]).to_json()
+        again = ExperimentTable.from_json(text)
+        assert "legacy" not in again.results[0].extras
+        assert again.results[0].extras["phases"] == {"map": 10, "mxu": 90}
+
+    def test_from_json_accepts_path(self, tmp_path):
+        path = tmp_path / "table.json"
+        table = _batched_table()
+        table.to_json(path=path)
+        assert len(ExperimentTable.from_json(path)) == len(table)
+
+    def test_rejects_foreign_documents(self):
+        with pytest.raises(ValueError, match="schema"):
+            ExperimentTable.from_json("{\"results\": []}")
+        with pytest.raises(ValueError, match="JSON|document"):
+            ExperimentTable.from_json("not json at all {")
+
+    def test_rejects_unknown_record_keys(self):
+        payload = {
+            "schema": "repro.ExperimentTable",
+            "version": 1,
+            "results": [{"simulator": "S", "model": "M", "cyclez": 1}],
+        }
+        with pytest.raises(ValueError, match="cyclez"):
+            ExperimentTable.from_json(payload)
+
+
+class TestLiveTableRoundTrip:
+    """A real engine sweep (batched scenario included) survives JSON."""
+
+    def test_batched_sweep(self):
+        from repro.engine import Scenario
+
+        runner = ExperimentRunner(
+            simulators=["spade-he"],
+            models=["SPP3"],
+            scenarios=[Scenario("drive", seed=0, frames=2)],
+            cache=TraceCache(),
+            backend="serial",
+        )
+        table = runner.run()
+        again = ExperimentTable.from_json(table.to_json())
+        assert [r.frame for r in again] == [0, 1, "mean"]
+        for left, right in zip(table, again):
+            assert left.as_dict() == right.as_dict()

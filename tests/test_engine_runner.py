@@ -337,11 +337,14 @@ class TestBuildSimulator:
         assert build_simulator("platform:A6000").name == "A6000"
 
     def test_unknown_specs_raise(self):
-        with pytest.raises(KeyError):
+        # Unknown/malformed specs are ValueErrors listing the valid
+        # names (and remain KeyErrors for pre-registry callers — held
+        # by tests/test_engine_registry.py).
+        with pytest.raises(ValueError, match="config token"):
             build_simulator("spade-xl")
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="unknown platform"):
             build_simulator("platform:TPU")
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="registered"):
             build_simulator("warp-he")
 
 

@@ -1,0 +1,152 @@
+"""EngineSettings: the single resolver for every engine env knob."""
+
+import pytest
+
+from repro.engine import (
+    BACKEND_ENV_VAR,
+    CACHE_DIR_ENV_VAR,
+    ENGINE_ENV_VARS,
+    RULEGEN_SHARDS_ENV_VAR,
+    TRACE_WORKERS_ENV_VAR,
+    WORKERS_ENV_VAR,
+    EngineSettings,
+    ExperimentRunner,
+    TraceCache,
+)
+from repro.engine.settings import (
+    resolve_cache_dir,
+    resolve_rulegen_shards,
+    resolve_trace_workers,
+    resolve_workers,
+)
+from repro.sparse import rulegen as sparse_rulegen
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    for var in ENGINE_ENV_VARS:
+        monkeypatch.delenv(var, raising=False)
+
+
+class TestPrecedence:
+    def test_defaults(self):
+        settings = EngineSettings.resolve()
+        assert settings.backend == "thread"
+        assert settings.workers >= 1
+        assert settings.trace_workers == settings.workers
+        assert settings.rulegen_shards == 1
+        assert settings.cache_dir is None
+
+    def test_env_overrides_defaults(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "serial")
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        monkeypatch.setenv(TRACE_WORKERS_ENV_VAR, "2")
+        monkeypatch.setenv(RULEGEN_SHARDS_ENV_VAR, "4")
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
+        settings = EngineSettings.resolve()
+        assert settings == EngineSettings(
+            backend="serial", workers=3, trace_workers=2,
+            rulegen_shards=4, cache_dir=str(tmp_path),
+        )
+
+    def test_explicit_beats_env(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "serial")
+        monkeypatch.setenv(WORKERS_ENV_VAR, "3")
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
+        settings = EngineSettings.resolve(
+            backend="process", workers=5, cache_dir=None,
+        )
+        assert settings.backend == "process"
+        assert settings.workers == 5
+        # Explicit None disables the disk tier despite the env var.
+        assert settings.cache_dir is None
+
+    def test_trace_workers_follow_workers(self):
+        assert EngineSettings.resolve(workers=6).trace_workers == 6
+        assert EngineSettings.resolve(
+            workers=6, trace_workers=2
+        ).trace_workers == 2
+
+
+class TestBadValuesNameTheOffender:
+    """A bad value for *any* knob names the offending variable."""
+
+    @pytest.mark.parametrize("var, bad", [
+        (WORKERS_ENV_VAR, "zero"),
+        (WORKERS_ENV_VAR, "0"),
+        (WORKERS_ENV_VAR, "-2"),
+        (TRACE_WORKERS_ENV_VAR, "many"),
+        (TRACE_WORKERS_ENV_VAR, "0"),
+        (RULEGEN_SHARDS_ENV_VAR, "x"),
+        (RULEGEN_SHARDS_ENV_VAR, "-1"),
+    ])
+    def test_env_knobs(self, monkeypatch, var, bad):
+        monkeypatch.setenv(var, bad)
+        with pytest.raises(ValueError, match=var):
+            EngineSettings.resolve()
+
+    @pytest.mark.parametrize("kwarg, source", [
+        ("workers", "max_workers"),
+        ("trace_workers", "trace_workers"),
+        ("rulegen_shards", "rulegen_shards"),
+    ])
+    def test_explicit_knobs(self, kwarg, source):
+        with pytest.raises(ValueError, match=source):
+            ExperimentRunner(
+                simulators=["spade-he"], models=["SPP3"],
+                **{"max_workers" if kwarg == "workers" else kwarg: "bad"},
+            )
+
+    def test_resolvers_name_arguments(self):
+        with pytest.raises(ValueError, match="max_workers"):
+            resolve_workers("nope")
+        with pytest.raises(ValueError, match="trace_workers"):
+            resolve_trace_workers(0)
+        with pytest.raises(ValueError, match="rulegen_shards"):
+            resolve_rulegen_shards(-3)
+
+
+class TestDelegation:
+    """Every engine layer routes env reads through this one module."""
+
+    def test_runner_delegates(self, monkeypatch):
+        monkeypatch.setenv(WORKERS_ENV_VAR, "4")
+        monkeypatch.setenv(TRACE_WORKERS_ENV_VAR, "2")
+        monkeypatch.setenv(RULEGEN_SHARDS_ENV_VAR, "3")
+        runner = ExperimentRunner(simulators=["spade-he"],
+                                  models=["SPP3"])
+        assert runner.max_workers == 4
+        assert runner.trace_workers == 2
+        assert runner.rulegen_shards == 3
+
+    def test_cache_delegates(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
+        assert str(TraceCache().disk_dir) == str(tmp_path)
+        assert TraceCache(disk_dir=None).disk_dir is None
+
+    def test_sparse_rulegen_delegates(self, monkeypatch):
+        monkeypatch.setenv(RULEGEN_SHARDS_ENV_VAR, "5")
+        assert sparse_rulegen.resolve_rulegen_shards() == 5
+
+    def test_env_var_names_agree_across_layers(self):
+        # The sparse layer mirrors the literal (it cannot import the
+        # engine at module scope); the mirror must never drift.
+        assert (sparse_rulegen.RULEGEN_SHARDS_ENV_VAR
+                == RULEGEN_SHARDS_ENV_VAR)
+
+    def test_no_stray_environ_reads_in_engine(self):
+        # The dedupe contract itself: apart from settings.py, no engine
+        # module (nor sparse rulegen) reads os.environ directly.
+        import inspect
+
+        import repro.engine.backends
+        import repro.engine.cache
+        import repro.engine.runner
+
+        for module in (repro.engine.runner, repro.engine.backends,
+                       repro.engine.cache, sparse_rulegen):
+            assert "os.environ" not in inspect.getsource(module), module
+
+    def test_resolve_cache_dir_empty_string_is_none(self, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, "")
+        assert resolve_cache_dir() is None
