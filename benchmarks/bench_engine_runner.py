@@ -24,7 +24,11 @@ Times the same scenarios x models x simulators grid several ways —
 * **disk cache**: only when ``REPRO_TRACE_CACHE_DIR`` is set — a cold
   run populating the persistent tier, then a second fresh-cache run
   that must serve every trace from disk (the CI bench-smoke job asserts
-  this round trip).
+  this round trip);
+* **dist**: the same grid through the distributed backend with two
+  loopback workers — parity is asserted against the serial table and
+  the coordinator/protocol overhead is recorded (on a 1-CPU runner
+  dist ≈ serial + round trips; real wins need real machines).
 
 and writes the timings as JSON so the perf trajectory of the engine is
 tracked across PRs (``check_regression.py`` gates CI on it).
@@ -39,7 +43,9 @@ from __future__ import annotations
 import gc
 import json
 import os
+import socket
 import sys
+import threading
 import time
 from pathlib import Path
 
@@ -48,10 +54,14 @@ from pathlib import Path
 from repro.analysis import trace_model
 from repro.engine import (
     CACHE_DIR_ENV_VAR,
+    DistBackend,
     ExperimentRunner,
+    ExperimentSpec,
+    ExperimentTable,
     FrameProvider,
     Scenario,
     TraceCache,
+    Worker,
 )
 from repro.models import build_model_spec, grid_for
 from repro.sparse import (
@@ -69,6 +79,7 @@ SMOKE_SIMULATORS = ("spade-he", "dense-he")
 SMOKE_MODELS = ("SPP2", "SPP3")
 
 BACKENDS = ("serial", "thread", "process")
+DIST_WORKERS = 2
 BATCH_FRAMES = 4
 BATCH_ROUNDS = 2
 SCALING_MODEL = "SCP1"          # nuScenes 512x512 grid
@@ -310,6 +321,49 @@ def _disk_cache_sweep(grid: dict) -> dict:
     }
 
 
+def _dist_sweep(grid: dict) -> dict:
+    """The grid through the dist backend: 2 loopback workers, parity
+    asserted against the serial table (in its JSON wire projection)."""
+    spec = ExperimentSpec(
+        name="bench-dist",
+        simulators=list(grid["simulators"]),
+        models=list(grid["models"]),
+        scenarios=list(grid["scenarios"]),
+    )
+    serial_runner = spec.build_runner(cache=TraceCache(disk_dir=None))
+    serial_table, serial_s = _timed_run(serial_runner, backend="serial")
+
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    for index in range(DIST_WORKERS):
+        threading.Thread(
+            target=Worker(("127.0.0.1", port),
+                          worker_id=f"bench-{index}",
+                          retry_seconds=60).run,
+            daemon=True,
+        ).start()
+    dist_runner = spec.build_runner(cache=TraceCache(disk_dir=None))
+    backend = DistBackend(port=port, start_timeout=60)
+    dist_table, dist_s = _timed_run(dist_runner, backend=backend)
+
+    expected = ExperimentTable.from_json(serial_table.to_json())
+    assert len(dist_table) == len(expected)
+    for left, right in zip(expected, dist_table):
+        assert left == right, "dist backend changed the numbers"
+    units = backend.last_coordinator.stats["units"]
+    _release_run_state(serial_runner, serial_table)
+    _release_run_state(dist_runner, dist_table)
+    return {
+        "workers": DIST_WORKERS,
+        "units": units,
+        "serial_s": serial_s,
+        "dist_s": dist_s,
+        "dist_vs_serial": dist_s / serial_s,
+    }
+
+
 def run_sweeps(smoke: bool = False) -> dict:
     """Execute every sweep and return the timing record."""
     grid = _grid(smoke)
@@ -337,6 +391,7 @@ def run_sweeps(smoke: bool = False) -> dict:
     batch_timings = _batching_sweep(grid)
     scaling = _rulegen_scaling()
     disk_cache = _disk_cache_sweep(grid)
+    dist = _dist_sweep(grid)
 
     record = {
         "grid": {
@@ -362,6 +417,7 @@ def run_sweeps(smoke: bool = False) -> dict:
         "backends": backend_timings,
         "batching": batch_timings,
         "rulegen_scaling": scaling,
+        "dist": dist,
         "trace_cache": trace_cache_stats,
         "max_workers": max_workers,
         "cpus": os.cpu_count(),
@@ -408,6 +464,10 @@ def check_sweeps(timings: dict) -> None:
     if (timings["cpus"] or 1) > 1:
         backends = timings["backends"]
         assert backends["cold_process_s"] < backends["cold_serial_s"]
+    # The distributed backend covered the whole plan (parity with the
+    # serial table is asserted inside the sweep itself).
+    dist = timings["dist"]
+    assert dist["units"] == len(grid["scenarios"]) * len(grid["models"])
     # With a persistent tier configured, the second run must serve every
     # unique trace from disk — the round trip the CI bench job asserts.
     disk = timings.get("disk_cache")

@@ -1,0 +1,13 @@
+"""``python -m repro`` — the CLI without the installed entry point.
+
+Distributed workers in particular are often launched on hosts where the
+package is on ``PYTHONPATH`` but not pip-installed; ``python -m repro
+worker --connect HOST:PORT`` is the same as ``repro worker ...``.
+"""
+
+import sys
+
+from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

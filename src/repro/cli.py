@@ -13,7 +13,14 @@ them and inspects the registries:
 * ``repro list scenarios spec.json``
   — the scenario axis of one spec file;
 * ``repro describe <name>`` — details on a simulator spec string, a
-  Table I model, a backend, a frame provider, or a spec file.
+  Table I model, a backend, a frame provider, or a spec file;
+* ``repro worker --connect HOST:PORT``
+  — serve a distributed coordinator (the ``--backend dist`` run on the
+  other end) until it shuts the worker down;
+* ``repro cache stats|clear``
+  — inspect or empty the trace-artifact store
+  (``REPRO_TRACE_CACHE_DIR`` or ``--cache-dir``) that distributed and
+  process runs share traces through.
 
 Everything resolves through the same code paths the Python API uses —
 the simulator/backend/provider registries and the
@@ -122,8 +129,84 @@ def _cmd_run(args) -> int:
         f"{len(runner.simulators)} simulator(s) "
         f"on the {backend_name} backend"
     )
-    table = runner.run()
+    table = runner.run(progress=args.progress)
     _emit_table(table, out, args.format)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro worker
+# ---------------------------------------------------------------------------
+
+
+def _cmd_worker(args) -> int:
+    from .engine.dist import Worker
+    from .engine.settings import UNSET
+
+    worker = Worker(
+        args.connect,
+        worker_id=args.worker_id,
+        cache_dir=args.cache_dir if args.cache_dir is not None else UNSET,
+        retry_seconds=args.retry_seconds,
+        max_units=args.max_units,
+    )
+    return worker.run()
+
+
+# ---------------------------------------------------------------------------
+# repro cache
+# ---------------------------------------------------------------------------
+
+
+def _format_bytes(count: int) -> str:
+    value = float(count)
+    for suffix in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024 or suffix == "GiB":
+            return (f"{count} B" if suffix == "B"
+                    else f"{value:.1f} {suffix}")
+        value /= 1024
+    return f"{count} B"
+
+
+def _cmd_cache(args) -> int:
+    from .engine.cache import (
+        clear_disk_tier,
+        scan_disk_tier,
+        shared_trace_cache,
+    )
+    from .engine.settings import resolve_cache_dir
+
+    cache_dir = (args.cache_dir if args.cache_dir is not None
+                 else resolve_cache_dir())
+    if args.action == "stats":
+        memory = shared_trace_cache().stats()
+        _out("memory tier (this process)")
+        _out(f"  entries     : {memory['entries']}")
+        _out(f"  hits/misses : {memory['hits']}/{memory['misses']}")
+        _out(f"  disk hits   : {memory['disk_hits']} "
+             f"(writes {memory['disk_writes']})")
+        if cache_dir is None:
+            _out("disk tier")
+            _out("  disabled    : set REPRO_TRACE_CACHE_DIR or pass "
+                 "--cache-dir")
+            return 0
+        disk = scan_disk_tier(cache_dir)
+        _out(f"disk tier ({disk['dir']})")
+        _out(f"  artifacts   : {disk['entries']}")
+        _out(f"  size        : {_format_bytes(disk['bytes'])}")
+        return 0
+    # clear
+    if cache_dir is None:
+        raise ValueError(
+            "no trace cache directory to clear: set "
+            "REPRO_TRACE_CACHE_DIR or pass --cache-dir"
+        )
+    removed = clear_disk_tier(cache_dir)
+    shared_trace_cache().clear()
+    _status(
+        f"removed {removed['entries']} trace artifact(s) "
+        f"({_format_bytes(removed['bytes'])}) from {removed['dir']}"
+    )
     return 0
 
 
@@ -296,7 +379,43 @@ def build_parser() -> argparse.ArgumentParser:
                      help="output format for --out (inferred from the "
                           "file suffix when omitted; '-' defaults to "
                           "csv)")
+    run.add_argument("--progress", action="store_true",
+                     help="print per-group completion (done/total, "
+                          "elapsed) to stderr while the sweep runs")
     run.set_defaults(func=_cmd_run)
+
+    worker = commands.add_parser(
+        "worker",
+        help="serve a distributed coordinator (`repro run --backend "
+             "dist` on the other end)",
+    )
+    worker.add_argument("--connect", required=True, metavar="HOST:PORT",
+                        help="coordinator address to pull work from")
+    worker.add_argument("--id", dest="worker_id",
+                        help="worker name in coordinator logs "
+                             "(default: hostname:pid)")
+    worker.add_argument("--cache-dir", dest="cache_dir",
+                        help="trace-artifact directory override "
+                             "(default: what the coordinator announces, "
+                             "else REPRO_TRACE_CACHE_DIR)")
+    worker.add_argument("--retry-seconds", dest="retry_seconds",
+                        type=float, default=30.0,
+                        help="keep retrying the initial connection this "
+                             "long, so workers can start before the "
+                             "coordinator (default: 30)")
+    worker.add_argument("--max-units", dest="max_units", type=int,
+                        help="exit cleanly after N units (drain mode)")
+    worker.set_defaults(func=_cmd_worker)
+
+    cache = commands.add_parser(
+        "cache",
+        help="inspect or clear the shared trace-artifact store",
+    )
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("--cache-dir", dest="cache_dir",
+                       help="disk-tier directory (default: "
+                            "REPRO_TRACE_CACHE_DIR)")
+    cache.set_defaults(func=_cmd_cache)
 
     lister = commands.add_parser(
         "list", help="enumerate registered names"

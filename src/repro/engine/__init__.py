@@ -21,7 +21,11 @@
   environment knob;
 * :mod:`repro.engine.spec`       — :class:`ExperimentSpec`, the
   declarative (JSON-serializable) form of an experiment, which the
-  ``repro`` CLI front-end (:mod:`repro.cli`) runs from the shell.
+  ``repro`` CLI front-end (:mod:`repro.cli`) runs from the shell;
+* :mod:`repro.engine.dist`       — the distributed coordinator/worker
+  backend (``"dist"``): spec-dict work units over length-prefixed JSON
+  TCP, trace-artifact shipping through the cache disk tier, heartbeats
+  and requeue-based fault tolerance (``repro worker`` serves it).
 """
 
 from .backends import (
@@ -34,7 +38,9 @@ from .backends import (
 )
 from .cache import (
     TraceCache,
+    clear_disk_tier,
     frame_fingerprint,
+    scan_disk_tier,
     shared_trace_cache,
     spec_fingerprint,
 )
@@ -89,6 +95,15 @@ from .spec import (
     cell_filter_from_rules,
 )
 
+# Imported last: the dist subsystem builds on the spec layer and
+# registers the "dist" backend as an import side effect.
+from .dist import (  # noqa: E402
+    Coordinator,
+    DistBackend,
+    DistRunError,
+    Worker,
+)
+
 __all__ = [
     "BACKENDS",
     "BACKEND_ENV_VAR",
@@ -103,7 +118,10 @@ __all__ = [
     "TRACE_WORKERS_ENV_VAR",
     "WORKERS_ENV_VAR",
     "Backend",
+    "Coordinator",
     "DenseAccSimulator",
+    "DistBackend",
+    "DistRunError",
     "EngineSettings",
     "ExperimentRunner",
     "ExperimentSpec",
@@ -127,9 +145,12 @@ __all__ = [
     "TraceStatsSim",
     "UnknownNameError",
     "WorkGroup",
+    "Worker",
     "build_simulator",
     "cell_filter_from_rules",
+    "clear_disk_tier",
     "frame_fingerprint",
+    "scan_disk_tier",
     "mean_result",
     "register_backend",
     "register_frame_provider",

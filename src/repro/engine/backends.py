@@ -37,8 +37,12 @@ frames are seeded deterministically and traces are content-keyed.
 
 from __future__ import annotations
 
+import contextlib
 import shutil
+import sys
 import tempfile
+import threading
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import partial
@@ -111,16 +115,116 @@ def execute_group(group: WorkGroup, trace_lookup) -> list:
     return results
 
 
+@contextlib.contextmanager
+def run_scoped_cache_dir(prefix: str = "repro-trace-cache-"):
+    """The shared trace-artifact directory of one run, as a context.
+
+    Yields ``(cache_dir, is_run_scoped)``: the configured
+    ``REPRO_TRACE_CACHE_DIR`` when one is set (``is_run_scoped=False``,
+    nothing is ever deleted), otherwise a freshly created run-scoped
+    temporary directory (``is_run_scoped=True``) that is removed on
+    exit **whether or not the run succeeded** — the ``try/finally``
+    lives here, once, so every backend that shares traces through a
+    directory (the process pool, the distributed coordinator) gets
+    leak-free cleanup instead of re-implementing it.
+    """
+    cache_dir = resolve_cache_dir()
+    if cache_dir is not None:
+        yield cache_dir, False
+        return
+    temp_dir = tempfile.mkdtemp(prefix=prefix)
+    try:
+        yield temp_dir, True
+    finally:
+        shutil.rmtree(temp_dir, ignore_errors=True)
+
+
+def chunk_payload(payload: list, workers: int,
+                  chunksize: int = None) -> list:
+    """Split work units into contiguous chunks for dispatch.
+
+    The default chunk size splits the payload roughly twice per worker —
+    large enough to amortize per-dispatch overhead (IPC for the process
+    pool, a protocol round trip for the distributed backend), small
+    enough that a straggler can be balanced by the other workers.  This
+    is the one chunking policy both backends share.
+    """
+    if not payload:
+        return []
+    chunksize = chunksize or max(
+        1, (len(payload) + 2 * workers - 1) // (2 * workers)
+    )
+    return [
+        payload[start:start + chunksize]
+        for start in range(0, len(payload), chunksize)
+    ]
+
+
+class ProgressReporter:
+    """Per-group completion ticker for long sweeps (stderr by default).
+
+    Thread-safe: parallel backends advance it from pool threads and the
+    distributed coordinator from connection handlers.  ``sink`` may be a
+    callable ``(done, total, elapsed_seconds)`` for programmatic
+    consumers (tests, dashboards); the default prints
+    ``groups done/total (elapsed)`` lines to ``stderr`` so ``--out -``
+    tables stay clean.
+    """
+
+    def __init__(self, total: int, sink=None, label: str = "groups"):
+        self.total = total
+        self.done = 0
+        self.label = label
+        self._sink = sink
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+
+    def advance(self, count: int = 1) -> None:
+        # The sink runs under the lock so concurrent group completions
+        # report in monotone order (and interleaved lines never tear).
+        with self._lock:
+            self.done += count
+            elapsed = time.monotonic() - self._started
+            if self._sink is not None:
+                self._sink(self.done, self.total, elapsed)
+            else:
+                print(
+                    f"[repro] {self.label} {self.done}/{self.total} "
+                    f"({elapsed:.1f}s)",
+                    file=sys.stderr,
+                )
+
+
+def report_group_done(runner, count: int = 1) -> None:
+    """Advance the runner's active progress reporter, if any.
+
+    Backends call this after finishing each work group; it is a no-op
+    unless the caller asked for progress (``runner.run(progress=...)``),
+    so the hot path costs one attribute read.
+    """
+    reporter = getattr(runner, "_progress", None)
+    if reporter is not None:
+        reporter.advance(count)
+
+
 class Backend:
     """Interface every execution backend implements.
 
     ``execute`` receives the runner (for its trace/frame plumbing) and
     the planned work groups, and returns one list of
     :class:`~repro.engine.result.SimResult` rows per group, in plan
-    order.
+    order.  Backends with preconditions on the runner override
+    :meth:`incompatibility`; when the backend was only an environment
+    default (not an explicit choice) the runner falls back to threads
+    instead of failing.
     """
 
     name: str = "backend"
+
+    @staticmethod
+    def incompatibility(runner) -> str:
+        """Why this runner cannot use this backend, or ``None``."""
+        return None
 
     def execute(self, runner, groups: list) -> list:
         raise NotImplementedError
@@ -133,7 +237,11 @@ class SerialBackend(Backend):
     name = "serial"
 
     def execute(self, runner, groups: list) -> list:
-        return [execute_group(group, runner.trace_for) for group in groups]
+        nested = []
+        for group in groups:
+            nested.append(execute_group(group, runner.trace_for))
+            report_group_done(runner)
+        return nested
 
 
 @register_backend("thread")
@@ -164,8 +272,7 @@ class ThreadBackend(Backend):
             # A width-1 pool is pure overhead (baseline: 1.30 s through
             # the pool vs 0.87-1.11 s serial on one CPU) — run the plan
             # exactly like the serial backend.
-            return [execute_group(group, runner.trace_for)
-                    for group in groups]
+            return SerialBackend().execute(runner, groups)
         trace_jobs = [
             (group.scenario, group.model, frame)
             for group in groups
@@ -193,11 +300,19 @@ class ThreadBackend(Backend):
         cells = [(group, simulator)
                  for group in groups
                  for simulator in group.simulators]
+        remaining = {id(group): len(group.simulators) for group in groups}
+        remaining_lock = threading.Lock()
 
         def run_cell(cell):
             group, simulator = cell
-            return execute_cell(group.scenario, simulator,
+            rows = execute_cell(group.scenario, simulator,
                                 group_traces(group))
+            with remaining_lock:
+                remaining[id(group)] -= 1
+                finished = remaining[id(group)] == 0
+            if finished:
+                report_group_done(runner)
+            return rows
 
         if workers > 1 and len(cells) > 1:
             with ThreadPoolExecutor(workers) as pool:
@@ -372,8 +487,7 @@ class ProcessBackend(Backend):
         if workers == 1:
             # Pure pool overhead at width 1: run in-process through the
             # runner's own cache, keeping the raw-stripping contract.
-            nested = [execute_group(group, runner.trace_for)
-                      for group in groups]
+            nested = SerialBackend().execute(runner, groups)
             for rows in nested:
                 for row in rows:
                     row.raw = None
@@ -384,13 +498,7 @@ class ProcessBackend(Backend):
             (group.scenario, group.model, tuple(group.simulators))
             for group in groups
         ]
-        chunksize = self.chunksize or max(
-            1, (len(payload) + 2 * workers - 1) // (2 * workers)
-        )
-        chunks = [
-            payload[start:start + chunksize]
-            for start in range(0, len(payload), chunksize)
-        ]
+        chunks = chunk_payload(payload, workers, self.chunksize)
 
         # Trace stage: every unique (scenario, model, frame) exactly
         # once, round-robin across the pool.
@@ -409,26 +517,23 @@ class ProcessBackend(Backend):
 
         # Workers share traces through the disk tier, handed to each
         # worker by the pool initializer; when the environment names no
-        # cache directory, a run-scoped temporary one stands in.
-        cache_dir = resolve_cache_dir()
-        temp_dir = None
-        if cache_dir is None:
-            temp_dir = tempfile.mkdtemp(prefix="repro-trace-cache-")
-            cache_dir = temp_dir
-        try:
+        # cache directory, a run-scoped temporary one stands in (and is
+        # cleaned up by the context manager even when the run fails).
+        with run_scoped_cache_dir() as (cache_dir, _):
             width = min(workers, max(len(chunks), len(trace_chunks)))
             with ProcessPoolExecutor(max_workers=width,
                                      initializer=_init_worker,
                                      initargs=(cache_dir,)) as pool:
                 list(pool.map(partial(_trace_chunk, rulegen_shards=shards),
                               trace_chunks))
-                chunk_results = list(
+                chunk_results = []
+                for chunk, rows in zip(
+                    chunks,
                     pool.map(partial(_run_chunk, rulegen_shards=shards),
-                             chunks)
-                )
-        finally:
-            if temp_dir is not None:
-                shutil.rmtree(temp_dir, ignore_errors=True)
+                             chunks),
+                ):
+                    chunk_results.append(rows)
+                    report_group_done(runner, count=len(chunk))
         return [rows for chunk in chunk_results for rows in chunk]
 
 

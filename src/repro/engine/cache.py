@@ -44,6 +44,11 @@ from .settings import CACHE_DIR_ENV_VAR, UNSET, resolve_cache_dir
 #: knob.
 _FROM_ENV = UNSET
 
+#: Filename suffix of every persisted trace artifact — the one place
+#: the naming scheme lives (path construction, eviction, the
+#: ``repro cache`` scans).
+TRACE_ARTIFACT_SUFFIX = ".trace.pkl"
+
 
 def spec_fingerprint(spec: ModelSpec) -> str:
     """Deterministic digest of a model's layer graph.
@@ -134,7 +139,7 @@ class TraceCache:
     # -- disk tier ---------------------------------------------------------
 
     def _disk_path(self, key: str) -> Path:
-        return self.disk_dir / f"{key}.trace.pkl"
+        return self.disk_dir / f"{key}{TRACE_ARTIFACT_SUFFIX}"
 
     def _disk_load(self, key: str) -> ModelTrace:
         """The persisted trace for ``key``, or None.
@@ -243,7 +248,7 @@ class TraceCache:
             self.disk_hits = 0
             self.disk_writes = 0
         if disk and self.disk_dir is not None:
-            for path in self.disk_dir.glob("*.trace.pkl"):
+            for path in self.disk_dir.glob(f"*{TRACE_ARTIFACT_SUFFIX}"):
                 try:
                     path.unlink()
                 except OSError:
@@ -259,6 +264,40 @@ class TraceCache:
                 "disk_writes": self.disk_writes,
                 "disk_dir": str(self.disk_dir) if self.disk_dir else None,
             }
+
+
+def scan_disk_tier(directory) -> dict:
+    """Size up one disk-tier directory without loading anything.
+
+    Returns ``{"dir", "entries", "bytes"}`` for the trace artifacts
+    under ``directory`` — what ``repro cache stats`` shows operators
+    inspecting the shared store a distributed run depends on.  A
+    missing directory counts as empty (the tier is created lazily).
+    """
+    path = Path(directory)
+    entries = 0
+    total = 0
+    if path.is_dir():
+        for artifact in path.glob(f"*{TRACE_ARTIFACT_SUFFIX}"):
+            try:
+                total += artifact.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+    return {"dir": str(path), "entries": entries, "bytes": total}
+
+
+def clear_disk_tier(directory) -> dict:
+    """Delete every trace artifact under ``directory``.
+
+    Returns the :func:`scan_disk_tier` summary of what was removed.
+    Delegates the actual deletion to :meth:`TraceCache.clear` so the
+    artifact naming and removal logic live in one place; the directory
+    may hold other data, which is never touched.
+    """
+    summary = scan_disk_tier(directory)
+    TraceCache(disk_dir=directory).clear(disk=True)
+    return summary
 
 
 #: The shared cache is bounded: each ModelTrace retains per-layer rule

@@ -1,0 +1,748 @@
+"""The distributed coordinator and the ``"dist"`` execution backend.
+
+:class:`DistBackend` is a :class:`~repro.engine.backends.Backend` like
+any other — ``ExperimentRunner`` hands it the planned work groups and
+gets back one row list per group — but execution happens on remote
+worker processes started with ``repro worker --connect HOST:PORT``:
+
+1. **Serialization.**  Each work group (one scenario x model with its
+   surviving simulators) becomes a self-contained
+   :class:`~repro.engine.spec.ExperimentSpec` dict — exactly the JSON a
+   spec file carries, restricted to that group — so a worker needs
+   nothing but the ``repro`` package to execute it.  Groups are chunked
+   into *units* (``chunksize`` groups per dispatch, default 1), the
+   granularity of scheduling and of requeue.
+2. **Trace shipping.**  Before dispatching, the coordinator's trace
+   stage traces every unique (scenario, model, frame) once into the
+   shared :class:`~repro.engine.cache.TraceCache` disk tier — the
+   ``REPRO_TRACE_CACHE_DIR`` directory when set (shared storage in a
+   real deployment), else a run-scoped temporary directory that still
+   serves loopback workers.  Workers then load trace artifacts by
+   content key instead of re-running rulegen per worker.
+3. **Pull scheduling.**  Workers *request* units when idle
+   (work-stealing semantics: fast workers simply pull more), execute
+   them serially, and stream row records back.
+4. **Fault tolerance.**  Workers heartbeat on a fixed interval; a
+   worker that goes silent while holding a unit, dies (closed socket),
+   reports an execution error, or exceeds the per-unit timeout has its
+   unit requeued onto the surviving workers.  Each unit carries an
+   attempt cap — exhausting it fails the run with a
+   :class:`DistRunError` naming the unit — and results are keyed by
+   unit, so the table is deterministic regardless of which worker ran
+   what (duplicate results from a presumed-dead worker are ignored).
+
+Because results travel as JSON records, returned rows match the serial
+backend's rows *as serialized*: ``raw`` is ``None`` (the process
+backend's contract too) and ``extras``/``per_layer`` carry their
+JSON-safe projection — CSV/JSON outputs are byte-identical to a serial
+run's.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections import deque
+
+from ..backends import (
+    Backend,
+    _model_name,
+    chunk_payload,
+    report_group_done,
+    run_scoped_cache_dir,
+)
+from ..cache import TraceCache
+from ..registry import register_backend
+from ..result import _record_to_result
+from ..settings import DistSettings
+from .protocol import (
+    ProtocolError,
+    message,
+    recv_message,
+    send_message,
+)
+
+
+class DistRunError(RuntimeError):
+    """A distributed run that could not complete (unit exhausted its
+    attempt cap, or the worker fleet disappeared)."""
+
+
+# ---------------------------------------------------------------------------
+# Work-unit serialization
+# ---------------------------------------------------------------------------
+
+
+def group_spec_dict(runner, group, base: dict = None,
+                    index_of: dict = None) -> dict:
+    """One work group as a self-contained ExperimentSpec dict.
+
+    The group's simulator *instances* are mapped back to the source
+    spec's registry strings by identity, so the worker re-resolves the
+    same factories; the cell filter is already baked in (the group only
+    carries surviving simulators), hence ``cells`` is empty.
+    ``base``/``index_of`` let :func:`build_units` hoist the (identical)
+    spec serialization and identity map out of its per-group loop.
+    """
+    if base is None:
+        base = runner.source_spec.to_dict()
+    if index_of is None:
+        index_of = {
+            id(simulator): position
+            for position, simulator in enumerate(runner.simulators)
+        }
+    simulators = [
+        base["simulators"][index_of[id(simulator)]]
+        for simulator in group.simulators
+    ]
+    scenario = group.scenario
+    return {
+        "version": base["version"],
+        "name": base["name"],
+        "simulators": simulators,
+        "models": [_model_name(group.model)],
+        "scenarios": [{
+            "name": scenario.name,
+            "seed": scenario.seed,
+            "frames": scenario.frames,
+        }],
+        "backend": "serial",
+        "workers": 1,
+        "trace_workers": 1,
+        "rulegen_shards": runner.rulegen_shards,
+        "cache_dir": None,       # the worker's cache is handed over welcome
+        "frame_provider": base["frame_provider"],
+        "cells": [],
+        "out": None,
+    }
+
+
+def build_units(runner, groups: list, chunksize: int) -> list:
+    """The dispatchable units of one plan: chunked, labelled, indexed."""
+    base = runner.source_spec.to_dict()
+    index_of = {
+        id(simulator): position
+        for position, simulator in enumerate(runner.simulators)
+    }
+    payload = [
+        {"index": index,
+         "spec": group_spec_dict(runner, group, base, index_of)}
+        for index, group in enumerate(groups)
+    ]
+    labels = [
+        f"{group.scenario.name}/{_model_name(group.model)}"
+        for group in groups
+    ]
+    units = []
+    for unit_id, chunk in enumerate(chunk_payload(payload, 1, chunksize)):
+        units.append({
+            "unit": unit_id,
+            "groups": chunk,
+            "label": ", ".join(labels[entry["index"]] for entry in chunk),
+        })
+    return units
+
+
+# ---------------------------------------------------------------------------
+# Coordinator
+# ---------------------------------------------------------------------------
+
+
+class _WorkerConn:
+    """Coordinator-side state of one connected worker."""
+
+    def __init__(self, sock, worker_id: str, pid: int):
+        self.sock = sock
+        self.worker_id = worker_id
+        self.pid = pid
+        self.last_seen = time.monotonic()
+        self.inflight = None          # unit id this worker is executing
+        self.dead = False
+        self.graceful = False         # announced goodbye (drain mode)
+
+    def close(self) -> None:
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class Coordinator:
+    """Serve one run's units to pulling workers, fault-tolerantly.
+
+    The coordinator is run-scoped: :meth:`serve` binds the listening
+    socket, dispatches every unit, and returns the decoded rows per
+    group index (or raises :class:`DistRunError`).  All shared state is
+    guarded by one condition variable; per-connection handler threads,
+    the accept loop and the timeout monitor coordinate through it.
+    """
+
+    def __init__(self, units: list, settings: DistSettings,
+                 cache_dir: str = None, on_unit_done=None,
+                 hold_units: bool = False):
+        self.settings = settings
+        self.cache_dir = cache_dir
+        self.on_unit_done = on_unit_done
+        self._units = {unit["unit"]: unit for unit in units}
+        self._attempts = {unit["unit"]: 0 for unit in units}
+        self._last_error = {}
+        # hold_units lets the backend bind the listener (so workers can
+        # connect and handshake) while its trace stage is still
+        # running; workers politely receive ``wait`` until
+        # release_units() opens the queue.
+        self._held = (deque(unit["unit"] for unit in units)
+                      if hold_units else deque())
+        self._pending = (deque() if hold_units
+                         else deque(unit["unit"] for unit in units))
+        self._inflight = {}           # unit id -> (worker, deadline)
+        self._done = set()
+        self._rows = {}               # group index -> [SimResult, ...]
+        self._failure = None
+        self._cond = threading.Condition()
+        # Keyed by connection object identity, never by the
+        # worker-supplied name: two workers may legitimately announce
+        # the same id (identical container hostnames and pids), and a
+        # collision must not let one connection's death reap the other.
+        self._workers = {}            # id(_WorkerConn) -> _WorkerConn
+        self._stop = threading.Event()
+        self._no_worker_since = None  # set while zero workers are live
+        self._listener = None
+        self._threads = []
+        self.port = None
+        self.stats = {
+            "units": len(units),
+            "workers_seen": 0,
+            "requeues": 0,
+            "worker_failures": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the listener and start serving connections (idempotent).
+
+        Separated from :meth:`serve` so the backend can open the door
+        *before* its trace stage: workers started first (the documented
+        workflow) connect and handshake immediately instead of burning
+        their connection-retry window against a port that is not bound
+        until minutes of rulegen finish.
+        """
+        if self._listener is not None:
+            return
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            listener.bind((self.settings.host, self.settings.port))
+        except OSError as error:
+            listener.close()
+            raise DistRunError(
+                f"coordinator cannot bind "
+                f"{self.settings.host}:{self.settings.port}: {error}"
+            ) from None
+        listener.listen()
+        listener.settimeout(0.2)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._no_worker_since = time.monotonic()
+        self._threads = [
+            threading.Thread(target=self._accept_loop,
+                             name="repro-dist-accept", daemon=True),
+            threading.Thread(target=self._monitor_loop,
+                             name="repro-dist-monitor", daemon=True),
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def release_units(self) -> None:
+        """Open the queue to held units (no-op without ``hold_units``)."""
+        with self._cond:
+            self._pending.extend(self._held)
+            self._held.clear()
+            self._cond.notify_all()
+
+    def shutdown(self, close_workers: bool = True) -> None:
+        """Stop threads and close sockets (idempotent, safe anytime)."""
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if close_workers:
+            with self._cond:
+                workers = list(self._workers.values())
+            for worker in workers:
+                worker.close()
+
+    def serve(self) -> dict:
+        """Dispatch every unit; block until done; return rows per group.
+
+        Raises:
+            DistRunError: a unit exhausted its attempt cap, or no
+                workers were available for ``start_timeout`` seconds.
+        """
+        self.start()
+        self.release_units()
+        try:
+            with self._cond:
+                while self._failure is None and not self._completed():
+                    self._cond.wait(0.2)
+                failure = self._failure
+        finally:
+            # On failure, busy workers are executing doomed units; cut
+            # them loose instead of letting them stream stale results.
+            # On success, leave the sockets open so the handlers can
+            # answer each worker's next request with ``shutdown``.
+            self.shutdown(close_workers=self._failure is not None)
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        if failure is not None:
+            raise failure
+        return dict(self._rows)
+
+    def _completed(self) -> bool:
+        return len(self._done) == len(self._units)
+
+    def worker_snapshot(self) -> list:
+        """Live workers as dicts (id, pid, in-flight unit) — for tests
+        and operator tooling."""
+        with self._cond:
+            return [
+                {
+                    "worker": worker.worker_id,
+                    "pid": worker.pid,
+                    "inflight": worker.inflight,
+                }
+                for worker in self._workers.values()
+                if not worker.dead
+            ]
+
+    # -- accept / per-worker handler ---------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            threading.Thread(target=self._serve_worker, args=(conn,),
+                             name="repro-dist-worker", daemon=True).start()
+
+    def _serve_worker(self, conn) -> None:
+        # Workers heartbeat every heartbeat_interval even while idle,
+        # so worker_timeout seconds of pure socket silence means the
+        # host vanished without FIN/RST.  A read timeout here is what
+        # catches a silently-dead *idle* worker (the monitor only
+        # watches workers holding units) — without it a dead idle
+        # worker keeps the run registered as "has workers" forever.
+        conn.settimeout(max(self.settings.worker_timeout,
+                            2 * self.settings.heartbeat_interval))
+        worker = None
+        try:
+            hello = recv_message(conn)
+            if hello.get("type") != "hello":
+                conn.close()
+                return
+            worker = _WorkerConn(
+                conn,
+                worker_id=str(hello.get("worker") or f"worker-{id(conn)}"),
+                pid=hello.get("pid"),
+            )
+            with self._cond:
+                self.stats["workers_seen"] += 1
+                self._workers[id(worker)] = worker
+                self._no_worker_since = None
+            send_message(conn, message(
+                "welcome",
+                cache_dir=self.cache_dir,
+                heartbeat_interval=self.settings.heartbeat_interval,
+            ))
+            while True:
+                msg = recv_message(conn)
+                kind = msg.get("type")
+                if kind == "heartbeat":
+                    with self._cond:
+                        worker.last_seen = time.monotonic()
+                elif kind == "request":
+                    if not self._handle_request(worker):
+                        return
+                elif kind == "result":
+                    self._handle_result(worker, msg)
+                elif kind == "error":
+                    self._handle_error(worker, msg)
+                elif kind == "goodbye":
+                    # Announced exit (drain mode): not a failure.
+                    worker.graceful = True
+                    return
+                # Unknown types are ignored (forward compatibility).
+        except (ProtocolError, OSError):
+            pass
+        finally:
+            if worker is not None:
+                self._reap(worker, "connection lost")
+            else:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    #: How long a request may idle-wait before the coordinator answers
+    #: ``wait`` (the worker immediately re-requests).  Guaranteed
+    #: traffic lets workers run a bounded read timeout instead of
+    #: blocking forever on a coordinator host that vanished.
+    IDLE_REPLY_SECONDS = 2.0
+
+    def _handle_request(self, worker) -> bool:
+        """Assign the next unit (blocking until one is available).
+
+        Returns False after replying ``shutdown`` — the handler then
+        drops the connection.
+        """
+        idle_deadline = time.monotonic() + self.IDLE_REPLY_SECONDS
+        with self._cond:
+            while True:
+                if worker.dead:
+                    return False
+                if self._failure is not None or self._completed():
+                    reply = message("shutdown")
+                    break
+                worker.last_seen = time.monotonic()
+                if self._pending:
+                    unit_id = self._pending.popleft()
+                    self._attempts[unit_id] += 1
+                    deadline = (time.monotonic()
+                                + self.settings.unit_timeout)
+                    self._inflight[unit_id] = (worker, deadline)
+                    worker.inflight = unit_id
+                    unit = self._units[unit_id]
+                    reply = message("unit", unit=unit_id,
+                                    groups=unit["groups"])
+                    break
+                if time.monotonic() >= idle_deadline:
+                    reply = message("wait")
+                    break
+                # Idle: wait for a requeue or for completion.
+                self._cond.wait(0.25)
+        send_message(worker.sock, reply)
+        return reply["type"] != "shutdown"
+
+    def _handle_result(self, worker, msg: dict) -> None:
+        unit_id = msg.get("unit")
+        decoded = {
+            int(index): [_record_to_result(record) for record in records]
+            for index, records in (msg.get("groups") or {}).items()
+        }
+        with self._cond:
+            worker.last_seen = time.monotonic()
+            if worker.inflight == unit_id:
+                worker.inflight = None
+            if unit_id not in self._units or unit_id in self._done:
+                return            # duplicate from a presumed-dead worker
+            self._inflight.pop(unit_id, None)
+            # A stale worker may complete a unit that was already
+            # requeued; first valid result wins (rows are deterministic).
+            try:
+                self._pending.remove(unit_id)
+            except ValueError:
+                pass
+            self._rows.update(decoded)
+            self._done.add(unit_id)
+            self._cond.notify_all()
+        if self.on_unit_done is not None:
+            self.on_unit_done(len(decoded))
+
+    def _handle_error(self, worker, msg: dict) -> None:
+        unit_id = msg.get("unit")
+        with self._cond:
+            worker.last_seen = time.monotonic()
+            if worker.inflight == unit_id:
+                worker.inflight = None
+            # Only the current owner's error counts: a stale report
+            # from a worker whose unit was already requeued (timeout
+            # races) must not pop another worker's assignment.
+            entry = self._inflight.get(unit_id)
+            if entry is not None and entry[0] is worker:
+                self._inflight.pop(unit_id)
+                self._requeue_or_fail(
+                    unit_id,
+                    f"failed on worker {worker.worker_id!r}: "
+                    f"{msg.get('error')}",
+                )
+            self._cond.notify_all()
+
+    # -- fault handling ----------------------------------------------------
+
+    def _requeue_or_fail(self, unit_id, reason: str) -> None:
+        """Requeue one unit, or fail the run at the attempt cap.
+
+        Caller holds the condition lock.
+        """
+        self._last_error[unit_id] = reason
+        if unit_id in self._done:
+            return
+        if self._attempts[unit_id] >= self.settings.max_attempts:
+            label = self._units[unit_id]["label"]
+            self._failure = DistRunError(
+                f"work unit {unit_id} ({label}) exhausted "
+                f"{self.settings.max_attempts} attempt(s); "
+                f"last failure: {reason}"
+            )
+        else:
+            self.stats["requeues"] += 1
+            self._pending.appendleft(unit_id)
+
+    def _reap(self, worker, reason: str) -> None:
+        """Mark one worker dead and requeue anything it held."""
+        with self._cond:
+            already = worker.dead
+            worker.dead = True
+            self._workers.pop(id(worker), None)
+            unit_id = worker.inflight
+            worker.inflight = None
+            if not already and not worker.graceful \
+                    and not self._completed() \
+                    and self._failure is None:
+                self.stats["worker_failures"] += 1
+            if unit_id is not None:
+                entry = self._inflight.get(unit_id)
+                if entry is not None and entry[0] is worker:
+                    self._inflight.pop(unit_id)
+                    self._requeue_or_fail(
+                        unit_id,
+                        f"worker {worker.worker_id!r} {reason}",
+                    )
+            if not self._workers:
+                self._no_worker_since = time.monotonic()
+            self._cond.notify_all()
+        worker.close()
+
+    def _abandon_unit(self, unit_id, worker, reason: str) -> None:
+        """Requeue a timed-out unit WITHOUT destroying its worker.
+
+        The worker is alive and heartbeating — the unit is just slower
+        than the budget.  It is requeued onto idle workers (or fails at
+        the attempt cap), while the original execution keeps running:
+        if it finishes first, its result is still accepted (rows are
+        deterministic), and the worker then pulls fresh work normally.
+        Reaping here would convert one slow unit into the loss of
+        ``max_attempts`` healthy workers.
+
+        Caller holds the condition lock.
+        """
+        entry = self._inflight.get(unit_id)
+        if entry is None or entry[0] is not worker:
+            return
+        self._inflight.pop(unit_id)
+        if worker.inflight == unit_id:
+            worker.inflight = None
+        self._requeue_or_fail(unit_id, reason)
+        self._cond.notify_all()
+
+    def _monitor_loop(self) -> None:
+        while not self._stop.is_set():
+            time.sleep(0.1)
+            stale = []
+            with self._cond:
+                now = time.monotonic()
+                for unit_id, (worker, deadline) in list(
+                        self._inflight.items()):
+                    if now > deadline:
+                        self._abandon_unit(
+                            unit_id, worker,
+                            f"unit timed out after "
+                            f"{self.settings.unit_timeout:g}s",
+                        )
+                    elif (now - worker.last_seen
+                          > self.settings.worker_timeout):
+                        stale.append((
+                            worker,
+                            f"heartbeat lost for "
+                            f"{self.settings.worker_timeout:g}s",
+                        ))
+                if (self._failure is None and not self._completed()
+                        and self._no_worker_since is not None
+                        and now - self._no_worker_since
+                        > self.settings.start_timeout):
+                    self._failure = DistRunError(
+                        f"no connected workers for "
+                        f"{self.settings.start_timeout:g}s — start some "
+                        f"with `repro worker --connect "
+                        f"{self.settings.host}:{self.port}`"
+                    )
+                    self._cond.notify_all()
+            for worker, reason in stale:
+                self._reap(worker, reason)
+
+
+# ---------------------------------------------------------------------------
+# The backend
+# ---------------------------------------------------------------------------
+
+
+@register_backend("dist")
+class DistBackend(Backend):
+    """Coordinator/worker distributed execution over TCP.
+
+    The runner must be built from an :class:`ExperimentSpec`
+    (``spec.build_runner()`` or ``repro run``) so work units can be
+    serialized; workers are separate ``repro worker --connect
+    HOST:PORT`` processes, on this machine or others.  Every knob
+    defaults through :class:`~repro.engine.settings.DistSettings`
+    (``REPRO_ENGINE_DIST_*`` environment variables).
+
+    Args mirror :class:`DistSettings`; ``None`` inherits the
+    environment.
+    """
+
+    name = "dist"
+
+    def __init__(self, host=None, port=None, chunksize=None,
+                 unit_timeout=None, heartbeat_interval=None,
+                 worker_timeout=None, max_attempts=None,
+                 start_timeout=None, trace_stage=None):
+        self._overrides = {
+            "host": host,
+            "port": port,
+            "chunksize": chunksize,
+            "unit_timeout": unit_timeout,
+            "heartbeat_interval": heartbeat_interval,
+            "worker_timeout": worker_timeout,
+            "max_attempts": max_attempts,
+            "start_timeout": start_timeout,
+            "trace_stage": trace_stage,
+        }
+        #: The coordinator of the most recent ``execute`` call — state
+        #: introspection for tests and operator tooling.
+        self.last_coordinator = None
+
+    @staticmethod
+    def incompatibility(runner) -> str:
+        from ..runner import FrameProvider
+
+        if runner.trace_provider is not None:
+            return (
+                "DistBackend cannot ship a trace_provider closure to "
+                "remote workers; workers trace through the default "
+                "frame path — use the serial or thread backend"
+            )
+        spec = getattr(runner, "source_spec", None)
+        if spec is None:
+            return (
+                "DistBackend needs a runner built from an "
+                "ExperimentSpec (spec.build_runner() or `repro run`), "
+                "so work units can be serialized to workers"
+            )
+        try:
+            spec.to_dict()
+        except ValueError as error:
+            return f"DistBackend cannot serialize the experiment: {error}"
+        from ..spec import DEFAULT_FRAME_PROVIDER
+
+        # Workers re-create frame providers from the registry NAME, so
+        # any caller-supplied provider *instance* (and any non-stock
+        # type under the default name) would be silently ignored
+        # remotely — reject rather than let tables quietly diverge.
+        provider = runner.frame_provider
+        if spec.frame_provider == DEFAULT_FRAME_PROVIDER:
+            if type(provider) is not FrameProvider:
+                return (
+                    "DistBackend re-creates frame providers by "
+                    "registry name inside each worker; a custom "
+                    f"{type(provider).__name__} instance would be "
+                    "silently ignored — use the serial or thread "
+                    "backend"
+                )
+        elif getattr(runner, "frame_provider_explicit", False):
+            return (
+                "DistBackend re-creates frame providers by registry "
+                f"name ({spec.frame_provider!r}) inside each worker; "
+                f"the {type(provider).__name__} instance passed to "
+                "build_runner would be silently ignored — drop the "
+                "instance or use the serial or thread backend"
+            )
+        return None
+
+    def execute(self, runner, groups: list) -> list:
+        reason = self.incompatibility(runner)
+        if reason is not None:
+            raise ValueError(reason)
+        if not groups:
+            return []
+        settings = DistSettings.resolve(**self._overrides)
+        units = build_units(runner, groups, settings.chunksize)
+        with run_scoped_cache_dir() as (cache_dir, _):
+            coordinator = Coordinator(
+                units,
+                settings=settings,
+                cache_dir=cache_dir,
+                on_unit_done=lambda count: report_group_done(runner,
+                                                             count),
+                hold_units=settings.trace_stage,
+            )
+            self.last_coordinator = coordinator
+            # Bind before tracing: workers started first (the
+            # documented workflow) connect and handshake while the
+            # trace stage fills the shared store; the queue opens when
+            # the artifacts are ready.
+            coordinator.start()
+            try:
+                if settings.trace_stage:
+                    self._trace_stage(runner, groups, cache_dir)
+                    coordinator.release_units()
+                rows_by_group = coordinator.serve()
+            except BaseException:
+                coordinator.shutdown()
+                raise
+        return [rows_by_group[index] for index in range(len(groups))]
+
+    @staticmethod
+    def _trace_stage(runner, groups: list, cache_dir: str) -> None:
+        """Trace every unique (scenario, model, frame) into the shared
+        disk tier, so workers load artifacts instead of re-tracing.
+
+        Uses the runner's own cache when it already persists to the
+        shared directory (warm sweeps reuse its memory tier), otherwise
+        a small dedicated cache that spills to ``cache_dir``.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        if (runner.cache.disk_dir is not None
+                and str(runner.cache.disk_dir) == str(cache_dir)):
+            cache = runner.cache
+        else:
+            cache = TraceCache(maxsize=4, disk_dir=cache_dir)
+        seen = set()
+        jobs = []
+        for group in groups:
+            for frame in range(group.scenario.frames):
+                key = (group.scenario.name, _model_name(group.model),
+                       frame)
+                if key not in seen:
+                    seen.add(key)
+                    jobs.append((group.scenario, group.model, frame))
+
+        def trace(job):
+            scenario, model, frame = job
+            built = runner.frame_provider.frame_for(scenario, model,
+                                                    frame)
+            cache.get_trace(
+                runner._spec_for(model),
+                built.coords,
+                built.point_counts.astype(float),
+                rulegen_shards=runner.rulegen_shards,
+            )
+
+        width = min(runner.trace_workers, len(jobs))
+        if width > 1:
+            with ThreadPoolExecutor(width) as pool:
+                list(pool.map(trace, jobs))
+        else:
+            for job in jobs:
+                trace(job)

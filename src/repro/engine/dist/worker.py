@@ -1,0 +1,235 @@
+"""The distributed worker: pull units, execute, stream rows back.
+
+A worker is one process (``repro worker --connect HOST:PORT``, or a
+:class:`Worker` driven in-process by tests and benchmarks) that serves
+exactly one coordinator.  Its loop is deliberately boring:
+
+1. connect — with retry, so workers can be started *before* the
+   coordinator binds (CI starts two workers in the background, then
+   launches ``repro run --backend dist``);
+2. handshake — ``hello`` up, ``welcome`` down (the welcome names the
+   run's shared trace-artifact directory and the heartbeat interval);
+3. pull — ``request`` a unit, execute it, send ``result`` (or
+   ``error`` with the exception message), repeat;
+4. exit — on the coordinator's ``shutdown`` message (exit code 0), or
+   when the connection drops mid-run (exit code 1).
+
+A background thread heartbeats on the welcome's interval so the
+coordinator can tell "still crunching a big unit" from "dead".  Units
+are :class:`~repro.engine.spec.ExperimentSpec` dicts; execution goes
+through the exact spec → runner → serial-backend path a local
+``repro run`` uses, against a worker-lifetime
+:class:`~repro.engine.cache.TraceCache` (memory tier per worker, disk
+tier shared with the coordinator's trace stage when the directory is
+reachable) and a worker-lifetime
+:class:`~repro.engine.runner.FrameProvider` so repeated scenarios reuse
+their frames.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import sys
+import threading
+import time
+import traceback
+
+from ..cache import TraceCache
+from ..result import _result_to_record
+from ..runner import FrameProvider
+from ..settings import UNSET
+from .protocol import (
+    ProtocolError,
+    message,
+    parse_address,
+    recv_message,
+    send_message,
+)
+
+
+def execute_unit(groups: list, cache: TraceCache,
+                 providers: dict) -> dict:
+    """Execute one unit's group specs; rows as JSON records per index.
+
+    ``providers`` maps frame-provider registry names to live instances;
+    the caller seeds it with the default provider and it is extended
+    here on first use, so every provider — and its frame cache — lives
+    for the worker's lifetime rather than being rebuilt (and its scene
+    synthesis re-run) once per unit.
+
+    Split out from the connection loop so tests can drive execution
+    without a socket.  Import inside: the spec layer imports the runner
+    and backends, which this module must not require at import time.
+    """
+    from ..registry import FRAME_PROVIDERS
+    from ..spec import ExperimentSpec
+
+    out = {}
+    for entry in groups:
+        spec = ExperimentSpec.from_dict(entry["spec"])
+        provider = providers.get(spec.frame_provider)
+        if provider is None:
+            provider = FRAME_PROVIDERS.create(spec.frame_provider)
+            providers[spec.frame_provider] = provider
+        runner = spec.build_runner(cache=cache, frame_provider=provider)
+        table = runner.run(backend="serial")
+        out[str(entry["index"])] = [
+            _result_to_record(row) for row in table.results
+        ]
+    return out
+
+
+#: Worker-side read timeout.  The coordinator guarantees a reply to
+#: every request within its idle-reply window (~2 s), so a minute of
+#: socket silence means the coordinator host vanished without FIN/RST —
+#: exit 1 and let the supervisor restart the worker instead of hanging
+#: forever.
+READ_TIMEOUT_SECONDS = 60.0
+
+
+class Worker:
+    """One coordinator-serving worker loop.
+
+    Args:
+        address: ``(host, port)`` tuple or ``"HOST:PORT"`` string of the
+            coordinator.
+        worker_id: Stable name in coordinator logs and errors; defaults
+            to ``hostname:pid``.
+        cache_dir: Trace-artifact directory override.  Unset (the
+            default) defers to the coordinator's welcome message, then
+            to ``REPRO_TRACE_CACHE_DIR``; pass ``None`` explicitly for a
+            memory-only cache.
+        retry_seconds: How long to keep retrying the initial connection
+            — this is what lets workers start before the coordinator.
+        max_units: Exit cleanly after this many units (drain mode for
+            tests and rolling restarts); ``None`` serves until shutdown.
+    """
+
+    def __init__(self, address, worker_id: str = None, cache_dir=UNSET,
+                 retry_seconds: float = 30.0, max_units: int = None):
+        self.address = (parse_address(address)
+                        if isinstance(address, str) else tuple(address))
+        self.worker_id = worker_id or (
+            f"{socket.gethostname()}:{os.getpid()}"
+        )
+        self._cache_dir = cache_dir
+        self.retry_seconds = float(retry_seconds)
+        self.max_units = max_units
+        self.units_done = 0
+        self._send_lock = threading.Lock()
+        self._stop_heartbeat = threading.Event()
+
+    def _log(self, text: str) -> None:
+        print(f"[repro worker {self.worker_id}] {text}",
+              file=sys.stderr, flush=True)
+
+    # -- connection --------------------------------------------------------
+
+    def _connect(self):
+        """Dial the coordinator, retrying until ``retry_seconds`` runs
+        out (so a worker may be launched before the coordinator)."""
+        deadline = time.monotonic() + self.retry_seconds
+        while True:
+            try:
+                return socket.create_connection(self.address, timeout=5.0)
+            except OSError as error:
+                if time.monotonic() >= deadline:
+                    raise ConnectionError(
+                        f"no coordinator at "
+                        f"{self.address[0]}:{self.address[1]} after "
+                        f"{self.retry_seconds:g}s: {error}"
+                    ) from None
+                time.sleep(0.2)
+
+    def _send(self, sock, payload: dict) -> None:
+        with self._send_lock:
+            send_message(sock, payload)
+
+    def _heartbeat_loop(self, sock, interval: float) -> None:
+        while not self._stop_heartbeat.wait(interval):
+            try:
+                self._send(sock, message("heartbeat"))
+            except OSError:
+                return
+
+    # -- the loop ----------------------------------------------------------
+
+    def run(self) -> int:
+        """Serve the coordinator until shutdown; returns an exit code."""
+        try:
+            sock = self._connect()
+        except ConnectionError as error:
+            self._log(str(error))
+            return 1
+        try:
+            return self._serve(sock)
+        except (ProtocolError, OSError) as error:
+            self._log(f"connection to coordinator lost: {error}")
+            return 1
+        finally:
+            self._stop_heartbeat.set()
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _serve(self, sock) -> int:
+        self._send(sock, message("hello", worker=self.worker_id,
+                                 pid=os.getpid()))
+        welcome = recv_message(sock)
+        if welcome.get("type") != "welcome":
+            self._log(f"unexpected handshake reply: {welcome.get('type')}")
+            return 1
+        sock.settimeout(READ_TIMEOUT_SECONDS)
+        if self._cache_dir is UNSET:
+            disk_dir = welcome.get("cache_dir")
+            cache = (TraceCache(maxsize=16, disk_dir=disk_dir)
+                     if disk_dir else TraceCache(maxsize=16))
+        else:
+            cache = TraceCache(maxsize=16, disk_dir=self._cache_dir)
+        from ..spec import DEFAULT_FRAME_PROVIDER
+
+        providers = {DEFAULT_FRAME_PROVIDER: FrameProvider()}
+        interval = float(welcome.get("heartbeat_interval") or 1.0)
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop, args=(sock, interval),
+            name="repro-worker-heartbeat", daemon=True,
+        )
+        heartbeat.start()
+        self._log(
+            f"connected to {self.address[0]}:{self.address[1]} "
+            f"(cache_dir={cache.disk_dir})"
+        )
+        while True:
+            self._send(sock, message("request"))
+            msg = recv_message(sock)
+            kind = msg.get("type")
+            if kind == "shutdown":
+                self._log(f"shutdown after {self.units_done} unit(s)")
+                return 0
+            if kind != "unit":
+                continue                  # ignore unknown message types
+            unit_id = msg.get("unit")
+            try:
+                groups = execute_unit(msg.get("groups") or [], cache,
+                                      providers)
+                reply = message("result", unit=unit_id, groups=groups)
+            except Exception as error:   # noqa: BLE001 — reported upstream
+                detail = traceback.format_exception_only(
+                    type(error), error
+                )[-1].strip()
+                self._log(f"unit {unit_id} failed: {detail}")
+                reply = message("error", unit=unit_id, error=detail)
+            self._send(sock, reply)
+            self.units_done += 1
+            if (self.max_units is not None
+                    and self.units_done >= self.max_units):
+                # Announce the exit so the coordinator books it as a
+                # drain, not a worker failure.
+                self._send(sock, message("goodbye"))
+                self._log(
+                    f"drained after {self.units_done} unit(s) "
+                    f"(--max-units)"
+                )
+                return 0

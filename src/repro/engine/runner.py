@@ -34,6 +34,7 @@ from ..models.specs import ModelSpec, build_model_spec
 from ..models.zoo import TABLE1_PAPER, grid_for, scene_config_for
 from .backends import (
     ProcessBackend,
+    ProgressReporter,
     SerialBackend,
     ThreadBackend,
     WorkGroup,
@@ -269,6 +270,11 @@ class ExperimentRunner:
                                                    self.max_workers)
         self.rulegen_shards = resolve_rulegen_shards(rulegen_shards)
         self._specs = {}
+        self._progress = None
+        #: The :class:`~repro.engine.spec.ExperimentSpec` this runner
+        #: was built from, set by ``ExperimentSpec.build_runner``; the
+        #: distributed backend serializes its work units from it.
+        self.source_spec = None
 
     def _spec_for(self, model) -> ModelSpec:
         if isinstance(model, ModelSpec):
@@ -321,7 +327,8 @@ class ExperimentRunner:
                     groups.append(WorkGroup(scenario, model, simulators))
         return groups
 
-    def run(self, parallel: bool = True, backend=None) -> ExperimentTable:
+    def run(self, parallel: bool = True, backend=None,
+            progress=False) -> ExperimentTable:
         """Execute the full grid.
 
         Args:
@@ -332,6 +339,10 @@ class ExperimentRunner:
             backend: Per-call backend override (instance or name),
                 taking precedence over both ``parallel`` and the
                 runner's configured backend.
+            progress: ``True`` prints per-group completion
+                (``done/total``, elapsed) to stderr as the sweep runs;
+                a callable receives ``(done, total, elapsed_seconds)``
+                instead.  Every backend reports through the same seam.
 
         Returns:
             An :class:`ExperimentTable` in deterministic
@@ -344,13 +355,14 @@ class ExperimentRunner:
             chosen = SerialBackend()
         else:
             chosen = resolve_backend(self.backend)
-            if (isinstance(chosen, ProcessBackend)
-                    and not self._backend_explicit
-                    and ProcessBackend.incompatibility(self) is not None):
-                # The process default came from REPRO_ENGINE_BACKEND but
-                # this runner needs in-process trace/frame plumbing —
-                # fall back to threads rather than failing a runner the
-                # caller never asked to put on the process pool.
+            if (not self._backend_explicit
+                    and chosen.incompatibility(self) is not None):
+                # The backend default came from REPRO_ENGINE_BACKEND but
+                # this runner fails its preconditions (in-process
+                # trace/frame plumbing for the process pool, a
+                # spec-built runner for the distributed backend) — fall
+                # back to threads rather than failing a runner the
+                # caller never asked to put on that backend.
                 chosen = ThreadBackend()
         if self.trace_provider is not None and any(
             scenario.frames > 1 for scenario in self.scenarios
@@ -359,7 +371,14 @@ class ExperimentRunner:
                 "trace_provider is single-frame; batched scenarios "
                 "(frames > 1) need the frame-provider path"
             )
-        nested = chosen.execute(self, self.plan())
+        groups = self.plan()
+        if progress:
+            sink = progress if callable(progress) else None
+            self._progress = ProgressReporter(len(groups), sink=sink)
+        try:
+            nested = chosen.execute(self, groups)
+        finally:
+            self._progress = None
         return ExperimentTable(
             results=[row for rows in nested for row in rows]
         )

@@ -42,6 +42,35 @@ RULEGEN_SHARDS_ENV_VAR = "REPRO_ENGINE_RULEGEN_SHARDS"
 #: Environment variable naming the trace cache's persistent disk tier.
 CACHE_DIR_ENV_VAR = "REPRO_TRACE_CACHE_DIR"
 
+#: Host the distributed coordinator binds its listening socket to.
+DIST_HOST_ENV_VAR = "REPRO_ENGINE_DIST_HOST"
+
+#: Port the distributed coordinator listens on (0 = ephemeral).
+DIST_PORT_ENV_VAR = "REPRO_ENGINE_DIST_PORT"
+
+#: Work groups per distributed work unit (requeue granularity).
+DIST_CHUNKSIZE_ENV_VAR = "REPRO_ENGINE_DIST_CHUNKSIZE"
+
+#: Seconds a dispatched unit may run before it is requeued elsewhere.
+DIST_UNIT_TIMEOUT_ENV_VAR = "REPRO_ENGINE_DIST_UNIT_TIMEOUT"
+
+#: Seconds between worker heartbeats (the coordinator tells workers).
+DIST_HEARTBEAT_ENV_VAR = "REPRO_ENGINE_DIST_HEARTBEAT"
+
+#: Seconds of heartbeat silence before a busy worker is declared dead.
+DIST_WORKER_TIMEOUT_ENV_VAR = "REPRO_ENGINE_DIST_WORKER_TIMEOUT"
+
+#: Maximum dispatch attempts per unit before the run fails loudly.
+DIST_MAX_ATTEMPTS_ENV_VAR = "REPRO_ENGINE_DIST_MAX_ATTEMPTS"
+
+#: Seconds the coordinator waits for (the first, or replacement)
+#: workers to connect before giving up.
+DIST_START_TIMEOUT_ENV_VAR = "REPRO_ENGINE_DIST_START_TIMEOUT"
+
+#: Whether the coordinator pre-traces every unique frame into the
+#: shared cache dir before dispatching ("1"/"0"; default on).
+DIST_TRACE_STAGE_ENV_VAR = "REPRO_ENGINE_DIST_TRACE_STAGE"
+
 #: Every environment variable the engine reads, in one tuple — the
 #: contract tested by ``tests/test_engine_settings.py``.
 ENGINE_ENV_VARS = (
@@ -50,6 +79,15 @@ ENGINE_ENV_VARS = (
     TRACE_WORKERS_ENV_VAR,
     RULEGEN_SHARDS_ENV_VAR,
     CACHE_DIR_ENV_VAR,
+    DIST_HOST_ENV_VAR,
+    DIST_PORT_ENV_VAR,
+    DIST_CHUNKSIZE_ENV_VAR,
+    DIST_UNIT_TIMEOUT_ENV_VAR,
+    DIST_HEARTBEAT_ENV_VAR,
+    DIST_WORKER_TIMEOUT_ENV_VAR,
+    DIST_MAX_ATTEMPTS_ENV_VAR,
+    DIST_START_TIMEOUT_ENV_VAR,
+    DIST_TRACE_STAGE_ENV_VAR,
 )
 
 #: Sentinel distinguishing "no value given, consult the environment"
@@ -78,6 +116,38 @@ def positive_int(value, source: str) -> int:
             f"{source} must be a positive integer, got {value!r}"
         )
     return count
+
+
+def positive_float(value, source: str) -> float:
+    """Validate any duration-like knob into a positive float (seconds)."""
+    try:
+        seconds = float(str(value).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a positive number of seconds, "
+            f"got {value!r}"
+        ) from None
+    if not seconds > 0:
+        raise ValueError(
+            f"{source} must be a positive number of seconds, "
+            f"got {value!r}"
+        )
+    return seconds
+
+
+def boolean_flag(value, source: str) -> bool:
+    """Validate an on/off knob (``1/0``, ``true/false``, ``yes/no``)."""
+    if isinstance(value, bool):
+        return value
+    text = str(value).strip().lower()
+    if text in ("1", "true", "yes", "on"):
+        return True
+    if text in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(
+        f"{source} must be a boolean flag (1/0, true/false, yes/no), "
+        f"got {value!r}"
+    )
 
 
 def resolve_backend_name(value=None) -> str:
@@ -130,6 +200,155 @@ def resolve_cache_dir(value=UNSET):
     if value is UNSET:
         value = os.environ.get(CACHE_DIR_ENV_VAR)
     return str(value) if value else None
+
+
+def _resolve_env(value, env_var: str, default, source: str, convert):
+    """Shared explicit > environment > default resolution for one knob."""
+    if value is None:
+        value = os.environ.get(env_var)
+        if value is None:
+            return default
+        source = env_var
+    return convert(value, source)
+
+
+def resolve_dist_host(value=None) -> str:
+    """Coordinator bind host: value > ``REPRO_ENGINE_DIST_HOST`` >
+    loopback."""
+    if value is not None:
+        return str(value)
+    return os.environ.get(DIST_HOST_ENV_VAR) or "127.0.0.1"
+
+
+def resolve_dist_port(value=None, source: str = "port") -> int:
+    """Coordinator port: value > ``REPRO_ENGINE_DIST_PORT`` > 7463.
+
+    0 is allowed and means "bind an ephemeral port" (the actual port is
+    reported by the coordinator once bound).
+    """
+    if value is None:
+        value = os.environ.get(DIST_PORT_ENV_VAR)
+        if value is None:
+            return 7463
+        source = DIST_PORT_ENV_VAR
+    try:
+        port = int(str(value).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a TCP port (0-65535), got {value!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(
+            f"{source} must be a TCP port (0-65535), got {value!r}"
+        )
+    return port
+
+
+def resolve_dist_chunksize(value=None, source: str = "chunksize") -> int:
+    """Groups per dispatched unit: value >
+    ``REPRO_ENGINE_DIST_CHUNKSIZE`` > 1 (finest-grained stealing)."""
+    return _resolve_env(value, DIST_CHUNKSIZE_ENV_VAR, 1, source,
+                        positive_int)
+
+
+def resolve_dist_unit_timeout(value=None,
+                              source: str = "unit_timeout") -> float:
+    """Per-unit execution budget in seconds: value >
+    ``REPRO_ENGINE_DIST_UNIT_TIMEOUT`` > 300."""
+    return _resolve_env(value, DIST_UNIT_TIMEOUT_ENV_VAR, 300.0, source,
+                        positive_float)
+
+
+def resolve_dist_heartbeat(value=None,
+                           source: str = "heartbeat_interval") -> float:
+    """Worker heartbeat period in seconds: value >
+    ``REPRO_ENGINE_DIST_HEARTBEAT`` > 1."""
+    return _resolve_env(value, DIST_HEARTBEAT_ENV_VAR, 1.0, source,
+                        positive_float)
+
+
+def resolve_dist_worker_timeout(value=None,
+                                source: str = "worker_timeout") -> float:
+    """Heartbeat-silence budget in seconds: value >
+    ``REPRO_ENGINE_DIST_WORKER_TIMEOUT`` > 10."""
+    return _resolve_env(value, DIST_WORKER_TIMEOUT_ENV_VAR, 10.0, source,
+                        positive_float)
+
+
+def resolve_dist_max_attempts(value=None,
+                              source: str = "max_attempts") -> int:
+    """Dispatch attempts per unit: value >
+    ``REPRO_ENGINE_DIST_MAX_ATTEMPTS`` > 3."""
+    return _resolve_env(value, DIST_MAX_ATTEMPTS_ENV_VAR, 3, source,
+                        positive_int)
+
+
+def resolve_dist_start_timeout(value=None,
+                               source: str = "start_timeout") -> float:
+    """Worker-arrival budget in seconds: value >
+    ``REPRO_ENGINE_DIST_START_TIMEOUT`` > 60."""
+    return _resolve_env(value, DIST_START_TIMEOUT_ENV_VAR, 60.0, source,
+                        positive_float)
+
+
+def resolve_dist_trace_stage(value=None,
+                             source: str = "trace_stage") -> bool:
+    """Coordinator pre-trace stage toggle: value >
+    ``REPRO_ENGINE_DIST_TRACE_STAGE`` > on."""
+    return _resolve_env(value, DIST_TRACE_STAGE_ENV_VAR, True, source,
+                        boolean_flag)
+
+
+@dataclass(frozen=True)
+class DistSettings:
+    """One fully-resolved snapshot of every distributed-backend knob.
+
+    Attributes:
+        host: Address the coordinator binds (workers connect to it).
+        port: Coordinator TCP port; 0 binds an ephemeral port.
+        chunksize: Work groups per dispatched unit (the requeue
+            granularity — 1 gives the finest-grained work stealing).
+        unit_timeout: Seconds a unit may execute before its worker is
+            presumed wedged and the unit is requeued.
+        heartbeat_interval: Seconds between worker heartbeats.
+        worker_timeout: Seconds of heartbeat silence before a worker
+            holding work is declared dead.
+        max_attempts: Dispatch attempts per unit before the run fails.
+        start_timeout: Seconds the coordinator tolerates having zero
+            connected workers (at startup and after losing all of them).
+        trace_stage: When True the coordinator traces every unique
+            frame into the shared cache dir before dispatching, so
+            workers load artifacts by content key instead of re-tracing.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 7463
+    chunksize: int = 1
+    unit_timeout: float = 300.0
+    heartbeat_interval: float = 1.0
+    worker_timeout: float = 10.0
+    max_attempts: int = 3
+    start_timeout: float = 60.0
+    trace_stage: bool = True
+
+    @classmethod
+    def resolve(cls, host=None, port=None, chunksize=None,
+                unit_timeout=None, heartbeat_interval=None,
+                worker_timeout=None, max_attempts=None,
+                start_timeout=None, trace_stage=None) -> "DistSettings":
+        """Resolve every dist knob: explicit argument > environment >
+        default — the same contract as :meth:`EngineSettings.resolve`."""
+        return cls(
+            host=resolve_dist_host(host),
+            port=resolve_dist_port(port),
+            chunksize=resolve_dist_chunksize(chunksize),
+            unit_timeout=resolve_dist_unit_timeout(unit_timeout),
+            heartbeat_interval=resolve_dist_heartbeat(heartbeat_interval),
+            worker_timeout=resolve_dist_worker_timeout(worker_timeout),
+            max_attempts=resolve_dist_max_attempts(max_attempts),
+            start_timeout=resolve_dist_start_timeout(start_timeout),
+            trace_stage=resolve_dist_trace_stage(trace_stage),
+        )
 
 
 @dataclass(frozen=True)

@@ -466,6 +466,7 @@ class ExperimentSpec:
                 f"unknown build_runner override(s) {unknown}",
             )
         backend = overrides.get("backend", self.backend)
+        explicit_provider = frame_provider is not None
         explicit_cache_dir = "cache_dir" in overrides
         cache_dir = (overrides["cache_dir"] if explicit_cache_dir
                      else self.cache_dir)
@@ -497,7 +498,7 @@ class ExperimentSpec:
             simulators = list(self._validated_simulators)
         else:
             simulators = list(self.simulators)
-        return ExperimentRunner(
+        runner = ExperimentRunner(
             simulators=simulators,
             models=list(self.models),
             scenarios=list(self.scenarios),
@@ -510,6 +511,13 @@ class ExperimentSpec:
             trace_workers=knobs["trace_workers"],
             rulegen_shards=knobs["rulegen_shards"],
         )
+        # The distributed backend re-serializes its work units from the
+        # source spec; keep the provenance on the runner (and whether
+        # the frame provider was a caller-supplied instance, which a
+        # remote worker could not reproduce from the registry name).
+        runner.source_spec = self
+        runner.frame_provider_explicit = explicit_provider
+        return runner
 
     def run(self, **kwargs):
         """Build the runner and execute the grid in one step."""

@@ -149,3 +149,75 @@ class TestRun:
         out_path = tmp_path / "results.xlsx"
         assert main(["run", spec_path, "--out", str(out_path)]) == 2
         assert "format" in capsys.readouterr().err
+
+    def test_run_progress_reports_groups(self, capsys, spec_path):
+        assert main(["run", spec_path, "--progress", "--out", "-"]) == 0
+        captured = capsys.readouterr()
+        # One (scenario, model) group in the test spec; stdout stays
+        # machine-clean, the ticker goes to stderr.
+        assert "groups 1/1" in captured.err
+        assert "groups" not in captured.out
+
+
+class TestCache:
+    def _run_with_cache(self, spec_path, cache_dir):
+        assert main(["run", spec_path, "--cache-dir", str(cache_dir),
+                     "--out", "-"]) == 0
+
+    def test_stats_without_dir_says_disabled(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_CACHE_DIR", raising=False)
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "disabled" in out
+        assert "memory tier" in out
+
+    def test_stats_counts_artifacts(self, capsys, tmp_path, spec_path):
+        self._run_with_cache(spec_path, tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir",
+                     str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "artifacts   : 1" in out
+        assert str(tmp_path) in out
+
+    def test_stats_reads_env_dir(self, capsys, tmp_path, spec_path,
+                                 monkeypatch):
+        self._run_with_cache(spec_path, tmp_path)
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path))
+        capsys.readouterr()
+        assert main(["cache", "stats"]) == 0
+        assert "artifacts   : 1" in capsys.readouterr().out
+
+    def test_clear_removes_artifacts(self, capsys, tmp_path, spec_path):
+        self._run_with_cache(spec_path, tmp_path)
+        capsys.readouterr()
+        assert main(["cache", "clear", "--cache-dir",
+                     str(tmp_path)]) == 0
+        assert "removed 1 trace artifact" in capsys.readouterr().err
+        assert list(tmp_path.glob("*.trace.pkl")) == []
+        assert main(["cache", "stats", "--cache-dir",
+                     str(tmp_path)]) == 0
+        assert "artifacts   : 0" in capsys.readouterr().out
+
+    def test_clear_without_dir_is_an_error(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_CACHE_DIR", raising=False)
+        assert main(["cache", "clear"]) == 2
+        assert "REPRO_TRACE_CACHE_DIR" in capsys.readouterr().err
+
+
+class TestWorkerCommand:
+    def test_connect_is_required(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["worker"])
+        assert "--connect" in capsys.readouterr().err
+
+    def test_bad_address_exits_2(self, capsys):
+        assert main(["worker", "--connect", "no-port-here"]) == 2
+        assert "HOST:PORT" in capsys.readouterr().err
+
+    def test_unreachable_coordinator_exits_1(self, capsys):
+        # Nothing listens on the reserved discard port; the retry
+        # window elapses and the worker reports failure.
+        assert main(["worker", "--connect", "127.0.0.1:9",
+                     "--retry-seconds", "0.2"]) == 1
+        assert "no coordinator" in capsys.readouterr().err

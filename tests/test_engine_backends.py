@@ -406,3 +406,105 @@ class TestProcessTraceStage:
 
         assert not os.path.exists(created[0])
         assert os.environ.get(CACHE_DIR_ENV_VAR) is None
+
+
+class TestProgressReporting:
+    """`runner.run(progress=...)` reports per-group completion through
+    the same Backend seam on every backend."""
+
+    def _events(self, backend, **kwargs):
+        events = []
+        runner = _subset_runner(
+            scenarios=[Scenario("a", seed=0), Scenario("b", seed=9)],
+            **kwargs,
+        )
+        table = runner.run(
+            backend=backend,
+            progress=lambda done, total, elapsed:
+                events.append((done, total)),
+        )
+        return table, events
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_backends_report_every_group(self, backend):
+        table, events = self._events(backend)
+        assert len(table) == 8
+        assert events, f"{backend} backend reported no progress"
+        assert events[-1] == (4, 4)
+        dones = [done for done, _ in events]
+        assert dones == sorted(dones)
+        assert sum(1 for _ in events) <= 4      # chunked reports allowed
+
+    def test_progress_true_prints_to_stderr(self, capsys):
+        runner = _subset_runner(models=["SPP3"], simulators=["spade-he"])
+        runner.run(backend="serial", progress=True)
+        err = capsys.readouterr().err
+        assert "groups 1/1" in err
+
+    def test_no_progress_by_default(self, capsys):
+        runner = _subset_runner(models=["SPP3"], simulators=["spade-he"])
+        runner.run(backend="serial")
+        assert "groups" not in capsys.readouterr().err
+
+    def test_reporter_cleared_after_run(self):
+        runner = _subset_runner(models=["SPP3"], simulators=["spade-he"])
+        runner.run(backend="serial", progress=lambda *args: None)
+        assert runner._progress is None
+
+
+class TestRunScopedTempdirCleanup:
+    def test_failing_run_cleans_up_tempdir(self, monkeypatch):
+        """A run that dies mid-pool must still remove its run-scoped
+        trace-share directory (the try/finally lives in
+        run_scoped_cache_dir, shared by process and dist backends)."""
+        import os
+
+        import repro.engine.backends as backends_module
+
+        monkeypatch.delenv(CACHE_DIR_ENV_VAR, raising=False)
+        created = []
+        real_mkdtemp = backends_module.tempfile.mkdtemp
+
+        def tracking_mkdtemp(*args, **kwargs):
+            path = real_mkdtemp(*args, **kwargs)
+            created.append(path)
+            return path
+
+        monkeypatch.setattr(backends_module.tempfile, "mkdtemp",
+                            tracking_mkdtemp)
+
+        def exploding_pool(*args, **kwargs):
+            raise RuntimeError("pool refused to start")
+
+        monkeypatch.setattr(backends_module, "ProcessPoolExecutor",
+                            exploding_pool)
+        runner = _subset_runner(models=["SPP3"], simulators=["spade-he"],
+                                max_workers=2)
+        with pytest.raises(RuntimeError, match="pool refused"):
+            runner.run(backend="process")
+        assert len(created) == 1
+        assert not os.path.exists(created[0])
+
+    def test_env_cache_dir_is_never_deleted(self, tmp_path, monkeypatch):
+        from repro.engine.backends import run_scoped_cache_dir
+
+        monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
+        with pytest.raises(RuntimeError):
+            with run_scoped_cache_dir() as (cache_dir, run_scoped):
+                assert cache_dir == str(tmp_path)
+                assert run_scoped is False
+                raise RuntimeError("boom")
+        assert tmp_path.exists()
+
+    def test_tempdir_removed_even_on_failure_inside(self, monkeypatch):
+        import os
+
+        from repro.engine.backends import run_scoped_cache_dir
+
+        monkeypatch.delenv(CACHE_DIR_ENV_VAR, raising=False)
+        with pytest.raises(RuntimeError):
+            with run_scoped_cache_dir() as (cache_dir, run_scoped):
+                assert run_scoped is True
+                assert os.path.isdir(cache_dir)
+                raise RuntimeError("boom")
+        assert not os.path.exists(cache_dir)

@@ -141,12 +141,104 @@ class TestDelegation:
 
         import repro.engine.backends
         import repro.engine.cache
+        import repro.engine.dist.coordinator
+        import repro.engine.dist.protocol
+        import repro.engine.dist.worker
         import repro.engine.runner
 
         for module in (repro.engine.runner, repro.engine.backends,
-                       repro.engine.cache, sparse_rulegen):
+                       repro.engine.cache, sparse_rulegen,
+                       repro.engine.dist.coordinator,
+                       repro.engine.dist.protocol,
+                       repro.engine.dist.worker):
             assert "os.environ" not in inspect.getsource(module), module
 
     def test_resolve_cache_dir_empty_string_is_none(self, monkeypatch):
         monkeypatch.setenv(CACHE_DIR_ENV_VAR, "")
         assert resolve_cache_dir() is None
+
+
+class TestDistKnobs:
+    """REPRO_ENGINE_DIST_* resolves through the same single resolver."""
+
+    def test_defaults(self):
+        from repro.engine.settings import DistSettings
+
+        settings = DistSettings.resolve()
+        assert settings.host == "127.0.0.1"
+        assert settings.port == 7463
+        assert settings.chunksize == 1
+        assert settings.unit_timeout == 300.0
+        assert settings.heartbeat_interval == 1.0
+        assert settings.worker_timeout == 10.0
+        assert settings.max_attempts == 3
+        assert settings.start_timeout == 60.0
+        assert settings.trace_stage is True
+
+    def test_env_overrides_defaults(self, monkeypatch):
+        from repro.engine.settings import DistSettings
+
+        monkeypatch.setenv("REPRO_ENGINE_DIST_HOST", "0.0.0.0")
+        monkeypatch.setenv("REPRO_ENGINE_DIST_PORT", "9001")
+        monkeypatch.setenv("REPRO_ENGINE_DIST_CHUNKSIZE", "4")
+        monkeypatch.setenv("REPRO_ENGINE_DIST_UNIT_TIMEOUT", "12.5")
+        monkeypatch.setenv("REPRO_ENGINE_DIST_HEARTBEAT", "0.5")
+        monkeypatch.setenv("REPRO_ENGINE_DIST_WORKER_TIMEOUT", "3")
+        monkeypatch.setenv("REPRO_ENGINE_DIST_MAX_ATTEMPTS", "7")
+        monkeypatch.setenv("REPRO_ENGINE_DIST_START_TIMEOUT", "5")
+        monkeypatch.setenv("REPRO_ENGINE_DIST_TRACE_STAGE", "0")
+        settings = DistSettings.resolve()
+        assert settings == DistSettings(
+            host="0.0.0.0", port=9001, chunksize=4, unit_timeout=12.5,
+            heartbeat_interval=0.5, worker_timeout=3.0, max_attempts=7,
+            start_timeout=5.0, trace_stage=False,
+        )
+
+    def test_explicit_beats_env(self, monkeypatch):
+        from repro.engine.settings import DistSettings
+
+        monkeypatch.setenv("REPRO_ENGINE_DIST_PORT", "9001")
+        monkeypatch.setenv("REPRO_ENGINE_DIST_MAX_ATTEMPTS", "7")
+        settings = DistSettings.resolve(port=0, max_attempts=1)
+        assert settings.port == 0            # ephemeral is a valid choice
+        assert settings.max_attempts == 1
+
+    @pytest.mark.parametrize("var, bad", [
+        ("REPRO_ENGINE_DIST_PORT", "loud"),
+        ("REPRO_ENGINE_DIST_PORT", "70000"),
+        ("REPRO_ENGINE_DIST_PORT", "-1"),
+        ("REPRO_ENGINE_DIST_CHUNKSIZE", "0"),
+        ("REPRO_ENGINE_DIST_UNIT_TIMEOUT", "-3"),
+        ("REPRO_ENGINE_DIST_UNIT_TIMEOUT", "soon"),
+        ("REPRO_ENGINE_DIST_HEARTBEAT", "0"),
+        ("REPRO_ENGINE_DIST_WORKER_TIMEOUT", "never"),
+        ("REPRO_ENGINE_DIST_MAX_ATTEMPTS", "1.5"),
+        ("REPRO_ENGINE_DIST_START_TIMEOUT", "0"),
+        ("REPRO_ENGINE_DIST_TRACE_STAGE", "maybe"),
+    ])
+    def test_bad_env_values_name_the_variable(self, monkeypatch, var,
+                                              bad):
+        from repro.engine.settings import DistSettings
+
+        monkeypatch.setenv(var, bad)
+        with pytest.raises(ValueError, match=var):
+            DistSettings.resolve()
+
+    def test_bad_arguments_name_the_knob(self):
+        from repro.engine.settings import (
+            resolve_dist_max_attempts,
+            resolve_dist_port,
+            resolve_dist_unit_timeout,
+        )
+
+        with pytest.raises(ValueError, match="port"):
+            resolve_dist_port("80000")
+        with pytest.raises(ValueError, match="unit_timeout"):
+            resolve_dist_unit_timeout(0)
+        with pytest.raises(ValueError, match="max_attempts"):
+            resolve_dist_max_attempts("few")
+
+    def test_dist_vars_are_in_the_engine_contract(self):
+        dist_vars = [var for var in ENGINE_ENV_VARS
+                     if var.startswith("REPRO_ENGINE_DIST_")]
+        assert len(dist_vars) == 9
