@@ -21,6 +21,13 @@ Times the same scenarios x models x simulators grid several ways —
 * **rulegen scaling**: legacy per-offset vs fused vs row-sharded rule
   generation on a nuScenes-scale frame (the trace-layer speedup at the
   heart of this engine's perf trajectory);
+* **delta trace**: the same batched scenario traced with full rulegen
+  per frame vs delta-patched sequential chains — bit-identical rules
+  (asserted pairwise), cold rounds alternating like the batching
+  sweep, ``speedup_delta_vs_full`` gated by ``check_regression.py``;
+* **columnar export**: ``to_csv`` straight off the table's struct
+  arrays vs the legacy per-row object walk on a sweep-sized synthetic
+  table (identical bytes asserted);
 * **disk cache**: only when ``REPRO_TRACE_CACHE_DIR`` is set — a cold
   run populating the persistent tier, then a second fresh-cache run
   that must serve every trace from disk (the CI bench-smoke job asserts
@@ -40,7 +47,9 @@ or via pytest: PYTHONPATH=src python -m pytest benchmarks/bench_engine_runner.py
 
 from __future__ import annotations
 
+import csv
 import gc
+import io
 import json
 import os
 import socket
@@ -54,6 +63,7 @@ from pathlib import Path
 from repro.analysis import trace_model
 from repro.engine import (
     CACHE_DIR_ENV_VAR,
+    RESULT_COLUMNS,
     DistBackend,
     ExperimentRunner,
     ExperimentSpec,
@@ -85,6 +95,10 @@ BATCH_ROUNDS = 2
 SCALING_MODEL = "SCP1"          # nuScenes 512x512 grid
 SCALING_SHARDS = 4
 SCALING_REPEATS = 3
+EXPORT_ROWS = 4000
+EXPORT_ROUNDS = 3
+DELTA_ROUNDS = 3
+DELTA_FRAMES = 8
 
 RESULTS_PATH = Path(__file__).parent / "results" / "engine_runner_timings.json"
 
@@ -255,6 +269,134 @@ def _batching_sweep(grid: dict) -> dict:
     }
 
 
+def _delta_trace_sweep(grid: dict) -> dict:
+    """Full per-frame rulegen vs delta-patched sequential chains.
+
+    Same measurement protocol as the batching sweep: both variants
+    trace the identical batched scenario cold, alternate over the
+    rounds, and report their per-variant minimum.  The chains from the
+    last round are compared pair by pair — the delta path's contract is
+    bit-identical rules, so any divergence fails the benchmark, not
+    just the gate.
+    """
+    models = grid["models"]
+    # Longer than the batching sweep's scenario: frame 0 is a full build
+    # for both variants, so the steady-state patch rate only shows once
+    # the sequence amortises it (real LiDAR sequences run hundreds of
+    # frames; eight is enough to separate the variants).
+    scenario = Scenario("delta", seed=0, frames=DELTA_FRAMES)
+    # Frames are pre-built outside the timed region: scene synthesis is
+    # byte-identical for both variants and would only dilute the traced
+    # rulegen ratio under measurement noise.
+    provider = FrameProvider()
+    for model in models:
+        for frame in range(DELTA_FRAMES):
+            provider.frame_for(scenario, model, frame)
+
+    def traced_chains(delta: bool) -> tuple:
+        runner = ExperimentRunner(
+            simulators=list(grid["simulators"]), models=list(models),
+            scenarios=[scenario], cache=TraceCache(disk_dir=None),
+            frame_provider=provider, delta_trace=delta,
+        )
+        start = time.perf_counter()
+        chains = [runner.trace_chain(scenario, model)
+                  for model in models]
+        elapsed = time.perf_counter() - start
+        runner.cache.clear()
+        gc.collect()
+        return chains, elapsed
+
+    times = {"full": [], "delta": []}
+    kept = {}
+    for _ in range(DELTA_ROUNDS):
+        for label, delta in (("full", False), ("delta", True)):
+            kept[label], elapsed = traced_chains(delta)
+            times[label].append(elapsed)
+    for full_chain, delta_chain in zip(kept["full"], kept["delta"]):
+        for full_trace, patched in zip(full_chain, delta_chain):
+            for left, right in zip(full_trace.layers, patched.layers):
+                if left.rules is None:
+                    assert right.rules is None
+                    continue
+                for lp, rp in zip(left.rules.pairs, right.rules.pairs):
+                    assert (lp.in_idx == rp.in_idx).all(), (
+                        "delta trace diverged from full rulegen"
+                    )
+                    assert (lp.out_idx == rp.out_idx).all(), (
+                        "delta trace diverged from full rulegen"
+                    )
+    full_s = min(times["full"])
+    delta_s = min(times["delta"])
+    return {
+        "frames": DELTA_FRAMES,
+        "rounds": DELTA_ROUNDS,
+        "full_trace_s": full_s,
+        "delta_trace_s": delta_s,
+        "speedup_delta_vs_full": full_s / delta_s,
+    }
+
+
+def _columnar_export_sweep() -> dict:
+    """``to_csv`` off the struct arrays vs the legacy per-row walk.
+
+    The legacy variant is the pre-columnar export: materialize one
+    ``SimResult`` per row and pull each column through ``getattr`` —
+    exactly what ``to_csv`` used to do.  Identical bytes are asserted.
+    """
+    records = [
+        {
+            "scenario": f"scenario-{index % 8}",
+            "model": f"SPP{index % 3 + 1}",
+            "simulator": "spade-he",
+            "frame": index % BATCH_FRAMES,
+            "cycles": 1000 + index,
+            "latency_ms": 0.25 * index,
+            "fps": 30.0,
+            "energy_mj": 1.5,
+            "dram_bytes": 1 << 20,
+            "utilization": 0.5,
+        }
+        for index in range(EXPORT_ROWS)
+    ]
+
+    def fresh_table() -> ExperimentTable:
+        table = ExperimentTable()
+        for record in records:
+            table.append_record(record)
+        return table
+
+    def legacy_csv(table: ExperimentTable) -> str:
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(RESULT_COLUMNS)
+        for row in table.results:
+            writer.writerow(
+                "" if value is None else value
+                for value in (getattr(row, column)
+                              for column in RESULT_COLUMNS)
+            )
+        return buffer.getvalue()
+
+    columnar_s = legacy_s = float("inf")
+    for _ in range(EXPORT_ROUNDS):
+        table = fresh_table()
+        start = time.perf_counter()
+        columnar = table.to_csv()
+        columnar_s = min(columnar_s, time.perf_counter() - start)
+        start = time.perf_counter()
+        legacy = legacy_csv(table)
+        legacy_s = min(legacy_s, time.perf_counter() - start)
+        assert columnar == legacy, "columnar to_csv changed the bytes"
+    return {
+        "rows": EXPORT_ROWS,
+        "rounds": EXPORT_ROUNDS,
+        "columnar_to_csv_s": columnar_s,
+        "list_to_csv_s": legacy_s,
+        "speedup_columnar_vs_list": legacy_s / columnar_s,
+    }
+
+
 def _rulegen_scaling() -> dict:
     """Legacy vs fused vs sharded rulegen on a nuScenes-scale frame."""
     provider = FrameProvider()
@@ -380,6 +522,12 @@ def run_sweeps(smoke: bool = False) -> dict:
     for left, right in zip(cold, parallel):
         assert left == right, "parallel sweep changed the numbers"
     trace_cache_stats = runner.cache.stats()
+    # (scenario, model) label keys -> "scenario/model" for the JSON file.
+    trace_cache_stats["by_label"] = {
+        f"{scenario}/{model}": count
+        for (scenario, model), count
+        in sorted(trace_cache_stats["by_label"].items())
+    }
     max_workers = runner.max_workers
     _release_run_state(runner, cached)
     for table in (cold, parallel):
@@ -389,6 +537,8 @@ def run_sweeps(smoke: bool = False) -> dict:
     trace_split = _trace_split(grid)
     backend_timings, _ = _backend_sweeps(grid)
     batch_timings = _batching_sweep(grid)
+    delta_timings = _delta_trace_sweep(grid)
+    columnar_export = _columnar_export_sweep()
     scaling = _rulegen_scaling()
     disk_cache = _disk_cache_sweep(grid)
     dist = _dist_sweep(grid)
@@ -413,9 +563,12 @@ def run_sweeps(smoke: bool = False) -> dict:
             / batch_timings["batched_serial_s"]
         ),
         "speedup_fused_vs_legacy": scaling["speedup_fused_vs_legacy"],
+        "speedup_delta_vs_full": delta_timings["speedup_delta_vs_full"],
         "trace_split": trace_split,
         "backends": backend_timings,
         "batching": batch_timings,
+        "delta_trace": delta_timings,
+        "columnar_export": columnar_export,
         "rulegen_scaling": scaling,
         "dist": dist,
         "trace_cache": trace_cache_stats,
@@ -459,6 +612,16 @@ def check_sweeps(timings: dict) -> None:
             < 1.25 * batching["unbatched_serial_s"])
     # Fused rulegen must beat the legacy per-offset loop at scale.
     assert timings["speedup_fused_vs_legacy"] > 1.0
+    # Delta-patched chains must not lose to full per-frame rulegen
+    # (their bit-identical parity is asserted inside the sweep itself).
+    # The margin on paper-scale grids is real but small, so the hard
+    # assert carries a noise floor; the strict >1 contract lives in the
+    # committed baseline via check_regression.py's ratio gate.
+    assert timings["speedup_delta_vs_full"] > 0.9
+    # The columnar export must produce the legacy bytes (asserted in
+    # the sweep) without being slower than the per-row object walk.
+    export = timings["columnar_export"]
+    assert export["columnar_to_csv_s"] < export["list_to_csv_s"]
     # The process pool must beat the serial backend on the cold sweep
     # whenever there is real parallel hardware to use.
     if (timings["cpus"] or 1) > 1:

@@ -4,8 +4,10 @@ Compares a freshly-measured ``engine_runner_timings.json`` against the
 committed baseline and fails (exit 1) when any gated speedup regresses
 by more than the threshold: the cached/parallel sweep speedups, the
 batched-vs-unbatched serial ratio (frame batching must never again be
-slower than the equivalent single-frame scenarios), and the fused-vs-
-legacy rulegen speedup (the trace-layer hot path).
+slower than the equivalent single-frame scenarios), the fused-vs-
+legacy rulegen speedup (the trace-layer hot path), and the delta-vs-
+full trace speedup (sequential frames must keep patching cheaper than
+rebuilding).
 
 The gate compares *speedup ratios* (each measured against its own
 counterpart in the same run), not absolute seconds: ratios share the
@@ -34,6 +36,7 @@ GATED_METRICS = (
     "speedup_parallel_vs_naive",
     "speedup_batched_vs_unbatched",
     "speedup_fused_vs_legacy",
+    "speedup_delta_vs_full",
 )
 
 

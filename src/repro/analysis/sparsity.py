@@ -28,6 +28,7 @@ from ..sparse.coords import flatten, unflatten
 from ..sparse.rulegen import (
     ConvType,
     Rules,
+    build_rules_delta,
     build_rules_sharded,
     resolve_rulegen_shards,
 )
@@ -151,19 +152,78 @@ def _prune_state(
     return coords[kept], importance[kept]
 
 
-def _execute_sparse_layer(spec: LayerSpec, state: StreamState,
-                          rulegen_shards: int = 1) -> tuple:
-    """Run one sparse layer geometrically; returns (LayerTrace, new state)."""
-    # build_rules_sharded degrades to the fused unsharded path at
-    # shards <= 1, so the dispatch lives in one place.
-    rules = build_rules_sharded(
-        state.coords,
-        state.shape,
-        spec.conv_type,
-        kernel_size=spec.kernel_size,
-        stride=spec.stride,
-        shards=rulegen_shards,
+#: Below this much full-rebuild work (active inputs x window offsets)
+#: the patch's fixed bookkeeping costs more than simply rebuilding, so
+#: small layers skip the delta path entirely.  Measured crossover on
+#: the paper-scale SPP/SCP layer zoo: a 3x3 layer needs roughly 5k
+#: active inputs before patching pays for itself.
+_DELTA_MIN_WORK = 45_000
+
+
+def _delta_window(spec: LayerSpec) -> int:
+    """Offsets resolved per input by a full rebuild of this layer."""
+    if spec.conv_type is ConvType.STRIDED:
+        return 9  # downsample_coords fixes the kernel-3/pad-1 window
+    if spec.conv_type is ConvType.STRIDED_SUBM:
+        return spec.stride * spec.stride
+    return spec.kernel_size * spec.kernel_size
+
+
+def _delta_applicable(prev_rules: Rules, spec: LayerSpec,
+                      state: StreamState) -> bool:
+    """Whether a previous frame's rules can seed a delta rebuild here.
+
+    The delta patch requires identical layer geometry; a grid or conv
+    mismatch (e.g. a prev trace from a different spec) silently falls
+    back to the full build rather than producing wrong rules.  Layers
+    whose full rebuild is below :data:`_DELTA_MIN_WORK` also decline —
+    not for correctness but because the rebuild is cheaper than any
+    patch at that size.  (DECONV is exempt from the work floor: its
+    delta path already rebuilds internally and still shares identical-
+    frame rules for free.)
+    """
+    if (
+        prev_rules is None
+        or prev_rules.conv_type is not spec.conv_type
+        or tuple(prev_rules.in_shape) != tuple(state.shape)
+        or prev_rules.stride != spec.stride
+    ):
+        return False
+    effective_ks = (
+        spec.stride if spec.conv_type is ConvType.DECONV
+        else spec.kernel_size
     )
+    if prev_rules.kernel_size != effective_ks:
+        return False
+    return (
+        spec.conv_type is ConvType.DECONV
+        or len(state.coords) * _delta_window(spec) >= _DELTA_MIN_WORK
+    )
+
+
+def _execute_sparse_layer(spec: LayerSpec, state: StreamState,
+                          rulegen_shards: int = 1,
+                          prev_rules: Rules = None,
+                          delta_threshold: float = None) -> tuple:
+    """Run one sparse layer geometrically; returns (LayerTrace, new state)."""
+    if _delta_applicable(prev_rules, spec, state):
+        rules = build_rules_delta(
+            prev_rules,
+            state.coords,
+            threshold=delta_threshold,
+            shards=rulegen_shards,
+        )
+    else:
+        # build_rules_sharded degrades to the fused unsharded path at
+        # shards <= 1, so the dispatch lives in one place.
+        rules = build_rules_sharded(
+            state.coords,
+            state.shape,
+            spec.conv_type,
+            kernel_size=spec.kernel_size,
+            stride=spec.stride,
+            shards=rulegen_shards,
+        )
     out_importance = _propagate_importance(rules, state.importance)
     out_coords = rules.out_coords
     out_after = len(out_coords)
@@ -227,6 +287,8 @@ def trace_model(
     importance: np.ndarray = None,
     grid_shape: tuple = None,
     rulegen_shards: int = None,
+    prev_trace: "ModelTrace" = None,
+    delta_threshold: float = None,
 ) -> ModelTrace:
     """Execute a model spec geometrically on one frame's active pillars.
 
@@ -244,6 +306,14 @@ def trace_model(
             reads ``REPRO_ENGINE_RULEGEN_SHARDS`` (default 1, the fused
             unsharded path).  Sharded rules are bit-identical, so this
             only changes speed, never the trace.
+        prev_trace: Optional trace of the *previous sequential frame* of
+            the same model: each sparse layer then patches its
+            predecessor's rules via
+            :func:`~repro.sparse.rulegen.build_rules_delta` instead of
+            rebuilding.  Delta rules are bit-identical to a full build,
+            so this too only changes speed, never the trace.
+        delta_threshold: Fallback fraction for the delta path; ``None``
+            reads ``REPRO_ENGINE_DELTA_THRESHOLD`` (default 0.5).
 
     Returns:
         A :class:`ModelTrace` with one :class:`LayerTrace` per layer.
@@ -260,6 +330,27 @@ def trace_model(
         coords=coords,
         importance=importance,
     )
+    if prev_trace is not None and (
+        prev_trace.spec.name != spec.name
+        or len(prev_trace.layers) != len(spec.layers)
+    ):
+        prev_trace = None  # foreign trace: never seed deltas from it
+
+    def prev_rules_for(index: int) -> Rules:
+        # Every layer (dense included) appends one LayerTrace in
+        # spec.layers order, so the predecessor frame's rules for the
+        # layer about to run sit at the same position.
+        if prev_trace is None:
+            return None
+        return prev_trace.layers[index].rules
+
+    def run_sparse(layer: LayerSpec, source: StreamState) -> tuple:
+        return _execute_sparse_layer(
+            layer, source, rulegen_shards,
+            prev_rules=prev_rules_for(len(trace.layers)),
+            delta_threshold=delta_threshold,
+        )
+
     stage_snapshots = {}
     deconv_outputs = []
     head_input = None
@@ -273,9 +364,7 @@ def trace_model(
         if not is_deconv and not is_head:
             # Backbone / encoder chain layer.
             if layer.op is LayerOp.SPARSE:
-                layer_trace, state = _execute_sparse_layer(
-                    layer, state, rulegen_shards
-                )
+                layer_trace, state = run_sparse(layer, state)
             else:
                 layer_trace, state = _execute_dense_layer(layer, state)
             stage_snapshots[layer.stage] = state
@@ -290,9 +379,7 @@ def trace_model(
                     f"deconv {layer.name} references unknown stage {layer.stage}"
                 )
             if layer.op is LayerOp.SPARSE:
-                layer_trace, out_state = _execute_sparse_layer(
-                    layer, source, rulegen_shards
-                )
+                layer_trace, out_state = run_sparse(layer, source)
             else:
                 layer_trace, out_state = _execute_dense_layer(layer, source)
             deconv_outputs.append(out_state)
@@ -308,9 +395,7 @@ def trace_model(
             )
         source = head_shared_output if head_shared_output is not None else head_input
         if layer.op is LayerOp.SPARSE:
-            layer_trace, out_state = _execute_sparse_layer(
-                layer, source, rulegen_shards
-            )
+            layer_trace, out_state = run_sparse(layer, source)
         else:
             layer_trace, out_state = _execute_dense_layer(layer, source)
         if layer.name == "Hshared":
@@ -318,6 +403,29 @@ def trace_model(
         trace.layers.append(layer_trace)
 
     return trace
+
+
+def trace_model_delta(
+    spec: ModelSpec,
+    prev_trace: ModelTrace,
+    coords: np.ndarray,
+    importance: np.ndarray = None,
+    grid_shape: tuple = None,
+    rulegen_shards: int = None,
+    delta_threshold: float = None,
+) -> ModelTrace:
+    """Trace one frame by patching the previous sequential frame's trace.
+
+    Thin named wrapper over :func:`trace_model` with ``prev_trace``
+    required — the entry point the engine's delta-chain trace stage
+    uses.  Bit-identical to a full :func:`trace_model` of the same
+    frame.
+    """
+    return trace_model(
+        spec, coords, importance=importance, grid_shape=grid_shape,
+        rulegen_shards=rulegen_shards, prev_trace=prev_trace,
+        delta_threshold=delta_threshold,
+    )
 
 
 def dense_counterpart(name: str) -> str:

@@ -112,6 +112,8 @@ def _cmd_run(args) -> int:
             ("trace_workers", args.trace_workers),
             ("rulegen_shards", args.rulegen_shards),
             ("cache_dir", args.cache_dir),
+            ("delta_trace", args.delta_trace),
+            ("delta_threshold", args.delta_threshold),
         )
         if value is not None
     }
@@ -185,15 +187,22 @@ def _cmd_cache(args) -> int:
         _out(f"  hits/misses : {memory['hits']}/{memory['misses']}")
         _out(f"  disk hits   : {memory['disk_hits']} "
              f"(writes {memory['disk_writes']})")
+        for (scenario, model), count in sorted(
+                memory.get("by_label", {}).items()):
+            _out(f"  {scenario}/{model:<12}: {count} entries")
         if cache_dir is None:
             _out("disk tier")
             _out("  disabled    : set REPRO_TRACE_CACHE_DIR or pass "
                  "--cache-dir")
             return 0
-        disk = scan_disk_tier(cache_dir)
+        disk = scan_disk_tier(cache_dir, detail=True)
         _out(f"disk tier ({disk['dir']})")
         _out(f"  artifacts   : {disk['entries']}")
         _out(f"  size        : {_format_bytes(disk['bytes'])}")
+        for group in disk.get("models", []):
+            _out(f"  {group['model']:<12}: {group['entries']} frame(s), "
+                 f"{_format_bytes(group['bytes'])} "
+                 f"[{group['fingerprint']}]")
         return 0
     # clear
     if cache_dir is None:
@@ -324,7 +333,8 @@ def _describe_spec_file(name: str) -> bool:
     _out(f"  resolved    : backend={settings.backend} "
          f"workers={settings.workers} "
          f"trace_workers={settings.trace_workers} "
-         f"rulegen_shards={settings.rulegen_shards}")
+         f"rulegen_shards={settings.rulegen_shards} "
+         f"delta_trace={settings.delta_trace}")
     _out(f"  cache_dir   : {settings.cache_dir}")
     if spec.cells:
         _out(f"  cells       : {spec.cells}")
@@ -371,6 +381,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="rulegen row bands")
     run.add_argument("--cache-dir", dest="cache_dir",
                      help="persistent trace-cache directory")
+    run.add_argument("--delta-trace", dest="delta_trace",
+                     help="trace sequential frames as delta chains "
+                          "(1/0, default REPRO_ENGINE_DELTA_TRACE)")
+    run.add_argument("--delta-threshold", dest="delta_threshold",
+                     help="changed-input fraction above which delta "
+                          "tracing falls back to full rulegen "
+                          "(default REPRO_ENGINE_DELTA_THRESHOLD)")
     run.add_argument("--out",
                      help="result sink: a .csv/.json path, or '-' for "
                           "stdout (default: the spec's `out`, else a "

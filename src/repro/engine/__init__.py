@@ -71,6 +71,8 @@ from .runner import (
 from .settings import (
     BACKEND_ENV_VAR,
     CACHE_DIR_ENV_VAR,
+    DELTA_THRESHOLD_ENV_VAR,
+    DELTA_TRACE_ENV_VAR,
     ENGINE_ENV_VARS,
     RULEGEN_SHARDS_ENV_VAR,
     TRACE_WORKERS_ENV_VAR,
@@ -109,6 +111,8 @@ __all__ = [
     "BACKEND_ENV_VAR",
     "CACHE_DIR_ENV_VAR",
     "DEFAULT_SCENARIO",
+    "DELTA_THRESHOLD_ENV_VAR",
+    "DELTA_TRACE_ENV_VAR",
     "ENGINE_ENV_VARS",
     "FRAME_PROVIDERS",
     "RESULT_COLUMNS",

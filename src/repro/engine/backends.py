@@ -101,14 +101,20 @@ def execute_cell(scenario, simulator, traces) -> list:
 def execute_group(group: WorkGroup, trace_lookup) -> list:
     """Serially execute every cell of one work group.
 
-    ``trace_lookup(scenario, model, frame)`` supplies the (cached) trace
-    of each frame; the batch is traced in a single pass here and every
-    simulator of the group then reuses the in-memory traces.
+    ``trace_lookup(scenario, model, frame, prev_trace)`` supplies the
+    (cached) trace of each frame; the batch is traced sequentially here —
+    each frame's trace is offered to the next lookup as its predecessor,
+    which is what lets delta-enabled runners patch instead of rebuild —
+    and every simulator of the group then reuses the in-memory traces.
+    Lookups that don't do delta tracing simply ignore the fourth
+    argument.
     """
-    traces = [
-        trace_lookup(group.scenario, group.model, frame)
-        for frame in range(group.scenario.frames)
-    ]
+    traces = []
+    prev = None
+    for frame in range(group.scenario.frames):
+        trace = trace_lookup(group.scenario, group.model, frame, prev)
+        traces.append(trace)
+        prev = trace
     results = []
     for simulator in group.simulators:
         results.extend(execute_cell(group.scenario, simulator, traces))
@@ -273,23 +279,43 @@ class ThreadBackend(Backend):
             # the pool vs 0.87-1.11 s serial on one CPU) — run the plan
             # exactly like the serial backend.
             return SerialBackend().execute(runner, groups)
-        trace_jobs = [
-            (group.scenario, group.model, frame)
-            for group in groups
-            for frame in range(group.scenario.frames)
-        ]
-        if trace_workers > 1 and len(trace_jobs) > 1:
-            with ThreadPoolExecutor(trace_workers) as pool:
-                traces = list(pool.map(
-                    lambda job: runner.trace_for(*job), trace_jobs
-                ))
+        if getattr(runner, "delta_trace", False):
+            # Delta chains are sequential within a (scenario, model) —
+            # frame N patches frame N-1 — so the fan-out unit becomes
+            # the whole chain; distinct chains still run concurrently.
+            chain_jobs = [(group.scenario, group.model)
+                          for group in groups]
+            if trace_workers > 1 and len(chain_jobs) > 1:
+                with ThreadPoolExecutor(trace_workers) as pool:
+                    chains = list(pool.map(
+                        lambda job: runner.trace_chain(*job), chain_jobs
+                    ))
+            else:
+                chains = [runner.trace_chain(*job) for job in chain_jobs]
+            # Model specs are mutable (unhashable); key by model name.
+            trace_of = {
+                (scenario, _model_name(model), frame): trace
+                for (scenario, model), chain in zip(chain_jobs, chains)
+                for frame, trace in enumerate(chain)
+            }
         else:
-            traces = [runner.trace_for(*job) for job in trace_jobs]
-        # Model specs are mutable (unhashable); key by unique model name.
-        trace_of = {
-            (scenario, _model_name(model), frame): trace
-            for (scenario, model, frame), trace in zip(trace_jobs, traces)
-        }
+            trace_jobs = [
+                (group.scenario, group.model, frame)
+                for group in groups
+                for frame in range(group.scenario.frames)
+            ]
+            if trace_workers > 1 and len(trace_jobs) > 1:
+                with ThreadPoolExecutor(trace_workers) as pool:
+                    traces = list(pool.map(
+                        lambda job: runner.trace_for(*job), trace_jobs
+                    ))
+            else:
+                traces = [runner.trace_for(*job) for job in trace_jobs]
+            trace_of = {
+                (scenario, _model_name(model), frame): trace
+                for (scenario, model, frame), trace
+                in zip(trace_jobs, traces)
+            }
 
         def group_traces(group):
             return [
@@ -368,7 +394,8 @@ def _worker_state():
 
 
 def _worker_trace(cache, frames, scenario, model, frame,
-                  rulegen_shards=None):
+                  rulegen_shards=None, prev_trace=None,
+                  delta_threshold=None):
     from ..models.specs import ModelSpec, build_model_spec
 
     pillar_frame = frames.frame_for(scenario, model, frame)
@@ -378,23 +405,39 @@ def _worker_trace(cache, frames, scenario, model, frame,
         pillar_frame.coords,
         pillar_frame.point_counts.astype(float),
         rulegen_shards=rulegen_shards,
+        prev_trace=prev_trace,
+        delta_threshold=delta_threshold,
+        label=(scenario.name, _model_name(model)),
     )
 
 
-def _trace_chunk(chunk: list, rulegen_shards=None) -> None:
+def _trace_chunk(chunk: list, rulegen_shards=None, delta_trace=False,
+                 delta_threshold=None) -> None:
     """Trace-stage work unit: warm the shared tiers with unique frames.
 
-    Each job is one (scenario, model, frame); the finished traces land
-    in this worker's memory tier *and* the shared disk tier, making
-    them available to every simulate-stage worker.
+    Each job is one (scenario, model, frame) — or, in delta mode, one
+    (scenario, model, frame_count) *chain* traced sequentially so each
+    frame patches its predecessor.  The finished traces land in this
+    worker's memory tier *and* the shared disk tier, making them
+    available to every simulate-stage worker.
     """
     cache, frames = _worker_state()
+    if delta_trace:
+        for scenario, model, frame_count in chunk:
+            prev = None
+            for frame in range(frame_count):
+                prev = _worker_trace(
+                    cache, frames, scenario, model, frame, rulegen_shards,
+                    prev_trace=prev, delta_threshold=delta_threshold,
+                )
+        return
     for scenario, model, frame in chunk:
         _worker_trace(cache, frames, scenario, model, frame,
                       rulegen_shards)
 
 
-def _run_chunk(chunk: list, rulegen_shards=None) -> list:
+def _run_chunk(chunk: list, rulegen_shards=None, delta_trace=False,
+               delta_threshold=None) -> list:
     """Execute one pickled chunk of (scenario, model, simulators) units."""
     cache, frames = _worker_state()
     nested = []
@@ -402,8 +445,11 @@ def _run_chunk(chunk: list, rulegen_shards=None) -> list:
         group = WorkGroup(scenario, model, tuple(simulators))
         rows = execute_group(
             group,
-            lambda s, m, f: _worker_trace(cache, frames, s, m, f,
-                                          rulegen_shards),
+            lambda s, m, f, prev=None: _worker_trace(
+                cache, frames, s, m, f, rulegen_shards,
+                prev_trace=prev if delta_trace else None,
+                delta_threshold=delta_threshold,
+            ),
         )
         for row in rows:
             # The legacy result objects retain whole rule arrays; never
@@ -494,6 +540,8 @@ class ProcessBackend(Backend):
             return nested
 
         shards = runner.rulegen_shards
+        delta = getattr(runner, "delta_trace", False)
+        threshold = getattr(runner, "delta_threshold", None)
         payload = [
             (group.scenario, group.model, tuple(group.simulators))
             for group in groups
@@ -501,15 +549,30 @@ class ProcessBackend(Backend):
         chunks = chunk_payload(payload, workers, self.chunksize)
 
         # Trace stage: every unique (scenario, model, frame) exactly
-        # once, round-robin across the pool.
+        # once, round-robin across the pool.  In delta mode the unit is
+        # the whole sequential chain of a (scenario, model) instead —
+        # frames patch their predecessor, so they cannot round-robin.
         seen = set()
         trace_jobs = []
-        for group in groups:
-            for frame in range(group.scenario.frames):
-                key = (group.scenario.name, _model_name(group.model), frame)
+        if delta:
+            for group in groups:
+                key = (group.scenario.name, _model_name(group.model))
                 if key not in seen:
                     seen.add(key)
-                    trace_jobs.append((group.scenario, group.model, frame))
+                    trace_jobs.append(
+                        (group.scenario, group.model,
+                         group.scenario.frames)
+                    )
+        else:
+            for group in groups:
+                for frame in range(group.scenario.frames):
+                    key = (group.scenario.name, _model_name(group.model),
+                           frame)
+                    if key not in seen:
+                        seen.add(key)
+                        trace_jobs.append(
+                            (group.scenario, group.model, frame)
+                        )
         trace_width = min(workers, runner.trace_workers, len(trace_jobs))
         trace_chunks = [
             trace_jobs[start::trace_width] for start in range(trace_width)
@@ -524,13 +587,20 @@ class ProcessBackend(Backend):
             with ProcessPoolExecutor(max_workers=width,
                                      initializer=_init_worker,
                                      initargs=(cache_dir,)) as pool:
-                list(pool.map(partial(_trace_chunk, rulegen_shards=shards),
-                              trace_chunks))
+                list(pool.map(
+                    partial(_trace_chunk, rulegen_shards=shards,
+                            delta_trace=delta, delta_threshold=threshold),
+                    trace_chunks,
+                ))
                 chunk_results = []
                 for chunk, rows in zip(
                     chunks,
-                    pool.map(partial(_run_chunk, rulegen_shards=shards),
-                             chunks),
+                    pool.map(
+                        partial(_run_chunk, rulegen_shards=shards,
+                                delta_trace=delta,
+                                delta_threshold=threshold),
+                        chunks,
+                    ),
                 ):
                     chunk_results.append(rows)
                     report_group_done(runner, count=len(chunk))

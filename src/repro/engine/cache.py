@@ -121,6 +121,7 @@ class TraceCache:
         self.disk_writes = 0
         self._entries = {}
         self._inflight = {}
+        self._labels = {}
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
@@ -189,16 +190,27 @@ class TraceCache:
     def get_trace(self, spec: ModelSpec, coords: np.ndarray,
                   importance: np.ndarray = None,
                   grid_shape: tuple = None,
-                  rulegen_shards: int = None) -> ModelTrace:
+                  rulegen_shards: int = None,
+                  prev_trace: ModelTrace = None,
+                  delta_threshold: float = None,
+                  label: tuple = None) -> ModelTrace:
         """The traced model for this exact (spec, frame), computing once.
 
         Lookup order: memory tier, disk tier, :func:`trace_model`.
         Concurrent callers with the same key block on the first caller's
-        computation instead of duplicating it.  ``rulegen_shards`` only
-        affects how a missing trace is computed (row-parallel rulegen) —
-        never the key, because sharded rules are bit-identical.
+        computation instead of duplicating it.  ``rulegen_shards`` and
+        ``prev_trace`` / ``delta_threshold`` only affect how a missing
+        trace is computed (row-parallel rulegen; delta-patching the
+        previous sequential frame's rules) — never the key, because both
+        paths are bit-identical to the full build, so cache hits and
+        shipped artifacts stay interchangeable across modes.  ``label``
+        is an optional (scenario, model) tag recorded for
+        :meth:`stats` — purely observability, also key-neutral.
         """
         key = self.key_for(spec, coords, importance, grid_shape)
+        if label is not None:
+            with self._lock:
+                self._labels[key] = tuple(label)
         while True:
             with self._lock:
                 if key in self._entries:
@@ -218,7 +230,9 @@ class TraceCache:
                 from_disk = False
                 trace = trace_model(spec, coords, importance,
                                     grid_shape=grid_shape,
-                                    rulegen_shards=rulegen_shards)
+                                    rulegen_shards=rulegen_shards,
+                                    prev_trace=prev_trace,
+                                    delta_threshold=delta_threshold)
                 if self._disk_store(key, trace):
                     with self._lock:
                         self.disk_writes += 1
@@ -243,6 +257,7 @@ class TraceCache:
         """Drop the memory tier (and optionally the persisted files)."""
         with self._lock:
             self._entries.clear()
+            self._labels.clear()
             self.hits = 0
             self.misses = 0
             self.disk_hits = 0
@@ -256,6 +271,11 @@ class TraceCache:
 
     def stats(self) -> dict:
         with self._lock:
+            by_label = {}
+            for key in self._entries:
+                tag = self._labels.get(key)
+                if tag is not None:
+                    by_label[tag] = by_label.get(tag, 0) + 1
             return {
                 "entries": len(self._entries),
                 "hits": self.hits,
@@ -263,28 +283,65 @@ class TraceCache:
                 "disk_hits": self.disk_hits,
                 "disk_writes": self.disk_writes,
                 "disk_dir": str(self.disk_dir) if self.disk_dir else None,
+                "by_label": by_label,
             }
 
 
-def scan_disk_tier(directory) -> dict:
-    """Size up one disk-tier directory without loading anything.
+def scan_disk_tier(directory, detail: bool = False) -> dict:
+    """Size up one disk-tier directory without loading everything.
 
     Returns ``{"dir", "entries", "bytes"}`` for the trace artifacts
     under ``directory`` — what ``repro cache stats`` shows operators
     inspecting the shared store a distributed run depends on.  A
     missing directory counts as empty (the tier is created lazily).
+
+    With ``detail=True`` the summary also carries ``"models"``: per
+    model-graph group (the spec-fingerprint half of the content key) the
+    cached frame count and byte total, with the model name resolved by
+    loading *one* representative artifact per group — the frame count of
+    a group is exactly the number of distinct traced frames, which is
+    how delta-chain cache behavior (one entry per chain frame, keys
+    unchanged) is inspected.
     """
     path = Path(directory)
     entries = 0
     total = 0
+    groups = {}
     if path.is_dir():
         for artifact in path.glob(f"*{TRACE_ARTIFACT_SUFFIX}"):
             try:
-                total += artifact.stat().st_size
+                size = artifact.stat().st_size
             except OSError:
                 continue
             entries += 1
-    return {"dir": str(path), "entries": entries, "bytes": total}
+            total += size
+            if detail:
+                prefix = artifact.name.split(":", 1)[0]
+                group = groups.setdefault(
+                    prefix, {"entries": 0, "bytes": 0, "sample": artifact}
+                )
+                group["entries"] += 1
+                group["bytes"] += size
+    summary = {"dir": str(path), "entries": entries, "bytes": total}
+    if detail:
+        models = []
+        for prefix, group in sorted(groups.items()):
+            name = "(unreadable)"
+            try:
+                with open(group["sample"], "rb") as handle:
+                    trace = pickle.load(handle)
+                if isinstance(trace, ModelTrace):
+                    name = trace.spec.name
+            except Exception:
+                pass
+            models.append({
+                "model": name,
+                "fingerprint": prefix[:12],
+                "entries": group["entries"],
+                "bytes": group["bytes"],
+            })
+        summary["models"] = models
+    return summary
 
 
 def clear_disk_tier(directory) -> dict:

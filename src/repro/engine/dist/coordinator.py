@@ -111,6 +111,8 @@ def group_spec_dict(runner, group, base: dict = None,
         "workers": 1,
         "trace_workers": 1,
         "rulegen_shards": runner.rulegen_shards,
+        "delta_trace": runner.delta_trace,
+        "delta_threshold": runner.delta_threshold,
         "cache_dir": None,       # the worker's cache is handed over welcome
         "frame_provider": base["frame_provider"],
         "cells": [],
@@ -718,26 +720,55 @@ class DistBackend(Backend):
             cache = runner.cache
         else:
             cache = TraceCache(maxsize=4, disk_dir=cache_dir)
+        delta = getattr(runner, "delta_trace", False)
+        threshold = getattr(runner, "delta_threshold", None)
         seen = set()
         jobs = []
-        for group in groups:
-            for frame in range(group.scenario.frames):
-                key = (group.scenario.name, _model_name(group.model),
-                       frame)
+        if delta:
+            # Delta tracing: the unit of fan-out is a sequential
+            # per-(scenario, model) chain — frame 0 full, later frames
+            # patched from the previous frame's trace.  Content keys
+            # (and therefore the artifacts workers load) are unchanged.
+            for group in groups:
+                key = (group.scenario.name, _model_name(group.model))
                 if key not in seen:
                     seen.add(key)
-                    jobs.append((group.scenario, group.model, frame))
+                    jobs.append((group.scenario, group.model))
 
-        def trace(job):
-            scenario, model, frame = job
-            built = runner.frame_provider.frame_for(scenario, model,
-                                                    frame)
-            cache.get_trace(
-                runner._spec_for(model),
-                built.coords,
-                built.point_counts.astype(float),
-                rulegen_shards=runner.rulegen_shards,
-            )
+            def trace(job):
+                scenario, model = job
+                prev = None
+                for frame in range(scenario.frames):
+                    built = runner.frame_provider.frame_for(
+                        scenario, model, frame)
+                    prev = cache.get_trace(
+                        runner._spec_for(model),
+                        built.coords,
+                        built.point_counts.astype(float),
+                        rulegen_shards=runner.rulegen_shards,
+                        prev_trace=prev,
+                        delta_threshold=threshold,
+                        label=(scenario.name, _model_name(model)),
+                    )
+        else:
+            for group in groups:
+                for frame in range(group.scenario.frames):
+                    key = (group.scenario.name, _model_name(group.model),
+                           frame)
+                    if key not in seen:
+                        seen.add(key)
+                        jobs.append((group.scenario, group.model, frame))
+
+            def trace(job):
+                scenario, model, frame = job
+                built = runner.frame_provider.frame_for(scenario, model,
+                                                        frame)
+                cache.get_trace(
+                    runner._spec_for(model),
+                    built.coords,
+                    built.point_counts.astype(float),
+                    rulegen_shards=runner.rulegen_shards,
+                )
 
         width = min(runner.trace_workers, len(jobs))
         if width > 1:

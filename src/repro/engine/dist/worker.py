@@ -36,7 +36,6 @@ import time
 import traceback
 
 from ..cache import TraceCache
-from ..result import _result_to_record
 from ..runner import FrameProvider
 from ..settings import UNSET
 from .protocol import (
@@ -74,9 +73,9 @@ def execute_unit(groups: list, cache: TraceCache,
             providers[spec.frame_provider] = provider
         runner = spec.build_runner(cache=cache, frame_provider=provider)
         table = runner.run(backend="serial")
-        out[str(entry["index"])] = [
-            _result_to_record(row) for row in table.results
-        ]
+        # Columnar streaming: records come straight off the table's
+        # struct arrays, not through per-row SimResult views.
+        out[str(entry["index"])] = table.to_records()
     return out
 
 

@@ -21,6 +21,8 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
+import numpy as np
+
 #: Canonical column order for tabular output.  ``frame`` distinguishes
 #: the per-frame and ``"mean"`` rows of batched scenarios (``None`` for
 #: unbatched rows).
@@ -137,7 +139,7 @@ def _result_to_record(result: SimResult) -> dict:
     return record
 
 
-def _record_to_result(record: dict) -> SimResult:
+def _check_record_keys(record: dict) -> None:
     known = set(RESULT_COLUMNS) | {"per_layer", "extras"}
     unknown = sorted(set(record) - known)
     if unknown:
@@ -145,6 +147,10 @@ def _record_to_result(record: dict) -> SimResult:
             f"result record has unknown key(s) {unknown}; "
             f"expected {sorted(known)}"
         )
+
+
+def _record_to_result(record: dict) -> SimResult:
+    _check_record_keys(record)
     return SimResult(
         per_layer=record.get("per_layer") or [],
         extras=record.get("extras") or {},
@@ -152,22 +158,318 @@ def _record_to_result(record: dict) -> SimResult:
     )
 
 
-@dataclass
+#: Scalar metric columns stored as (float64 value, int8 kind) pairs.
+_METRIC_COLUMNS = (
+    "cycles",
+    "latency_ms",
+    "fps",
+    "energy_mj",
+    "dram_bytes",
+    "utilization",
+)
+
+#: Label columns stored as int32 vocabulary codes.
+_LABEL_COLUMNS = ("scenario", "model", "simulator")
+
+# Cell kind tags: what Python value the float64 cell stands for, so
+# materialized views (and CSV/JSON text) reproduce the ingested value
+# exactly — 150 and 150.0 are different bytes in both sinks.
+_KIND_NONE = 0      # None (the cell is meaningless)
+_KIND_INT = 1       # int(cell)
+_KIND_FLOAT = 2     # float(cell)
+_KIND_EXACT = 3     # the value in the row's exact-store (bool, huge
+#                     int, any foreign object a caller smuggled in)
+
+# Frame kinds reuse the scheme: the int64 frame cell is a frame index
+# (_KIND_INT), a label-vocabulary code (_KIND_FLOAT slot repurposed as
+# "label"), or nothing.
+_FRAME_LABEL = 2
+
+#: Ints beyond ±2^53 do not round-trip through float64; such values
+#: (and non-numeric oddities) go to the per-row exact store instead.
+_EXACT_INT_BOUND = 1 << 53
+
+_ROW_DTYPE = np.dtype(
+    [(column, np.int32) for column in _LABEL_COLUMNS]
+    + [("frame", np.int64), ("frame_kind", np.int8)]
+    + [entry for metric in _METRIC_COLUMNS
+       for entry in ((metric, np.float64), (metric + "_kind", np.int8))]
+)
+
+
+def _as_object(values: list) -> np.ndarray:
+    """A 1-D object ndarray holding exactly these Python objects
+    (``np.array(values)`` would coerce scalars and nest sequences)."""
+    out = np.empty(len(values), dtype=object)
+    for position, value in enumerate(values):
+        out[position] = value
+    return out
+
+
 class ExperimentTable:
     """Tidy collection of :class:`SimResult` rows from one runner sweep.
 
     Row order is deterministic — scenarios x models x simulators in the
     order the runner was configured — regardless of which parallel worker
     finished first.
+
+    Storage is columnar: scalar columns live in one numpy struct array
+    (labels as vocabulary codes, metrics as float64 cells with a kind
+    tag preserving None/int/float exactly), so :meth:`filter`,
+    :meth:`column` and the CSV/JSON sinks run vectorized instead of
+    touching a Python object per row.  :class:`SimResult` views are
+    materialized at the edges — :attr:`results`, :meth:`get`,
+    iteration — and rows ingested as objects keep their identity, so
+    mutating ``row.raw`` (the process backend's strip) behaves as it
+    always did.
     """
 
-    results: list = field(default_factory=list)
+    def __init__(self, results=None):
+        self._length = 0
+        self._data = np.empty(0, dtype=_ROW_DTYPE)
+        self._vocab = {}      # label value -> code (shared with slices)
+        self._labels = []     # code -> label value
+        self._exact = []      # per row: None or {column: exact value}
+        self._rows = []       # per row: SimResult view or lazy payload
+        self._index = None    # lazy {dimension: {value: row-id array}}
+        for result in results or []:
+            self.append(result)
+
+    # -- ingestion ---------------------------------------------------------
+
+    def append(self, result: SimResult) -> None:
+        """Add one row; the instance is kept as the row's view."""
+        row = self._new_row()
+        record = self._data[row]
+        for column in _LABEL_COLUMNS:
+            record[column] = self._code(getattr(result, column))
+        self._set_frame(row, result.frame)
+        for metric in _METRIC_COLUMNS:
+            self._set_metric(row, metric, getattr(result, metric))
+        self._rows.append(result)
+
+    def append_record(self, record: dict) -> None:
+        """Add one row from a JSON record (:meth:`to_records` shape);
+        the :class:`SimResult` view is only built if asked for."""
+        _check_record_keys(record)
+        row = self._new_row()
+        cells = self._data[row]
+        for column in _LABEL_COLUMNS:
+            cells[column] = self._code(record.get(column))
+        self._set_frame(row, record.get("frame"))
+        for metric in _METRIC_COLUMNS:
+            self._set_metric(row, metric, record.get(metric))
+        self._rows.append((record.get("per_layer") or [],
+                           record.get("extras") or {}))
+
+    def _new_row(self) -> int:
+        if self._length == len(self._data):
+            grown = np.zeros(max(16, 2 * len(self._data)),
+                             dtype=_ROW_DTYPE)
+            grown[:self._length] = self._data[:self._length]
+            self._data = grown
+        self._exact.append(None)
+        self._index = None
+        row = self._length
+        self._length += 1
+        return row
+
+    def _code(self, value) -> int:
+        code = self._vocab.get(value)
+        if code is None:
+            code = len(self._labels)
+            self._vocab[value] = code
+            self._labels.append(value)
+        return code
+
+    def _store_exact(self, row: int, column: str, value) -> None:
+        if self._exact[row] is None:
+            self._exact[row] = {}
+        self._exact[row][column] = value
+
+    def _set_frame(self, row: int, value) -> None:
+        cells = self._data[row]
+        if value is None:
+            kind = cell = _KIND_NONE
+        elif isinstance(value, (bool, np.bool_)):
+            kind, cell = _KIND_EXACT, 0
+            self._store_exact(row, "frame", value)
+        elif isinstance(value, (int, np.integer)):
+            kind, cell = _KIND_INT, int(value)
+        elif isinstance(value, str):
+            kind, cell = _FRAME_LABEL, self._code(value)
+        else:
+            kind, cell = _KIND_EXACT, 0
+            self._store_exact(row, "frame", value)
+        cells["frame"], cells["frame_kind"] = cell, kind
+
+    def _set_metric(self, row: int, metric: str, value) -> None:
+        cells = self._data[row]
+        if value is None:
+            kind, cell = _KIND_NONE, 0.0
+        elif isinstance(value, (bool, np.bool_)):
+            kind, cell = _KIND_EXACT, 0.0
+            self._store_exact(row, metric, value)
+        elif isinstance(value, (int, np.integer)):
+            cell = int(value)
+            if -_EXACT_INT_BOUND <= cell <= _EXACT_INT_BOUND:
+                kind, cell = _KIND_INT, float(cell)
+            else:
+                kind, cell = _KIND_EXACT, 0.0
+                self._store_exact(row, metric, value)
+        elif isinstance(value, (float, np.floating)):
+            kind, cell = _KIND_FLOAT, float(value)
+        else:
+            kind, cell = _KIND_EXACT, 0.0
+            self._store_exact(row, metric, value)
+        cells[metric], cells[metric + "_kind"] = cell, kind
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def results(self) -> list:
+        """The rows as :class:`SimResult` objects (materialized once
+        and cached, so mutations like ``row.raw = None`` stick)."""
+        for row in range(self._length):
+            if not isinstance(self._rows[row], SimResult):
+                self._rows[row] = self._materialize(row)
+        return list(self._rows)
+
+    def _materialize(self, row: int) -> SimResult:
+        per_layer, extras = self._rows[row]
+        return SimResult(
+            per_layer=per_layer,
+            extras=extras,
+            frame=self._frame_of(row),
+            **{column: self._label_of(row, column)
+               for column in _LABEL_COLUMNS},
+            **{metric: self._metric_of(row, metric)
+               for metric in _METRIC_COLUMNS},
+        )
+
+    def _label_of(self, row: int, column: str):
+        return self._labels[int(self._data[column][row])]
+
+    def _frame_of(self, row: int):
+        kind = int(self._data["frame_kind"][row])
+        if kind == _KIND_NONE:
+            return None
+        if kind == _KIND_INT:
+            return int(self._data["frame"][row])
+        if kind == _FRAME_LABEL:
+            return self._labels[int(self._data["frame"][row])]
+        return self._exact[row]["frame"]
+
+    def _metric_of(self, row: int, metric: str):
+        kind = int(self._data[metric + "_kind"][row])
+        if kind == _KIND_NONE:
+            return None
+        if kind == _KIND_INT:
+            return int(self._data[metric][row])
+        if kind == _KIND_FLOAT:
+            return float(self._data[metric][row])
+        return self._exact[row][metric]
 
     def __len__(self) -> int:
-        return len(self.results)
+        return self._length
 
     def __iter__(self):
         return iter(self.results)
+
+    def __eq__(self, other):
+        if not isinstance(other, ExperimentTable):
+            return NotImplemented
+        return self.results == other.results
+
+    def __repr__(self) -> str:
+        return f"ExperimentTable(results={self.results!r})"
+
+    def release_raw(self) -> None:
+        """Drop every row's legacy ``raw`` object (frees simulator
+        state after a sweep; record-ingested rows have none)."""
+        for row in self._rows:
+            if isinstance(row, SimResult):
+                row.raw = None
+
+    # -- selection (lazy per-dimension index) ------------------------------
+
+    def _ensure_index(self) -> dict:
+        if self._index is not None:
+            return self._index
+        length = self._length
+        index = {}
+        for column in _LABEL_COLUMNS:
+            codes = self._data[column][:length]
+            index[column] = {
+                self._labels[int(code)]: np.nonzero(codes == code)[0]
+                for code in np.unique(codes)
+            }
+        kinds = self._data["frame_kind"][:length]
+        cells = self._data["frame"][:length]
+        frames = {}
+        none_ids = np.nonzero(kinds == _KIND_NONE)[0]
+        if len(none_ids):
+            frames[None] = none_ids
+        int_ids = np.nonzero(kinds == _KIND_INT)[0]
+        for value in np.unique(cells[int_ids]):
+            frames[int(value)] = int_ids[cells[int_ids] == value]
+        label_ids = np.nonzero(kinds == _FRAME_LABEL)[0]
+        for code in np.unique(cells[label_ids]):
+            key = self._labels[int(code)]
+            frames[key] = label_ids[cells[label_ids] == code]
+        for row in np.nonzero(kinds == _KIND_EXACT)[0].tolist():
+            value = self._exact[row]["frame"]
+            previous = frames.get(value)
+            frames[value] = (np.array([row])
+                             if previous is None
+                             else np.append(previous, row))
+        index["frame"] = frames
+        self._index = index
+        return index
+
+    def _match_ids(self, scenario, model, simulator,
+                   frame) -> np.ndarray:
+        index = self._ensure_index()
+        empty = np.empty(0, dtype=np.int64)
+        selected = None
+        for dimension, value in (("scenario", scenario),
+                                 ("model", model),
+                                 ("simulator", simulator)):
+            if value is None:
+                continue
+            ids = index[dimension].get(value)
+            if ids is None:
+                return empty
+            selected = (ids if selected is None
+                        else np.intersect1d(selected, ids,
+                                            assume_unique=True))
+        if not (isinstance(frame, str) and frame == "any"):
+            try:
+                ids = index["frame"].get(frame)
+            except TypeError:     # unhashable frame key: scan instead
+                ids = np.array([
+                    row for row in range(self._length)
+                    if self._frame_of(row) == frame
+                ], dtype=np.int64)
+            if ids is None:
+                return empty
+            selected = (ids if selected is None
+                        else np.intersect1d(selected, ids,
+                                            assume_unique=True))
+        if selected is None:
+            return np.arange(self._length)
+        return np.sort(selected)
+
+    def _take(self, ids: np.ndarray) -> "ExperimentTable":
+        table = ExperimentTable()
+        table._vocab = self._vocab        # shared: codes only grow
+        table._labels = self._labels
+        table._length = len(ids)
+        table._data = self._data[ids]
+        positions = ids.tolist()
+        table._exact = [self._exact[row] for row in positions]
+        table._rows = [self._rows[row] for row in positions]
+        return table
 
     def filter(self, scenario: str = None, model: str = None,
                simulator: str = None, frame: object = "any",
@@ -177,16 +479,11 @@ class ExperimentTable:
         ``frame`` matches a per-frame row index, ``"mean"`` for the
         aggregate row of a batched scenario, or ``None`` for unbatched
         rows; the default (``"any"``) does not filter on frames.
+        Matching goes through a lazy per-dimension index (built on
+        first use, invalidated on append), not a row scan.
         """
-        kept = [
-            result
-            for result in self.results
-            if (scenario is None or result.scenario == scenario)
-            and (model is None or result.model == model)
-            and (simulator is None or result.simulator == simulator)
-            and (frame == "any" or result.frame == frame)
-        ]
-        return ExperimentTable(results=kept)
+        return self._take(self._match_ids(scenario, model, simulator,
+                                          frame))
 
     def get(self, scenario: str = None, model: str = None,
             simulator: str = None, frame: object = "any") -> SimResult:
@@ -195,25 +492,79 @@ class ExperimentTable:
         Raises:
             KeyError: when zero or more than one row matches.
         """
-        matches = self.filter(scenario, model, simulator, frame).results
-        if len(matches) != 1:
+        ids = self._match_ids(scenario, model, simulator, frame)
+        if len(ids) != 1:
             raise KeyError(
                 f"expected exactly one result for scenario={scenario!r} "
                 f"model={model!r} simulator={simulator!r} frame={frame!r}, "
-                f"found {len(matches)}"
+                f"found {len(ids)}"
             )
-        return matches[0]
+        row = int(ids[0])
+        if not isinstance(self._rows[row], SimResult):
+            self._rows[row] = self._materialize(row)
+        return self._rows[row]
 
-    def column(self, name: str) -> list:
-        """All values of one metric, in row order."""
+    # -- columnar access ---------------------------------------------------
+
+    def _column_values(self, name: str) -> list:
+        """One column as a list of exact Python values, vectorized."""
+        length = self._length
+        if name in _LABEL_COLUMNS:
+            codes = self._data[name][:length]
+            return _as_object(self._labels)[codes].tolist()
+        if name == "frame":
+            kinds = self._data["frame_kind"][:length]
+            cells = self._data["frame"][:length]
+            out = np.empty(length, dtype=object)   # None-filled
+            mask = kinds == _KIND_INT
+            if mask.any():
+                out[mask] = _as_object(cells[mask].tolist())
+            mask = kinds == _FRAME_LABEL
+            if mask.any():
+                out[mask] = _as_object(self._labels)[cells[mask]]
+            for row in np.nonzero(kinds == _KIND_EXACT)[0].tolist():
+                out[row] = self._exact[row]["frame"]
+            return out.tolist()
+        if name in _METRIC_COLUMNS:
+            kinds = self._data[name + "_kind"][:length]
+            cells = self._data[name][:length]
+            out = np.empty(length, dtype=object)   # None-filled
+            mask = kinds == _KIND_INT
+            if mask.any():
+                out[mask] = _as_object(
+                    cells[mask].astype(np.int64).tolist())
+            mask = kinds == _KIND_FLOAT
+            if mask.any():
+                out[mask] = _as_object(cells[mask].tolist())
+            for row in np.nonzero(kinds == _KIND_EXACT)[0].tolist():
+                out[row] = self._exact[row][name]
+            return out.tolist()
         return [getattr(result, name) for result in self.results]
+
+    def column(self, name: str) -> np.ndarray:
+        """All values of one metric, in row order, as a numpy array.
+
+        A metric column with a uniform kind comes back as an int64 or
+        float64 array straight from columnar storage; anything mixed
+        (or a label column) is an object array of the exact values.
+        """
+        if name in _METRIC_COLUMNS and self._length:
+            kinds = self._data[name + "_kind"][:self._length]
+            if (kinds == _KIND_INT).all():
+                return (self._data[name][:self._length]
+                        .astype(np.int64))
+            if (kinds == _KIND_FLOAT).all():
+                return self._data[name][:self._length].copy()
+        return _as_object(self._column_values(name))
 
     def rows(self, columns=RESULT_COLUMNS) -> list:
         """Row tuples for :func:`repro.analysis.report.format_table`."""
-        return [result.as_row(columns) for result in self.results]
+        return list(zip(*[self._column_values(name)
+                          for name in columns])) if self._length else []
 
     def as_dicts(self, columns=RESULT_COLUMNS) -> list:
-        return [result.as_dict(columns) for result in self.results]
+        pulled = [self._column_values(name) for name in columns]
+        return [dict(zip(columns, values)) for values in zip(*pulled)]
 
     # -- serialization (backs the `repro run --out` CLI sinks) -------------
 
@@ -226,15 +577,35 @@ class ExperimentTable:
         buffer = io.StringIO()
         writer = csv.writer(buffer, lineterminator="\n")
         writer.writerow(columns)
-        for result in self.results:
+        pulled = [self._column_values(name) for name in columns]
+        for values in zip(*pulled):
             writer.writerow([
-                "" if value is None else value
-                for value in result.as_row(columns)
+                "" if value is None else value for value in values
             ])
         text = buffer.getvalue()
         if path is not None:
             Path(path).write_text(text)
         return text
+
+    def to_records(self) -> list:
+        """Every row as a JSON-ready record (scalar columns plus the
+        JSON-safe ``per_layer`` / ``extras`` detail) — the dist
+        backend's wire format, read back by :meth:`append_record`."""
+        pulled = {name: self._column_values(name)
+                  for name in RESULT_COLUMNS}
+        records = []
+        for row in range(self._length):
+            payload = self._rows[row]
+            if isinstance(payload, SimResult):
+                per_layer, extras = payload.per_layer, payload.extras
+            else:
+                per_layer, extras = payload
+            record = {name: _jsonable(pulled[name][row])
+                      for name in RESULT_COLUMNS}
+            record["per_layer"] = _jsonable(per_layer)
+            record["extras"] = _jsonable(extras)
+            records.append(record)
+        return records
 
     def to_json(self, path=None, indent: int = 2) -> str:
         """The table as a JSON document that :meth:`from_json` reads back.
@@ -248,9 +619,7 @@ class ExperimentTable:
             "schema": "repro.ExperimentTable",
             "version": 1,
             "columns": list(RESULT_COLUMNS),
-            "results": [
-                _result_to_record(result) for result in self.results
-            ],
+            "results": self.to_records(),
         }
         text = json.dumps(payload, indent=indent) + "\n"
         if path is not None:
@@ -293,30 +662,28 @@ class ExperimentTable:
                 f"unsupported ExperimentTable version "
                 f"{payload.get('version')!r} (this engine reads 1)"
             )
-        return cls(results=[
-            _record_to_result(record)
-            for record in payload.get("results", [])
-        ])
+        table = cls()
+        for record in payload.get("results", []):
+            table.append_record(record)
+        return table
+
+    def _first_seen(self, column: str) -> list:
+        codes = self._data[column][:self._length]
+        unique, first = np.unique(codes, return_index=True)
+        order = np.argsort(first)
+        return [self._labels[int(code)] for code in unique[order]]
 
     @property
     def scenarios(self) -> list:
-        return _unique(result.scenario for result in self.results)
+        return self._first_seen("scenario")
 
     @property
     def models(self) -> list:
-        return _unique(result.model for result in self.results)
+        return self._first_seen("model")
 
     @property
     def simulators(self) -> list:
-        return _unique(result.simulator for result in self.results)
-
-
-def _unique(values) -> list:
-    seen = []
-    for value in values:
-        if value not in seen:
-            seen.append(value)
-    return seen
+        return self._first_seen("simulator")
 
 
 #: Metrics averaged by :func:`mean_result` across the frames of a batch.

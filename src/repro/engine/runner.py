@@ -47,6 +47,8 @@ from .result import ExperimentTable
 from .settings import (
     TRACE_WORKERS_ENV_VAR,
     WORKERS_ENV_VAR,
+    resolve_delta_threshold,
+    resolve_delta_trace,
     resolve_rulegen_shards,
     resolve_trace_workers,
     resolve_workers,
@@ -226,13 +228,25 @@ class ExperimentRunner:
             defaults to ``REPRO_ENGINE_RULEGEN_SHARDS``, else 1 (fused
             unsharded rulegen).  Sharded rules are bit-identical, so the
             table never changes — only trace speed.
+        delta_trace: When True, batched scenarios trace as sequential
+            delta chains: frame 0 builds rules in full and frames
+            1..N-1 patch their predecessor's rules
+            (:func:`~repro.sparse.rulegen.build_rules_delta`).  Delta
+            rules are bit-identical and the cache keys never change, so
+            the table, cache hits and shipped artifacts are unaffected —
+            only trace speed.  Defaults to ``REPRO_ENGINE_DELTA_TRACE``,
+            else off.
+        delta_threshold: Fraction of a frame the diff may touch before
+            the delta path falls back to a full rebuild; defaults to
+            ``REPRO_ENGINE_DELTA_THRESHOLD``, else 0.5.
     """
 
     def __init__(self, simulators, models, scenarios=None,
                  cache: TraceCache = None, trace_provider=None,
                  frame_provider: FrameProvider = None,
                  cell_filter=None, backend=None, max_workers: int = None,
-                 trace_workers: int = None, rulegen_shards: int = None):
+                 trace_workers: int = None, rulegen_shards: int = None,
+                 delta_trace: bool = None, delta_threshold: float = None):
         self.simulators = resolve_simulators(simulators)
         self.models = list(models)
         self.scenarios = list(scenarios) if scenarios else [DEFAULT_SCENARIO]
@@ -269,6 +283,8 @@ class ExperimentRunner:
         self.trace_workers = resolve_trace_workers(trace_workers,
                                                    self.max_workers)
         self.rulegen_shards = resolve_rulegen_shards(rulegen_shards)
+        self.delta_trace = resolve_delta_trace(delta_trace)
+        self.delta_threshold = resolve_delta_threshold(delta_threshold)
         self._specs = {}
         self._progress = None
         #: The :class:`~repro.engine.spec.ExperimentSpec` this runner
@@ -287,9 +303,15 @@ class ExperimentRunner:
     def _model_name(model) -> str:
         return model.name if isinstance(model, ModelSpec) else model
 
-    def trace_for(self, scenario: Scenario, model,
-                  frame: int = 0) -> ModelTrace:
-        """The (cached) trace feeding one frame of one grid cell."""
+    def trace_for(self, scenario: Scenario, model, frame: int = 0,
+                  prev_trace: ModelTrace = None) -> ModelTrace:
+        """The (cached) trace feeding one frame of one grid cell.
+
+        ``prev_trace`` may carry the previous sequential frame's trace:
+        with ``delta_trace`` enabled a cache miss is then computed by
+        patching that trace's rules instead of rebuilding (content keys
+        never change, so hits behave identically either way).
+        """
         if self.trace_provider is not None:
             if frame != 0:
                 raise ValueError(
@@ -303,7 +325,25 @@ class ExperimentRunner:
             built.coords,
             built.point_counts.astype(float),
             rulegen_shards=self.rulegen_shards,
+            prev_trace=prev_trace if self.delta_trace else None,
+            delta_threshold=self.delta_threshold,
+            label=(scenario.name, self._model_name(model)),
         )
+
+    def trace_chain(self, scenario: Scenario, model) -> list:
+        """All frame traces of one (scenario, model), in frame order.
+
+        With ``delta_trace`` enabled this is the sequential delta chain:
+        frame 0 full, every later frame seeded by its predecessor's
+        trace; otherwise it is a plain per-frame loop.
+        """
+        traces = []
+        prev = None
+        for frame in range(scenario.frames):
+            trace = self.trace_for(scenario, model, frame, prev_trace=prev)
+            traces.append(trace)
+            prev = trace if self.delta_trace else None
+        return traces
 
     def plan(self) -> list:
         """The work groups of one sweep, in deterministic table order.

@@ -42,6 +42,15 @@ RULEGEN_SHARDS_ENV_VAR = "REPRO_ENGINE_RULEGEN_SHARDS"
 #: Environment variable naming the trace cache's persistent disk tier.
 CACHE_DIR_ENV_VAR = "REPRO_TRACE_CACHE_DIR"
 
+#: Whether batched scenarios trace as sequential delta chains (frame 0
+#: full, later frames patched from their predecessor; "1"/"0",
+#: default off).
+DELTA_TRACE_ENV_VAR = "REPRO_ENGINE_DELTA_TRACE"
+
+#: Fraction of a frame's pillars the frame-to-frame diff may touch
+#: before delta rule generation falls back to a full rebuild.
+DELTA_THRESHOLD_ENV_VAR = "REPRO_ENGINE_DELTA_THRESHOLD"
+
 #: Host the distributed coordinator binds its listening socket to.
 DIST_HOST_ENV_VAR = "REPRO_ENGINE_DIST_HOST"
 
@@ -79,6 +88,8 @@ ENGINE_ENV_VARS = (
     TRACE_WORKERS_ENV_VAR,
     RULEGEN_SHARDS_ENV_VAR,
     CACHE_DIR_ENV_VAR,
+    DELTA_TRACE_ENV_VAR,
+    DELTA_THRESHOLD_ENV_VAR,
     DIST_HOST_ENV_VAR,
     DIST_PORT_ENV_VAR,
     DIST_CHUNKSIZE_ENV_VAR,
@@ -150,6 +161,21 @@ def boolean_flag(value, source: str) -> bool:
     )
 
 
+def fraction(value, source: str) -> float:
+    """Validate a ratio-like knob into a float in ``(0, 1]``."""
+    try:
+        ratio = float(str(value).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a fraction in (0, 1], got {value!r}"
+        ) from None
+    if not 0 < ratio <= 1:
+        raise ValueError(
+            f"{source} must be a fraction in (0, 1], got {value!r}"
+        )
+    return ratio
+
+
 def resolve_backend_name(value=None) -> str:
     """Backend name: explicit value > ``REPRO_ENGINE_BACKEND`` > thread."""
     if value is not None:
@@ -210,6 +236,21 @@ def _resolve_env(value, env_var: str, default, source: str, convert):
             return default
         source = env_var
     return convert(value, source)
+
+
+def resolve_delta_trace(value=None, source: str = "delta_trace") -> bool:
+    """Delta-chain tracing toggle: value > ``REPRO_ENGINE_DELTA_TRACE``
+    > off."""
+    return _resolve_env(value, DELTA_TRACE_ENV_VAR, False, source,
+                        boolean_flag)
+
+
+def resolve_delta_threshold(value=None,
+                            source: str = "delta_threshold") -> float:
+    """Delta-fallback fraction: value >
+    ``REPRO_ENGINE_DELTA_THRESHOLD`` > 0.5."""
+    return _resolve_env(value, DELTA_THRESHOLD_ENV_VAR, 0.5, source,
+                        fraction)
 
 
 def resolve_dist_host(value=None) -> str:
@@ -363,6 +404,11 @@ class EngineSettings:
         rulegen_shards: Row bands per rule-generation pass.
         cache_dir: Persistent trace-cache directory, or ``None`` for a
             memory-only cache.
+        delta_trace: When True, batched scenarios trace as sequential
+            delta chains (frame 0 full, later frames patched from the
+            previous frame's rules).
+        delta_threshold: Fraction of a frame the diff may touch before
+            the delta path falls back to a full rebuild.
     """
 
     backend: str = "thread"
@@ -370,10 +416,13 @@ class EngineSettings:
     trace_workers: int = 1
     rulegen_shards: int = 1
     cache_dir: str = None
+    delta_trace: bool = False
+    delta_threshold: float = 0.5
 
     @classmethod
     def resolve(cls, backend=None, workers=None, trace_workers=None,
-                rulegen_shards=None, cache_dir=UNSET) -> "EngineSettings":
+                rulegen_shards=None, cache_dir=UNSET, delta_trace=None,
+                delta_threshold=None) -> "EngineSettings":
         """Resolve every knob: explicit argument > environment > default.
 
         This is the constructor the runner and the declarative spec
@@ -388,6 +437,8 @@ class EngineSettings:
             trace_workers=resolve_trace_workers(trace_workers, workers),
             rulegen_shards=resolve_rulegen_shards(rulegen_shards),
             cache_dir=resolve_cache_dir(cache_dir),
+            delta_trace=resolve_delta_trace(delta_trace),
+            delta_threshold=resolve_delta_threshold(delta_threshold),
         )
 
     def as_dict(self) -> dict:
@@ -397,4 +448,6 @@ class EngineSettings:
             "trace_workers": self.trace_workers,
             "rulegen_shards": self.rulegen_shards,
             "cache_dir": self.cache_dir,
+            "delta_trace": self.delta_trace,
+            "delta_threshold": self.delta_threshold,
         }

@@ -45,7 +45,13 @@ from ..models.zoo import TABLE1_PAPER
 from .cache import TraceCache
 from .registry import BACKENDS, FRAME_PROVIDERS
 from .runner import ExperimentRunner, Scenario
-from .settings import EngineSettings, UNSET, positive_int
+from .settings import (
+    EngineSettings,
+    UNSET,
+    boolean_flag,
+    fraction,
+    positive_int,
+)
 from .simulators import Simulator, build_simulator
 
 #: Schema version stamped into serialized specs; bumped on breaking
@@ -146,6 +152,13 @@ class ExperimentSpec:
             ``REPRO_ENGINE_RULEGEN_SHARDS``.
         cache_dir: Persistent trace-cache directory for this experiment,
             or ``None`` to inherit ``REPRO_TRACE_CACHE_DIR``.
+        delta_trace: Trace sequential frames as delta chains (frame 0
+            full, later frames patched from the previous frame's
+            trace), or ``None`` to inherit
+            ``REPRO_ENGINE_DELTA_TRACE``.
+        delta_threshold: Fraction of changed inputs above which delta
+            tracing falls back to a full rulegen, or ``None`` to
+            inherit ``REPRO_ENGINE_DELTA_THRESHOLD``.
         frame_provider: Frame-provider registry name (default
             ``"synthetic"``).
         cells: Declarative cell include-rules (see
@@ -164,6 +177,8 @@ class ExperimentSpec:
     trace_workers: int = None
     rulegen_shards: int = None
     cache_dir: str = None
+    delta_trace: bool = None
+    delta_threshold: float = None
     frame_provider: str = DEFAULT_FRAME_PROVIDER
     cells: list = field(default_factory=list)
     out: str = None
@@ -275,6 +290,12 @@ class ExperimentSpec:
             value = getattr(self, knob)
             if value is not None:
                 positive_int(value, knob)
+        if self.delta_trace is not None:
+            self.delta_trace = boolean_flag(self.delta_trace,
+                                            "delta_trace")
+        if self.delta_threshold is not None:
+            self.delta_threshold = fraction(self.delta_threshold,
+                                            "delta_threshold")
         if self.cache_dir is not None \
                 and not isinstance(self.cache_dir, (str, Path)):
             raise _spec_error(
@@ -351,6 +372,8 @@ class ExperimentSpec:
             "rulegen_shards": self.rulegen_shards,
             "cache_dir": (str(self.cache_dir)
                           if self.cache_dir is not None else None),
+            "delta_trace": self.delta_trace,
+            "delta_threshold": self.delta_threshold,
             "frame_provider": self.frame_provider,
             "cells": [dict(rule) for rule in self.cells],
             "out": self.out,
@@ -374,7 +397,8 @@ class ExperimentSpec:
         allowed = {
             "name", "simulators", "models", "scenarios", "backend",
             "workers", "trace_workers", "rulegen_shards", "cache_dir",
-            "frame_provider", "cells", "out",
+            "delta_trace", "delta_threshold", "frame_provider", "cells",
+            "out",
         }
         unknown = sorted(set(data) - allowed)
         if unknown:
@@ -440,6 +464,9 @@ class ExperimentSpec:
             cache_dir=(overrides["cache_dir"] if "cache_dir" in overrides
                        else (self.cache_dir if self.cache_dir is not None
                              else UNSET)),
+            delta_trace=overrides.get("delta_trace", self.delta_trace),
+            delta_threshold=overrides.get("delta_threshold",
+                                          self.delta_threshold),
         )
 
     def build_runner(self, *, cache=None, trace_provider=None,
@@ -458,7 +485,7 @@ class ExperimentSpec:
         unknown = sorted(
             set(overrides)
             - {"backend", "workers", "trace_workers", "rulegen_shards",
-               "cache_dir"}
+               "cache_dir", "delta_trace", "delta_threshold"}
         )
         if unknown:
             raise _spec_error(
@@ -492,6 +519,12 @@ class ExperimentSpec:
             if value is not None:
                 value = positive_int(value, knob)
             knobs[knob] = value
+        for knob, check in (("delta_trace", boolean_flag),
+                            ("delta_threshold", fraction)):
+            value = overrides.get(knob, getattr(self, knob))
+            if value is not None:
+                value = check(value, knob)
+            knobs[knob] = value
         # Reuse the instances validation already built (unless the list
         # was mutated since); resolve_simulators accepts instances.
         if self.simulators == getattr(self, "_validated_source", None):
@@ -510,6 +543,8 @@ class ExperimentSpec:
             max_workers=knobs["workers"],
             trace_workers=knobs["trace_workers"],
             rulegen_shards=knobs["rulegen_shards"],
+            delta_trace=knobs["delta_trace"],
+            delta_threshold=knobs["delta_threshold"],
         )
         # The distributed backend re-serializes its work units from the
         # source spec; keep the provenance on the runner (and whether

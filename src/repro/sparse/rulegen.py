@@ -50,12 +50,15 @@ from enum import Enum
 import numpy as np
 
 from .coords import (
+    _DENSE_UNIQUE_CELLS,
     _unique_flat_sorted,
     cpr_encode,
     dilate,
     downsample_coords,
     flatten,
     kernel_offsets,
+    sorted_set_diff,
+    sorted_set_member,
     unflatten,
     upsample_coords,
 )
@@ -68,6 +71,27 @@ from .coords import (
 #: import the engine at module level (the engine imports this module),
 #: so the literal is mirrored here and pinned equal by a test.
 RULEGEN_SHARDS_ENV_VAR = "REPRO_ENGINE_RULEGEN_SHARDS"
+
+#: Fallback fraction for :func:`build_rules_delta`: when the diff against
+#: the previous frame touches more than this fraction of the new frame's
+#: pillars, patching costs more than rebuilding and the delta path falls
+#: back to the fused full build.  Mirrored from
+#: :mod:`repro.engine.settings` for the same import-cycle reason as
+#: :data:`RULEGEN_SHARDS_ENV_VAR`; pinned equal by a test.
+DELTA_THRESHOLD_ENV_VAR = "REPRO_ENGINE_DELTA_THRESHOLD"
+
+
+def resolve_delta_threshold(value=None) -> float:
+    """Validate a delta-fallback fraction; ``None`` reads the environment.
+
+    Delegates to :func:`repro.engine.settings.resolve_delta_threshold`
+    (lazy import, same reason as :func:`resolve_rulegen_shards`).  Values
+    outside ``(0, 1]`` raise a :class:`ValueError` naming the source; the
+    default is 0.5.
+    """
+    from ..engine.settings import resolve_delta_threshold as _resolve
+
+    return _resolve(value)
 
 
 def resolve_rulegen_shards(value=None) -> int:
@@ -574,3 +598,433 @@ def build_rules_reference(
             RulePairs(all_in_idx[valid][found], out_idx[found])
         )
     return rules
+
+
+def _any_active(rows: np.ndarray, cols: np.ndarray, shape: tuple,
+                active_flat: np.ndarray,
+                active_mask: np.ndarray = None) -> np.ndarray:
+    """Column-wise "any candidate is active": rows/cols are (K, B) planes.
+
+    Out-of-bounds candidates count as inactive; membership resolves
+    against the sorted ``active_flat`` set, or — when the caller has a
+    dense cell mask of the same set — as one ``active_mask`` gather.
+    """
+    valid = (
+        (rows >= 0) & (rows < shape[0]) & (cols >= 0) & (cols < shape[1])
+    )
+    hit = np.zeros(rows.shape, dtype=bool)
+    if valid.any() and len(active_flat):
+        flat = rows * shape[1] + cols
+        if active_mask is not None:
+            hit[valid] = active_mask[flat[valid]]
+        else:
+            hit[valid] = sorted_set_member(active_flat, flat[valid])
+    return hit.any(axis=0)
+
+
+def _forward_out_flat(coords: np.ndarray, in_shape: tuple, out_shape: tuple,
+                      conv_type: ConvType, kernel_size: int,
+                      stride: int) -> np.ndarray:
+    """Sorted flat output positions a coordinate subset can activate.
+
+    This is the per-type out-set map restricted to ``coords`` — exactly
+    the construction :func:`_resolve_output` applies to the full frame,
+    so born/dead output candidates of a frame diff are its image of the
+    added/removed inputs.
+    """
+    coords = np.asarray(coords, dtype=np.int32)
+    if len(coords) == 0:
+        return np.zeros(0, dtype=np.int64)
+    if conv_type in (ConvType.SPCONV, ConvType.SPCONV_P):
+        return flatten(dilate(coords, in_shape, kernel_size), out_shape)
+    if conv_type is ConvType.SUBM:
+        return flatten(coords, out_shape)
+    if conv_type is ConvType.STRIDED:
+        image, _ = downsample_coords(coords, in_shape, stride)
+        return flatten(image, out_shape)
+    if conv_type is ConvType.STRIDED_SUBM:
+        return _unique_flat_sorted(
+            flatten(coords // stride, out_shape),
+            out_shape[0] * out_shape[1],
+        )
+    if conv_type is ConvType.DECONV:
+        image, _ = upsample_coords(coords, in_shape, stride)
+        return flatten(image, out_shape)
+    raise ValueError(f"unsupported conv type {conv_type}")  # pragma: no cover
+
+
+def _supported_mask(out_cand: np.ndarray, new_in_flat: np.ndarray,
+                    in_shape: tuple, conv_type: ConvType, kernel_size: int,
+                    stride: int,
+                    active_mask: np.ndarray = None) -> np.ndarray:
+    """Which dead-output candidates still have support in the new frame.
+
+    An output position stays active when any input of its receptive
+    window survives; the window inverse per type mirrors the out-set
+    definitions in :mod:`repro.sparse.coords` (note STRIDED's window is
+    ``kernel_offsets(3)`` — :func:`downsample_coords` fixes the support
+    window at the usual kernel-3/pad-1 geometry regardless of the layer
+    kernel, and the delta path must match it exactly).
+    """
+    q_rows = out_cand[:, 0].astype(np.int64)
+    q_cols = out_cand[:, 1].astype(np.int64)
+    if conv_type in (ConvType.SPCONV, ConvType.SPCONV_P):
+        offsets = kernel_offsets(kernel_size).astype(np.int64)
+        rows = q_rows[None, :] - offsets[:, None, 0]
+        cols = q_cols[None, :] - offsets[:, None, 1]
+    elif conv_type is ConvType.STRIDED:
+        offsets = kernel_offsets(3).astype(np.int64)
+        rows = q_rows[None, :] * stride + offsets[:, None, 0]
+        cols = q_cols[None, :] * stride + offsets[:, None, 1]
+    elif conv_type is ConvType.STRIDED_SUBM:
+        offsets = np.array(
+            [(dr, dc) for dr in range(stride) for dc in range(stride)],
+            dtype=np.int64,
+        )
+        rows = q_rows[None, :] * stride + offsets[:, None, 0]
+        cols = q_cols[None, :] * stride + offsets[:, None, 1]
+    else:  # pragma: no cover - DECONV outputs die with their input
+        raise ValueError(f"no support window for {conv_type}")
+    return _any_active(rows, cols, in_shape, new_in_flat,
+                       active_mask=active_mask)
+
+
+def build_rules_delta(
+    prev_rules: Rules,
+    in_coords: np.ndarray,
+    added: np.ndarray = None,
+    removed: np.ndarray = None,
+    threshold: float = None,
+    shards: int = None,
+) -> Rules:
+    """Patch the previous frame's rules into the new frame's rules.
+
+    Sequential point-cloud frames share most of their active pillars, so
+    instead of rebuilding the CPR structure and per-offset rule lists
+    from scratch this diffs frame N against frame N-1
+    (:func:`repro.sparse.coords.sorted_set_diff`), derives the born/dead
+    output positions from the images of the added/removed inputs, renames
+    the surviving indices with cumulative-shift arithmetic and only
+    resolves candidate windows for the *delta*: pairs of added inputs and
+    pairs of surviving inputs landing on born outputs.  The result is
+    bit-identical to :func:`build_rules_reference` — the same parity
+    contract the fused and sharded paths honor.
+
+    Args:
+        prev_rules: Rules of the predecessor frame (same layer geometry).
+        in_coords: (P, 2) CPR-sorted active coordinates of the new frame.
+        added / removed: Optional pre-computed (A, 2) / (R, 2) coordinate
+            diffs; derived from ``prev_rules.in_coords`` when omitted.
+        threshold: Fallback fraction in ``(0, 1]``; when the diff exceeds
+            ``threshold * len(in_coords)`` the patch would cost more than
+            a rebuild and the full fused path runs instead.  ``None``
+            reads ``REPRO_ENGINE_DELTA_THRESHOLD`` (default 0.5).
+        shards: Row-shard count used by the full-rebuild fallback.
+
+    Returns:
+        A :class:`Rules` for the new frame.
+    """
+    conv_type = prev_rules.conv_type
+    kernel_size = prev_rules.kernel_size
+    stride = prev_rules.stride
+    in_shape = tuple(prev_rules.in_shape)
+    out_shape = tuple(prev_rules.out_shape)
+    in_coords = np.asarray(in_coords, dtype=np.int32)
+
+    def full_build() -> Rules:
+        return build_rules_sharded(
+            in_coords, in_shape, conv_type, kernel_size, stride,
+            shards=shards,
+        )
+
+    old_in = prev_rules.in_coords
+    if len(old_in) == 0 or len(in_coords) == 0:
+        return full_build()
+
+    old_in_flat = flatten(old_in, in_shape)
+    new_in_flat = flatten(in_coords, in_shape)
+    # On paper-sized grids every membership / rank query resolves as an
+    # O(1) gather against dense cell masks instead of a log-time
+    # searchsorted — the same dense-vs-sort crossover
+    # :data:`repro.sparse.coords._DENSE_UNIQUE_CELLS` encodes.
+    in_cells = in_shape[0] * in_shape[1]
+    out_cells = out_shape[0] * out_shape[1]
+    dense = max(in_cells, out_cells) <= _DENSE_UNIQUE_CELLS
+    new_in_mask = None
+    if dense:
+        new_in_mask = np.zeros(in_cells, dtype=bool)
+        new_in_mask[new_in_flat] = True
+    if added is None or removed is None:
+        if dense:
+            old_in_mask = np.zeros(in_cells, dtype=bool)
+            old_in_mask[old_in_flat] = True
+            added_flat = new_in_flat[~old_in_mask[new_in_flat]]
+            removed_flat = old_in_flat[~new_in_mask[old_in_flat]]
+        else:
+            added_flat, removed_flat = sorted_set_diff(old_in_flat,
+                                                       new_in_flat)
+    else:
+        added_flat = flatten(
+            np.asarray(added, dtype=np.int32).reshape(-1, 2), in_shape
+        )
+        removed_flat = flatten(
+            np.asarray(removed, dtype=np.int32).reshape(-1, 2), in_shape
+        )
+
+    delta = len(added_flat) + len(removed_flat)
+    if delta == 0:
+        # Identical frame: the previous structure is reusable as-is
+        # (Rules are immutable once built; arrays are shared, not copied).
+        return Rules(
+            conv_type=conv_type,
+            kernel_size=kernel_size,
+            stride=stride,
+            in_shape=prev_rules.in_shape,
+            out_shape=prev_rules.out_shape,
+            in_coords=in_coords,
+            out_coords=prev_rules.out_coords,
+            pairs=[RulePairs(p.in_idx, p.out_idx) for p in prev_rules.pairs],
+        )
+    if delta > resolve_delta_threshold(threshold) * len(in_coords):
+        return full_build()
+    if conv_type is ConvType.DECONV:
+        # Non-overlapping upsampling has no candidate windows to skip:
+        # the full build is one unfiltered lookup per offset and
+        # measures faster than any patch, so a non-identical DECONV
+        # frame always rebuilds.
+        return full_build()
+
+    added_coords = unflatten(added_flat, in_shape)
+    removed_coords = unflatten(removed_flat, in_shape)
+    old_out_flat = flatten(prev_rules.out_coords, out_shape)
+    if dense:
+        removed_in_mask = ~new_in_mask[old_in_flat]
+    else:
+        removed_in_mask = sorted_set_member(removed_flat, old_in_flat)
+    # Per-offset "this pair's input survives" masks; the pair-liveness
+    # branch below fills them and the merge loop reuses them.
+    keep_in_masks = None
+
+    # --- output-set delta -------------------------------------------------
+    if conv_type is ConvType.SUBM:
+        # Output set == input set: the diff carries over verbatim (the
+        # old output set is the old input set, so its removal mask is
+        # the input one).
+        added_out_flat = added_flat
+        removed_out_mask = removed_in_mask
+        new_out_flat = new_in_flat
+        out_coords = in_coords.copy()
+    else:
+        born_cand = _forward_out_flat(
+            added_coords, in_shape, out_shape, conv_type, kernel_size,
+            stride,
+        )
+        if dense:
+            old_out_mask = np.zeros(out_cells, dtype=bool)
+            old_out_mask[old_out_flat] = True
+            added_out_flat = born_cand[~old_out_mask[born_cand]]
+        else:
+            added_out_flat = born_cand[~sorted_set_member(old_out_flat,
+                                                          born_cand)]
+        if (conv_type in (ConvType.SPCONV, ConvType.SPCONV_P)
+                and kernel_size % 2 == 1):
+            # Stride-1 dilation with a symmetric offset set: the pair
+            # window equals the support window, so an old output
+            # survives exactly when it keeps a pair with a surviving
+            # input or an added input dilates onto it — liveness falls
+            # out of the pairs we must scan anyway, with no
+            # candidate-window resolution at all.  (Even kernels break
+            # the symmetry: pairs probe ``q + o`` while dilation
+            # support is ``q - o``, so they take the window path.)
+            if dense:
+                born_mask = np.zeros(out_cells, dtype=bool)
+                born_mask[born_cand] = True
+                alive = born_mask[old_out_flat]
+            else:
+                alive = sorted_set_member(born_cand, old_out_flat)
+            keep_in_masks = []
+            for prev_pair in prev_rules.pairs:
+                keep_in = ~removed_in_mask[prev_pair.in_idx]
+                keep_in_masks.append(keep_in)
+                alive[prev_pair.out_idx[keep_in]] = True
+            removed_out_mask = ~alive
+        else:
+            dead_cand = _forward_out_flat(
+                removed_coords, in_shape, out_shape, conv_type,
+                kernel_size, stride,
+            )
+            if dense:
+                dead_cand = dead_cand[old_out_mask[dead_cand]]
+            else:
+                dead_cand = dead_cand[sorted_set_member(old_out_flat,
+                                                        dead_cand)]
+            if conv_type is ConvType.DECONV:
+                # Upsampled blocks are disjoint per input: outputs of a
+                # removed input cannot be supported by any other input.
+                removed_out_flat = dead_cand
+            elif len(dead_cand):
+                supported = _supported_mask(
+                    unflatten(dead_cand, out_shape), new_in_flat,
+                    in_shape, conv_type, kernel_size, stride,
+                    active_mask=new_in_mask,
+                )
+                removed_out_flat = dead_cand[~supported]
+            else:
+                removed_out_flat = dead_cand
+            if dense:
+                dead_mask = np.zeros(out_cells, dtype=bool)
+                dead_mask[removed_out_flat] = True
+                removed_out_mask = dead_mask[old_out_flat]
+            else:
+                removed_out_mask = sorted_set_member(removed_out_flat,
+                                                     old_out_flat)
+        survivors_out = old_out_flat[~removed_out_mask]
+        new_out_flat = np.insert(
+            survivors_out,
+            np.searchsorted(survivors_out, added_out_flat),
+            added_out_flat,
+        )
+        out_coords = unflatten(new_out_flat, out_shape)
+
+    # --- index renumbering ------------------------------------------------
+    # New index of a surviving old entry = old index minus removals below
+    # it plus additions below it (garbage for removed entries, which the
+    # keep masks never select).  These stay O(P) sorted-set arithmetic
+    # even on the dense route: a dense cumulative-rank table would cost
+    # a grid-sized ``cumsum``, which measures an order of magnitude
+    # slower than these P-sized passes.
+    new_idx_of_old_in = (
+        np.arange(len(old_in_flat), dtype=np.int64)
+        - np.cumsum(removed_in_mask, dtype=np.int64)
+        + np.searchsorted(added_flat, old_in_flat)
+    )
+    added_in_new_idx = np.searchsorted(new_in_flat, added_flat)
+    if conv_type is ConvType.SUBM:
+        # Identical in/out sets: the renumber tables carry over.
+        new_idx_of_old_out = new_idx_of_old_in
+        added_out_new_idx = added_in_new_idx
+    else:
+        new_idx_of_old_out = (
+            np.arange(len(old_out_flat), dtype=np.int64)
+            - np.cumsum(removed_out_mask, dtype=np.int64)
+            + np.searchsorted(added_out_flat, old_out_flat)
+        )
+        added_out_new_idx = np.searchsorted(new_out_flat, added_out_flat)
+
+    # --- pair sources -----------------------------------------------------
+    empty = np.zeros(0, dtype=np.int64)
+    num_offsets = len(prev_rules.pairs)
+
+    # (b) added inputs against the full new output set: one fused batch.
+    if len(added_flat):
+        added_pairs = _fused_pairs(
+            added_coords, 0, new_out_flat, 0, out_shape, conv_type,
+            kernel_size, stride,
+        )
+    else:
+        added_pairs = [RulePairs(empty, empty)] * num_offsets
+
+    # (c) surviving inputs feeding born outputs: invert the pair geometry
+    # per offset (input p feeds q at offset o with p = stride*q + o) and
+    # keep candidates that are surviving members of the old input set.
+    born_in_idx = [empty] * num_offsets
+    born_out_idx = [empty] * num_offsets
+    if len(added_out_flat) and conv_type is not ConvType.DECONV:
+        born = unflatten(added_out_flat, out_shape)
+        offsets = kernel_offsets(kernel_size).astype(np.int64)
+        rows = born[:, 0].astype(np.int64)[None, :] * stride \
+            + offsets[:, None, 0]
+        cols = born[:, 1].astype(np.int64)[None, :] * stride \
+            + offsets[:, None, 1]
+        valid = (
+            (rows >= 0) & (rows < in_shape[0])
+            & (cols >= 0) & (cols < in_shape[1])
+        )
+        if dense:
+            # Dense survivor table: a cell's *new* input index, or -1
+            # when no surviving input occupies it — one gather resolves
+            # window membership and renumbering together.
+            surviving = ~removed_in_mask
+            surv_new_idx = np.full(in_cells, -1, dtype=np.int64)
+            surv_new_idx[old_in_flat[surviving]] = (
+                new_idx_of_old_in[surviving]
+            )
+            vals = np.full(rows.shape, -1, dtype=np.int64)
+            if valid.any():
+                vals[valid] = surv_new_idx[
+                    (rows * in_shape[1] + cols)[valid]
+                ]
+            hit = vals >= 0
+            for index in range(num_offsets):
+                cols_k = np.flatnonzero(hit[index])
+                if len(cols_k):
+                    born_in_idx[index] = vals[index, cols_k]
+                    born_out_idx[index] = added_out_new_idx[cols_k]
+        else:
+            pos = np.full(rows.shape, -1, dtype=np.int64)
+            if valid.any():
+                pos[valid] = _lookup_sorted(
+                    old_in_flat, (rows * in_shape[1] + cols)[valid]
+                )
+            hit = pos >= 0
+            hit[hit] = ~removed_in_mask[pos[hit]]
+            for index in range(num_offsets):
+                cols_k = np.flatnonzero(hit[index])
+                if len(cols_k):
+                    born_in_idx[index] = (
+                        new_idx_of_old_in[pos[index, cols_k]]
+                    )
+                    born_out_idx[index] = added_out_new_idx[cols_k]
+
+    # (a) surviving old pairs, renumbered, merged with (b) and (c).  The
+    # three sources partition the new pairs by (input, output) membership
+    # in {survivor, added/born}, so their input indices are disjoint
+    # within an offset and one sort restores the ascending invariant.
+    pairs = []
+    for index, prev_pair in enumerate(prev_rules.pairs):
+        keep_in = (keep_in_masks[index] if keep_in_masks is not None
+                   else ~removed_in_mask[prev_pair.in_idx])
+        keep = keep_in & ~removed_out_mask[prev_pair.out_idx]
+        surv_in = new_idx_of_old_in[prev_pair.in_idx[keep]]
+        surv_out = new_idx_of_old_out[prev_pair.out_idx[keep]]
+        fresh_in = np.concatenate([
+            added_in_new_idx[added_pairs[index].in_idx],
+            born_in_idx[index],
+        ])
+        if len(fresh_in) == 0:
+            pairs.append(RulePairs(surv_in, surv_out))
+            continue
+        fresh_out = np.concatenate([
+            added_pairs[index].out_idx,
+            born_out_idx[index],
+        ])
+        order = np.argsort(fresh_in, kind="stable")
+        fresh_in = fresh_in[order]
+        fresh_out = fresh_out[order]
+        # Input indices are unique within an offset (input p feeds
+        # exactly one output per offset) and the survivors are already
+        # ascending, so a linear scatter merge of the two sorted runs
+        # restores the invariant without argsorting the whole offset.
+        slots = (np.searchsorted(surv_in, fresh_in)
+                 + np.arange(len(fresh_in), dtype=np.int64))
+        total = len(surv_in) + len(fresh_in)
+        in_all = np.empty(total, dtype=np.int64)
+        out_all = np.empty(total, dtype=np.int64)
+        surv_slots = np.ones(total, dtype=bool)
+        surv_slots[slots] = False
+        in_all[slots] = fresh_in
+        out_all[slots] = fresh_out
+        in_all[surv_slots] = surv_in
+        out_all[surv_slots] = surv_out
+        pairs.append(RulePairs(in_all, out_all))
+
+    return Rules(
+        conv_type=conv_type,
+        kernel_size=kernel_size,
+        stride=stride,
+        in_shape=prev_rules.in_shape,
+        out_shape=prev_rules.out_shape,
+        in_coords=in_coords,
+        out_coords=out_coords,
+        pairs=pairs,
+    )

@@ -223,11 +223,14 @@ class TestFrameBatching:
         real_trace_model = cache_module.trace_model
 
         def counting(spec, coords, importance=None, grid_shape=None,
-                     rulegen_shards=None):
+                     rulegen_shards=None, prev_trace=None,
+                     delta_threshold=None):
             calls.append(spec.name)
             return real_trace_model(spec, coords, importance,
                                     grid_shape=grid_shape,
-                                    rulegen_shards=rulegen_shards)
+                                    rulegen_shards=rulegen_shards,
+                                    prev_trace=prev_trace,
+                                    delta_threshold=delta_threshold)
 
         monkeypatch.setattr(cache_module, "trace_model", counting)
         runner = _subset_runner(
@@ -508,3 +511,53 @@ class TestRunScopedTempdirCleanup:
                 assert os.path.isdir(cache_dir)
                 raise RuntimeError("boom")
         assert not os.path.exists(cache_dir)
+
+
+class TestDeltaTrace:
+    """Delta-chained tracing: same table, fewer full rulegen runs."""
+
+    SCENARIOS = [Scenario("drive", seed=3, frames=3)]
+
+    def test_delta_matches_full_on_every_backend(self):
+        """Acceptance: with REPRO_ENGINE_DELTA_TRACE on, every backend
+        reproduces the full-rulegen serial table byte for byte."""
+        full = _subset_runner(
+            scenarios=list(self.SCENARIOS)).run(backend="serial")
+        expected = full.to_csv()
+        for backend in ("serial", "thread", "process"):
+            delta = _subset_runner(
+                scenarios=list(self.SCENARIOS), delta_trace=True,
+            ).run(backend=backend)
+            assert delta.to_csv() == expected, backend
+
+    def test_trace_chain_threads_prev_trace(self):
+        runner = _subset_runner(
+            models=["SPP3"], simulators=["spade-he"],
+            scenarios=list(self.SCENARIOS), delta_trace=True,
+        )
+        chain = runner.trace_chain(runner.scenarios[0],
+                                   runner.models[0])
+        assert len(chain) == 3
+        # Content keys are unchanged: each chain frame is one cache
+        # entry, keyed exactly like a full-rulegen trace of that frame.
+        assert runner.cache.stats()["misses"] == 3
+        off = _subset_runner(
+            models=["SPP3"], simulators=["spade-he"],
+            scenarios=list(self.SCENARIOS),
+        )
+        for frame, trace in enumerate(chain):
+            full = off.trace_for(off.scenarios[0], off.models[0], frame)
+            for left, right in zip(trace.layers, full.layers):
+                if left.rules is None:
+                    assert right.rules is None
+                    continue
+                for lp, rp in zip(left.rules.pairs, right.rules.pairs):
+                    assert (lp.in_idx == rp.in_idx).all()
+                    assert (lp.out_idx == rp.out_idx).all()
+
+    def test_env_knob_resolves_through_settings(self, monkeypatch):
+        from repro.engine import DELTA_TRACE_ENV_VAR
+
+        monkeypatch.setenv(DELTA_TRACE_ENV_VAR, "1")
+        runner = _subset_runner(scenarios=list(self.SCENARIOS))
+        assert runner.delta_trace is True

@@ -236,6 +236,26 @@ class TestDistParity:
         for left, right in zip(expected, table):
             assert left == right
 
+    def test_delta_trace_matches_serial(self, tmp_path, monkeypatch):
+        """With delta tracing on, the dist CSV is byte-identical to the
+        serial run's — the coordinator pre-traces each sequential chain
+        (frame 0 full, frame 1 patched) into the shared disk tier and
+        the workers consume the same content-keyed artifacts."""
+        monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path))
+        spec = dist_spec(
+            models=["SPP3"],
+            scenarios=[{"name": "drive", "seed": 3, "frames": 2}],
+            delta_trace=True,
+        )
+        expected = spec.build_runner().run(backend="serial").to_csv()
+        port = free_port()
+        start_worker_thread(port)
+        table = spec.build_runner().run(
+            backend=DistBackend(port=port, start_timeout=30))
+        assert table.to_csv() == expected
+        # One artifact per chain frame, under the unchanged content keys.
+        assert len(list(tmp_path.glob("*.trace.pkl"))) == 2
+
     def test_trace_stage_ships_artifacts(self, tmp_path, monkeypatch):
         """With a shared cache dir, the coordinator pre-traces every
         unique frame and workers serve them as disk hits."""

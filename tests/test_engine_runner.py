@@ -56,6 +56,7 @@ class TestTraceCache:
             "entries": 1,
             "hits": 1,
             "misses": 1,
+            "by_label": {},
             "disk_hits": 0,
             "disk_writes": 0,
             "disk_dir": None,
@@ -110,11 +111,14 @@ class TestRunnerCaching:
         real_trace_model = cache_module.trace_model
 
         def counting(spec, coords, importance=None, grid_shape=None,
-                     rulegen_shards=None):
+                     rulegen_shards=None, prev_trace=None,
+                     delta_threshold=None):
             calls.append(spec.name)
             return real_trace_model(spec, coords, importance,
                                     grid_shape=grid_shape,
-                                    rulegen_shards=rulegen_shards)
+                                    rulegen_shards=rulegen_shards,
+                                    prev_trace=prev_trace,
+                                    delta_threshold=delta_threshold)
 
         monkeypatch.setattr(cache_module, "trace_model", counting)
         runner = ExperimentRunner(
@@ -230,11 +234,14 @@ class TestRunnerParallelism:
         real_trace_model = cache_module.trace_model
 
         def counting(spec, coords, importance=None, grid_shape=None,
-                     rulegen_shards=None):
+                     rulegen_shards=None, prev_trace=None,
+                     delta_threshold=None):
             calls.append(spec.name)
             return real_trace_model(spec, coords, importance,
                                     grid_shape=grid_shape,
-                                    rulegen_shards=rulegen_shards)
+                                    rulegen_shards=rulegen_shards,
+                                    prev_trace=prev_trace,
+                                    delta_threshold=delta_threshold)
 
         monkeypatch.setattr(cache_module, "trace_model", counting)
         runner = ExperimentRunner(
@@ -407,7 +414,9 @@ class TestResultTable:
             table.get(simulator="A")        # ambiguous: two rows
         with pytest.raises(KeyError):
             table.get(simulator="C")        # no rows
-        assert table.column("cycles") == [0, 1, 2, 3]
+        cycles = table.column("cycles")
+        assert isinstance(cycles, np.ndarray)
+        assert cycles.tolist() == [0, 1, 2, 3]
         assert table.simulators == ["A", "B"]
         assert table.models == ["m1", "m2"]
 

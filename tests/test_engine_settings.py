@@ -5,6 +5,8 @@ import pytest
 from repro.engine import (
     BACKEND_ENV_VAR,
     CACHE_DIR_ENV_VAR,
+    DELTA_THRESHOLD_ENV_VAR,
+    DELTA_TRACE_ENV_VAR,
     ENGINE_ENV_VARS,
     RULEGEN_SHARDS_ENV_VAR,
     TRACE_WORKERS_ENV_VAR,
@@ -15,6 +17,8 @@ from repro.engine import (
 )
 from repro.engine.settings import (
     resolve_cache_dir,
+    resolve_delta_threshold,
+    resolve_delta_trace,
     resolve_rulegen_shards,
     resolve_trace_workers,
     resolve_workers,
@@ -36,6 +40,8 @@ class TestPrecedence:
         assert settings.trace_workers == settings.workers
         assert settings.rulegen_shards == 1
         assert settings.cache_dir is None
+        assert settings.delta_trace is False
+        assert settings.delta_threshold == 0.5
 
     def test_env_overrides_defaults(self, monkeypatch, tmp_path):
         monkeypatch.setenv(BACKEND_ENV_VAR, "serial")
@@ -43,10 +49,13 @@ class TestPrecedence:
         monkeypatch.setenv(TRACE_WORKERS_ENV_VAR, "2")
         monkeypatch.setenv(RULEGEN_SHARDS_ENV_VAR, "4")
         monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path))
+        monkeypatch.setenv(DELTA_TRACE_ENV_VAR, "1")
+        monkeypatch.setenv(DELTA_THRESHOLD_ENV_VAR, "0.25")
         settings = EngineSettings.resolve()
         assert settings == EngineSettings(
             backend="serial", workers=3, trace_workers=2,
             rulegen_shards=4, cache_dir=str(tmp_path),
+            delta_trace=True, delta_threshold=0.25,
         )
 
     def test_explicit_beats_env(self, monkeypatch, tmp_path):
@@ -79,6 +88,11 @@ class TestBadValuesNameTheOffender:
         (TRACE_WORKERS_ENV_VAR, "0"),
         (RULEGEN_SHARDS_ENV_VAR, "x"),
         (RULEGEN_SHARDS_ENV_VAR, "-1"),
+        (DELTA_TRACE_ENV_VAR, "maybe"),
+        (DELTA_TRACE_ENV_VAR, "2"),
+        (DELTA_THRESHOLD_ENV_VAR, "0"),
+        (DELTA_THRESHOLD_ENV_VAR, "1.5"),
+        (DELTA_THRESHOLD_ENV_VAR, "half"),
     ])
     def test_env_knobs(self, monkeypatch, var, bad):
         monkeypatch.setenv(var, bad)
@@ -104,6 +118,10 @@ class TestBadValuesNameTheOffender:
             resolve_trace_workers(0)
         with pytest.raises(ValueError, match="rulegen_shards"):
             resolve_rulegen_shards(-3)
+        with pytest.raises(ValueError, match="delta_trace"):
+            resolve_delta_trace("sometimes")
+        with pytest.raises(ValueError, match="delta_threshold"):
+            resolve_delta_threshold(0)
 
 
 class TestDelegation:
@@ -133,6 +151,20 @@ class TestDelegation:
         # engine at module scope); the mirror must never drift.
         assert (sparse_rulegen.RULEGEN_SHARDS_ENV_VAR
                 == RULEGEN_SHARDS_ENV_VAR)
+        assert (sparse_rulegen.DELTA_THRESHOLD_ENV_VAR
+                == DELTA_THRESHOLD_ENV_VAR)
+
+    def test_sparse_delta_threshold_delegates(self, monkeypatch):
+        monkeypatch.setenv(DELTA_THRESHOLD_ENV_VAR, "0.125")
+        assert sparse_rulegen.resolve_delta_threshold() == 0.125
+
+    def test_runner_delegates_delta_knobs(self, monkeypatch):
+        monkeypatch.setenv(DELTA_TRACE_ENV_VAR, "yes")
+        monkeypatch.setenv(DELTA_THRESHOLD_ENV_VAR, "0.75")
+        runner = ExperimentRunner(simulators=["spade-he"],
+                                  models=["SPP3"])
+        assert runner.delta_trace is True
+        assert runner.delta_threshold == 0.75
 
     def test_no_stray_environ_reads_in_engine(self):
         # The dedupe contract itself: apart from settings.py, no engine
