@@ -75,6 +75,12 @@ class LayerTrace:
     #: micro-simulators (hash-table mapping, cache-based gather) need
     #: the raw input set, which rules alone do not retain.
     in_coords: np.ndarray = None
+    #: Whether this layer's rules were produced by patching the
+    #: previous sequential frame's rules (delta tracing) instead of a
+    #: full rebuild.  Purely observability — delta rules are
+    #: bit-identical — and read with ``getattr(..., False)`` everywhere
+    #: so traces pickled before the field existed stay loadable.
+    via_delta: bool = False
 
     @property
     def iopr(self) -> float:
@@ -206,7 +212,8 @@ def _execute_sparse_layer(spec: LayerSpec, state: StreamState,
                           prev_rules: Rules = None,
                           delta_threshold: float = None) -> tuple:
     """Run one sparse layer geometrically; returns (LayerTrace, new state)."""
-    if _delta_applicable(prev_rules, spec, state):
+    via_delta = _delta_applicable(prev_rules, spec, state)
+    if via_delta:
         rules = build_rules_delta(
             prev_rules,
             state.coords,
@@ -242,6 +249,7 @@ def _execute_sparse_layer(spec: LayerSpec, state: StreamState,
         sparse_macs=rules.macs(spec.in_channels, spec.out_channels),
         rules=rules,
         in_coords=state.coords,
+        via_delta=via_delta,
     )
     new_state = StreamState(
         shape=rules.out_shape, coords=out_coords, importance=out_importance
@@ -446,6 +454,154 @@ def compute_savings(
     model_trace = trace_model(spec, coords, importance)
     dense_trace = trace_model(dense_spec, coords, importance)
     return model_trace, dense_trace, model_trace.savings_vs(dense_trace)
+
+
+class SparsityAnalyzer:
+    """Streaming per-layer sparsity/overhead aggregator.
+
+    The incremental-analyzer idiom: the analyzer is attached once,
+    ingests layer observations *as results complete* (rows streaming out
+    of a backend, traces coming off the trace stage), and keeps only
+    constant-size running aggregates — count / mean / min / max per
+    (model, layer, field) — never the rows or traces themselves.  That
+    is what lets a :class:`~repro.engine.manifest.RunObserver` surface
+    per-layer analytics in the run manifest of an arbitrarily long sweep
+    without retaining its tables or rule arrays.
+
+    Two ingestion surfaces:
+
+    * :meth:`ingest_result` — one engine row
+      (:class:`~repro.engine.result.SimResult` or its JSON record);
+      every numeric field of its ``per_layer`` dicts is tracked, so
+      simulator-specific detail (``overhead_fraction``,
+      ``effective_ta``, ``energy_pj``, ...) aggregates without the
+      analyzer knowing any simulator's schema;
+    * :meth:`ingest_trace` — one geometric :class:`ModelTrace`; derives
+      the Fig. 2-style series (inputs, outputs, IOPR, output density,
+      MACs) plus the delta-tracing utilization flag per layer.
+
+    ``enable()`` / ``disable()`` gate ingestion so a long-lived analyzer
+    can bracket exactly the phase it should observe.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self._enabled = bool(enabled)
+        self._layers = {}          # (model, layer) -> {field: stats}
+        self._order = []           # first-seen (model, layer) keys
+        self.rows_ingested = 0
+        self.traces_ingested = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether ingestion is currently accumulating."""
+        return self._enabled
+
+    def enable(self) -> None:
+        """Resume accumulating observations."""
+        self._enabled = True
+
+    def disable(self) -> None:
+        """Stop accumulating (ingest calls become no-ops)."""
+        self._enabled = False
+
+    def _track(self, model: str, layer: str, fields: dict) -> None:
+        key = (str(model), str(layer))
+        stats = self._layers.get(key)
+        if stats is None:
+            stats = self._layers[key] = {}
+            self._order.append(key)
+        for name, value in fields.items():
+            if isinstance(value, bool):
+                value = float(value)
+            elif not isinstance(value, (int, float)):
+                continue
+            value = float(value)
+            if value != value:     # NaN never aggregates
+                continue
+            entry = stats.get(name)
+            if entry is None:
+                stats[name] = [1, value, value, value]
+            else:
+                entry[0] += 1
+                entry[1] += value
+                if value < entry[2]:
+                    entry[2] = value
+                if value > entry[3]:
+                    entry[3] = value
+
+    def ingest_result(self, result) -> None:
+        """Accumulate one engine row's ``per_layer`` detail.
+
+        ``result`` may be a :class:`~repro.engine.result.SimResult` or
+        its JSON record dict; rows without per-layer detail (platform
+        models, ``"mean"`` aggregate rows) are counted but contribute
+        nothing.
+        """
+        if not self._enabled:
+            return
+        if isinstance(result, dict):
+            model = result.get("model")
+            per_layer = result.get("per_layer") or []
+        else:
+            model = result.model
+            per_layer = result.per_layer or []
+        self.rows_ingested += 1
+        for entry in per_layer:
+            if not isinstance(entry, dict):
+                continue
+            name = entry.get("name")
+            if name is None:
+                continue
+            self._track(model, name, entry)
+
+    def ingest_trace(self, trace: ModelTrace) -> None:
+        """Accumulate one geometric trace's per-layer series."""
+        if not self._enabled:
+            return
+        self.traces_ingested += 1
+        for layer in trace.layers:
+            fields = {
+                "inputs": layer.in_count,
+                "outputs": layer.out_count,
+                "macs": layer.sparse_macs,
+            }
+            if layer.rules is not None:
+                fields["iopr"] = layer.iopr
+                fields["out_density"] = layer.out_density
+                fields["via_delta"] = getattr(layer, "via_delta", False)
+            self._track(trace.spec.name, layer.spec.name, fields)
+
+    def layer_stats(self) -> list:
+        """The running aggregates, one dict per (model, layer).
+
+        Layers appear in first-seen order; each carries
+        ``{"model", "layer", "fields": {name: {count, mean, min,
+        max}}}``.  ``via_delta``'s mean is the fraction of ingested
+        traces whose layer took the delta path.
+        """
+        out = []
+        for key in self._order:
+            model, layer = key
+            fields = {}
+            for name, (count, total, low, high) in sorted(
+                    self._layers[key].items()):
+                fields[name] = {
+                    "count": count,
+                    "mean": total / count,
+                    "min": low,
+                    "max": high,
+                }
+            out.append({"model": model, "layer": layer, "fields": fields})
+        return out
+
+    def summary(self) -> dict:
+        """JSON-safe snapshot for manifests: counts + per-layer stats."""
+        return {
+            "rows_ingested": self.rows_ingested,
+            "traces_ingested": self.traces_ingested,
+            "layers": len(self._layers),
+            "per_layer": self.layer_stats(),
+        }
 
 
 def iopr_series(trace: ModelTrace) -> list:

@@ -7,7 +7,14 @@ them and inspects the registries:
 * ``repro run spec.json [--backend process] [--out results.csv]``
   — load, validate and execute a spec, writing the resulting
   :class:`~repro.engine.ExperimentTable` as CSV/JSON (``--out -`` for
-  stdout, no ``--out`` for a formatted text table);
+  stdout, no ``--out`` for a formatted text table); file sinks get a
+  :class:`~repro.engine.manifest.RunManifest` written next to them
+  (``results.manifest.json``), and the manifest path is echoed on
+  stderr;
+* ``repro report results.json [--html] [--out PATH]``
+  — render a run's table + manifest as text or a single-file HTML
+  report (``--diff other.json`` compares two runs); see
+  :mod:`repro.report`;
 * ``repro list simulators|models|backends|frame-providers``
   — enumerate what the registries and the Table I zoo offer;
 * ``repro list scenarios spec.json``
@@ -37,10 +44,16 @@ name), 1 unexpected failure.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
 from .analysis.report import format_results, format_table
+from .engine.manifest import (
+    RunManifest,
+    RunObserver,
+    manifest_path_for,
+)
 from .engine.registry import BACKENDS, FRAME_PROVIDERS, SIMULATORS
 from .engine.simulators import build_simulator
 from .engine.spec import ExperimentSpec
@@ -85,6 +98,26 @@ def _infer_format(out: str, explicit: str) -> str:
     )
 
 
+def _check_writable_sink(out) -> None:
+    """Reject an unusable output path with an actionable message.
+
+    Run *before* the sweep (and again implicitly by the OSError wrap
+    around the writes), so a mistyped ``--out`` directory fails in
+    milliseconds instead of after minutes of simulation.
+    """
+    parent = Path(out).expanduser().resolve().parent
+    if not parent.is_dir():
+        raise ValueError(
+            f"output directory {parent} does not exist; create it or "
+            f"pick another --out path"
+        )
+    if not os.access(parent, os.W_OK):
+        raise ValueError(
+            f"output directory {parent} is not writable; fix its "
+            f"permissions or pick another --out path"
+        )
+
+
 def _emit_table(table, out, fmt: str) -> None:
     if out is None:
         _out(format_results(table.results, title=f"{len(table)} rows"))
@@ -120,8 +153,10 @@ def _cmd_run(args) -> int:
     # Fail on an unusable sink *before* the (possibly long) run, not
     # after the table is already computed.
     out = args.out if args.out is not None else spec.out
-    if out is not None and out != "-":
+    to_file = out is not None and out != "-"
+    if to_file:
         _infer_format(out, args.format)
+        _check_writable_sink(out)
     runner = spec.build_runner(**overrides)
     backend = runner.backend
     backend_name = backend if isinstance(backend, str) else backend.name
@@ -131,8 +166,61 @@ def _cmd_run(args) -> int:
         f"{len(runner.simulators)} simulator(s) "
         f"on the {backend_name} backend"
     )
-    table = runner.run(progress=args.progress)
-    _emit_table(table, out, args.format)
+    observer = RunObserver() if to_file else None
+    table = runner.run(progress=args.progress, observer=observer)
+    try:
+        _emit_table(table, out, args.format)
+        if to_file:
+            manifest = RunManifest.collect(runner, table,
+                                           observer=observer)
+            manifest_path = manifest.write(manifest_path_for(out))
+            _status(f"wrote run manifest to {manifest_path}")
+    except OSError as error:
+        raise ValueError(
+            f"cannot write results to {out!r}: {error}; pick a "
+            f"writable --out path"
+        ) from None
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# repro report
+# ---------------------------------------------------------------------------
+
+
+def _report_out_path(out: str, results: str, as_html: bool) -> Path:
+    """Resolve ``--out``: an existing directory (or a path spelled with
+    a trailing separator) gets ``<results-stem>.report.html|txt``
+    inside it; anything else is the report file itself."""
+    path = Path(out)
+    if path.is_dir() or out.endswith(os.sep):
+        suffix = ".html" if as_html else ".txt"
+        return path / (Path(results).stem + ".report" + suffix)
+    return path
+
+
+def _cmd_report(args) -> int:
+    from .report import build_report
+
+    text = build_report(
+        args.results,
+        manifest_path=args.manifest,
+        diff_path=args.diff,
+        as_html=args.html,
+        baseline=args.baseline,
+    )
+    if args.out is None or args.out == "-":
+        sys.stdout.write(text)
+        return 0
+    path = _report_out_path(args.out, args.results, args.html)
+    try:
+        path.write_text(text)
+    except OSError as error:
+        raise ValueError(
+            f"cannot write report to {path}: {error}; pick a writable "
+            f"--out path"
+        ) from None
+    _status(f"wrote report to {path}")
     return 0
 
 
@@ -400,6 +488,36 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print per-group completion (done/total, "
                           "elapsed) to stderr while the sweep runs")
     run.set_defaults(func=_cmd_run)
+
+    report = commands.add_parser(
+        "report",
+        help="render a run's results + manifest as text or a "
+             "single-file HTML report",
+    )
+    report.add_argument("results",
+                        help="a `repro run --out` .json result file")
+    report.add_argument("--html", action="store_true",
+                        help="emit a self-contained HTML report "
+                             "instead of text")
+    report.add_argument("--out",
+                        help="write the report here: a file path, or "
+                             "an existing directory (gets "
+                             "<results>.report.html/.txt); default "
+                             "stdout")
+    report.add_argument("--manifest",
+                        help="explicit run-manifest path (default: "
+                             "the results.manifest.json next to the "
+                             "table, when present)")
+    report.add_argument("--diff", metavar="OTHER",
+                        help="compare against a second result .json: "
+                             "metric deltas joined on (scenario, "
+                             "frame, model, simulator) plus a "
+                             "manifest-field diff")
+    report.add_argument("--baseline",
+                        help="simulator the fig9 speedups are "
+                             "relative to (default: a dense-family "
+                             "simulator, else the table's first)")
+    report.set_defaults(func=_cmd_report)
 
     worker = commands.add_parser(
         "worker",

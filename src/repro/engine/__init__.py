@@ -22,6 +22,10 @@
 * :mod:`repro.engine.spec`       — :class:`ExperimentSpec`, the
   declarative (JSON-serializable) form of an experiment, which the
   ``repro`` CLI front-end (:mod:`repro.cli`) runs from the shell;
+* :mod:`repro.engine.manifest`   — :class:`RunManifest` +
+  :class:`RunObserver`: the per-run provenance artifact (spec hash, git
+  rev, settings, per-unit/phase timings, cache stats, streaming
+  analytics) written alongside every ``repro run --out`` sink;
 * :mod:`repro.engine.dist`       — the distributed coordinator/worker
   backend (``"dist"``): spec-dict work units over length-prefixed JSON
   TCP, trace-artifact shipping through the cache disk tier, heartbeats
@@ -43,6 +47,15 @@ from .cache import (
     scan_disk_tier,
     shared_trace_cache,
     spec_fingerprint,
+)
+from .manifest import (
+    MANIFEST_SCHEMA,
+    MANIFEST_VERSION,
+    RunManifest,
+    RunObserver,
+    git_revision,
+    manifest_path_for,
+    spec_hash,
 )
 from .micro import GatherDramSim, MappingSim
 from .registry import (
@@ -115,6 +128,8 @@ __all__ = [
     "DELTA_TRACE_ENV_VAR",
     "ENGINE_ENV_VARS",
     "FRAME_PROVIDERS",
+    "MANIFEST_SCHEMA",
+    "MANIFEST_VERSION",
     "RESULT_COLUMNS",
     "RULEGEN_SHARDS_ENV_VAR",
     "SIMULATORS",
@@ -137,6 +152,8 @@ __all__ = [
     "PointAccSim",
     "ProcessBackend",
     "Registry",
+    "RunManifest",
+    "RunObserver",
     "Scenario",
     "SerialBackend",
     "SimResult",
@@ -154,8 +171,11 @@ __all__ = [
     "cell_filter_from_rules",
     "clear_disk_tier",
     "frame_fingerprint",
+    "git_revision",
+    "manifest_path_for",
     "scan_disk_tier",
     "mean_result",
+    "spec_hash",
     "register_backend",
     "register_frame_provider",
     "register_simulator",

@@ -186,6 +186,7 @@ class ProgressReporter:
         self._started = time.monotonic()
 
     def advance(self, count: int = 1) -> None:
+        """Report ``count`` more finished groups to the sink."""
         # The sink runs under the lock so concurrent group completions
         # report in monotone order (and interleaved lines never tear).
         with self._lock:
@@ -213,6 +214,39 @@ def report_group_done(runner, count: int = 1) -> None:
         reporter.advance(count)
 
 
+def observer_of(runner):
+    """The runner's active :class:`RunObserver`, or None.
+
+    Set by ``runner.run(observer=...)`` for the duration of one run —
+    the same seam as progress reporting, so a backend that supports
+    progress supports manifests with the same call sites.
+    """
+    return getattr(runner, "_observer", None)
+
+
+def observe_unit_done(runner, scenario_name: str, model_name: str,
+                      seconds: float, results=(),
+                      worker: str = None) -> None:
+    """Report one finished work group to the runner's observer, if any.
+
+    ``results`` are the group's streamed rows (fed to the observer's
+    per-layer analyzer); ``worker`` identifies the executing distributed
+    worker.  A no-op without an active observer, so the hot path costs
+    one attribute read.
+    """
+    observer = observer_of(runner)
+    if observer is not None:
+        observer.record_unit(scenario_name, model_name, seconds,
+                             results=results, worker=worker)
+
+
+def observe_phase(runner, name: str, seconds: float) -> None:
+    """Report one named backend stage's wall time to the observer."""
+    observer = observer_of(runner)
+    if observer is not None:
+        observer.record_phase(name, seconds)
+
+
 class Backend:
     """Interface every execution backend implements.
 
@@ -233,6 +267,7 @@ class Backend:
         return None
 
     def execute(self, runner, groups: list) -> list:
+        """Run every group's cells; nested rows in ``groups`` order."""
         raise NotImplementedError
 
 
@@ -243,9 +278,15 @@ class SerialBackend(Backend):
     name = "serial"
 
     def execute(self, runner, groups: list) -> list:
+        """Run each group in turn on the calling thread."""
         nested = []
         for group in groups:
-            nested.append(execute_group(group, runner.trace_for))
+            started = time.monotonic()
+            rows = execute_group(group, runner.trace_for)
+            observe_unit_done(runner, group.scenario.name,
+                              _model_name(group.model),
+                              time.monotonic() - started, rows)
+            nested.append(rows)
             report_group_done(runner)
         return nested
 
@@ -272,6 +313,7 @@ class ThreadBackend(Backend):
         self.max_workers = max_workers
 
     def execute(self, runner, groups: list) -> list:
+        """Trace-then-simulate the plan through thread pools."""
         workers = self.max_workers or runner.max_workers
         trace_workers = self.max_workers or runner.trace_workers
         if workers == 1 and trace_workers == 1:
@@ -279,6 +321,7 @@ class ThreadBackend(Backend):
             # the pool vs 0.87-1.11 s serial on one CPU) — run the plan
             # exactly like the serial backend.
             return SerialBackend().execute(runner, groups)
+        trace_started = time.monotonic()
         if getattr(runner, "delta_trace", False):
             # Delta chains are sequential within a (scenario, model) —
             # frame N patches frame N-1 — so the fan-out unit becomes
@@ -316,8 +359,10 @@ class ThreadBackend(Backend):
                 for (scenario, model, frame), trace
                 in zip(trace_jobs, traces)
             }
+        observe_phase(runner, "trace", time.monotonic() - trace_started)
 
         def group_traces(group):
+            """The finished traces backing one group's frames."""
             return [
                 trace_of[(group.scenario, _model_name(group.model), frame)]
                 for frame in range(group.scenario.frames)
@@ -328,15 +373,31 @@ class ThreadBackend(Backend):
                  for simulator in group.simulators]
         remaining = {id(group): len(group.simulators) for group in groups}
         remaining_lock = threading.Lock()
+        # Per-group observer accounting: a group's unit record carries
+        # the *sum* of its cells' seconds (the work done, not the wall
+        # span of interleaved cells) plus every row it streamed.
+        observing = observer_of(runner) is not None
+        group_seconds = {id(group): 0.0 for group in groups}
+        group_rows = {id(group): [] for group in groups}
 
         def run_cell(cell):
+            """Simulate one (group, simulator) cell; book its timing."""
             group, simulator = cell
+            started = time.monotonic()
             rows = execute_cell(group.scenario, simulator,
                                 group_traces(group))
+            elapsed = time.monotonic() - started
             with remaining_lock:
                 remaining[id(group)] -= 1
                 finished = remaining[id(group)] == 0
+                if observing:
+                    group_seconds[id(group)] += elapsed
+                    group_rows[id(group)].extend(rows)
             if finished:
+                observe_unit_done(runner, group.scenario.name,
+                                  _model_name(group.model),
+                                  group_seconds[id(group)],
+                                  group_rows[id(group)])
                 report_group_done(runner)
             return rows
 
@@ -437,12 +498,19 @@ def _trace_chunk(chunk: list, rulegen_shards=None, delta_trace=False,
 
 
 def _run_chunk(chunk: list, rulegen_shards=None, delta_trace=False,
-               delta_threshold=None) -> list:
-    """Execute one pickled chunk of (scenario, model, simulators) units."""
+               delta_threshold=None) -> dict:
+    """Execute one pickled chunk of (scenario, model, simulators) units.
+
+    Returns ``{"rows": [row list per group], "seconds": [wall seconds
+    per group]}`` — groups are timed *here*, in the worker process,
+    because the parent only observes chunk completions.
+    """
     cache, frames = _worker_state()
     nested = []
+    seconds = []
     for scenario, model, simulators in chunk:
         group = WorkGroup(scenario, model, tuple(simulators))
+        started = time.monotonic()
         rows = execute_group(
             group,
             lambda s, m, f, prev=None: _worker_trace(
@@ -451,12 +519,13 @@ def _run_chunk(chunk: list, rulegen_shards=None, delta_trace=False,
                 delta_threshold=delta_threshold,
             ),
         )
+        seconds.append(time.monotonic() - started)
         for row in rows:
             # The legacy result objects retain whole rule arrays; never
             # ship them back over IPC.
             row.raw = None
         nested.append(rows)
-    return nested
+    return {"rows": nested, "seconds": seconds}
 
 
 @register_backend("process")
@@ -524,6 +593,7 @@ class ProcessBackend(Backend):
         return None
 
     def execute(self, runner, groups: list) -> list:
+        """Trace into the shared store, then fan chunks out to a pool."""
         reason = self.incompatibility(runner)
         if reason is not None:
             raise ValueError(reason)
@@ -587,13 +657,16 @@ class ProcessBackend(Backend):
             with ProcessPoolExecutor(max_workers=width,
                                      initializer=_init_worker,
                                      initargs=(cache_dir,)) as pool:
+                trace_started = time.monotonic()
                 list(pool.map(
                     partial(_trace_chunk, rulegen_shards=shards,
                             delta_trace=delta, delta_threshold=threshold),
                     trace_chunks,
                 ))
+                observe_phase(runner, "trace",
+                              time.monotonic() - trace_started)
                 chunk_results = []
-                for chunk, rows in zip(
+                for chunk, outcome in zip(
                     chunks,
                     pool.map(
                         partial(_run_chunk, rulegen_shards=shards,
@@ -602,7 +675,12 @@ class ProcessBackend(Backend):
                         chunks,
                     ),
                 ):
-                    chunk_results.append(rows)
+                    chunk_results.append(outcome["rows"])
+                    for (scenario, model, _), rows, seconds in zip(
+                            chunk, outcome["rows"], outcome["seconds"]):
+                        observe_unit_done(runner, scenario.name,
+                                          _model_name(model), seconds,
+                                          rows)
                     report_group_done(runner, count=len(chunk))
         return [rows for chunk in chunk_results for rows in chunk]
 

@@ -119,6 +119,8 @@ class TraceCache:
         self.misses = 0
         self.disk_hits = 0
         self.disk_writes = 0
+        self.delta_layers = 0
+        self.full_layers = 0
         self._entries = {}
         self._inflight = {}
         self._labels = {}
@@ -131,6 +133,7 @@ class TraceCache:
     def key_for(self, spec: ModelSpec, coords: np.ndarray,
                 importance: np.ndarray = None,
                 grid_shape: tuple = None) -> str:
+        """The content key of one (model, frame) pair."""
         return (
             spec_fingerprint(spec)
             + ":"
@@ -240,11 +243,26 @@ class TraceCache:
             with self._lock:
                 self._inflight.pop(key).set()
             raise
+        if not from_disk:
+            # Delta-tracing utilization: of the sparse layers this cache
+            # actually computed (disk loads carry no new work), how many
+            # took the rule-patching path vs a full rebuild.  Old pickled
+            # traces predate the flag, hence the getattr default.
+            delta_count = sum(
+                1 for layer in trace.layers
+                if layer.rules is not None
+                and getattr(layer, "via_delta", False)
+            )
+            full_count = sum(
+                1 for layer in trace.layers if layer.rules is not None
+            ) - delta_count
         with self._lock:
             if from_disk:
                 self.disk_hits += 1
             else:
                 self.misses += 1
+                self.delta_layers += delta_count
+                self.full_layers += full_count
             self._entries[key] = trace
             if self.maxsize is not None:
                 while len(self._entries) > self.maxsize:
@@ -262,6 +280,8 @@ class TraceCache:
             self.misses = 0
             self.disk_hits = 0
             self.disk_writes = 0
+            self.delta_layers = 0
+            self.full_layers = 0
         if disk and self.disk_dir is not None:
             for path in self.disk_dir.glob(f"*{TRACE_ARTIFACT_SUFFIX}"):
                 try:
@@ -270,6 +290,8 @@ class TraceCache:
                     pass
 
     def stats(self) -> dict:
+        """Hit/miss/disk counters, delta-tracing layer counts, entry
+        count per (scenario, model) label, and the disk-tier path."""
         with self._lock:
             by_label = {}
             for key in self._entries:
@@ -282,6 +304,8 @@ class TraceCache:
                 "misses": self.misses,
                 "disk_hits": self.disk_hits,
                 "disk_writes": self.disk_writes,
+                "delta_layers": self.delta_layers,
+                "full_layers": self.full_layers,
                 "disk_dir": str(self.disk_dir) if self.disk_dir else None,
                 "by_label": by_label,
             }

@@ -49,6 +49,9 @@ from ..backends import (
     Backend,
     _model_name,
     chunk_payload,
+    observe_phase,
+    observe_unit_done,
+    observer_of,
     report_group_done,
     run_scoped_cache_dir,
 )
@@ -164,6 +167,7 @@ class _WorkerConn:
         self.graceful = False         # announced goodbye (drain mode)
 
     def close(self) -> None:
+        """Tear the worker's socket down, both directions."""
         try:
             self.sock.shutdown(socket.SHUT_RDWR)
         except OSError:
@@ -186,10 +190,16 @@ class Coordinator:
 
     def __init__(self, units: list, settings: DistSettings,
                  cache_dir: str = None, on_unit_done=None,
-                 hold_units: bool = False):
+                 hold_units: bool = False, on_group_done=None):
         self.settings = settings
         self.cache_dir = cache_dir
         self.on_unit_done = on_unit_done
+        #: Optional per-group stats callback ``(group_index, rows,
+        #: seconds, worker_id)``, fired once per group of each first
+        #: *accepted* unit result (requeued duplicates never re-fire) —
+        #: how :class:`DistBackend` feeds worker-side timings into a
+        #: :class:`~repro.engine.manifest.RunObserver`.
+        self.on_group_done = on_group_done
         self._units = {unit["unit"]: unit for unit in units}
         self._attempts = {unit["unit"]: 0 for unit in units}
         self._last_error = {}
@@ -222,6 +232,10 @@ class Coordinator:
             "requeues": 0,
             "worker_failures": 0,
         }
+        #: Every worker that ever completed the handshake, in arrival
+        #: order — the manifest's worker roster (worker_snapshot() only
+        #: shows currently-live workers).
+        self.roster = []
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -360,6 +374,8 @@ class Coordinator:
             with self._cond:
                 self.stats["workers_seen"] += 1
                 self._workers[id(worker)] = worker
+                self.roster.append({"worker": worker.worker_id,
+                                    "pid": worker.pid})
                 self._no_worker_since = None
             send_message(conn, message(
                 "welcome",
@@ -441,6 +457,7 @@ class Coordinator:
             int(index): [_record_to_result(record) for record in records]
             for index, records in (msg.get("groups") or {}).items()
         }
+        timings = msg.get("timings") or {}
         with self._cond:
             worker.last_seen = time.monotonic()
             if worker.inflight == unit_id:
@@ -457,6 +474,16 @@ class Coordinator:
             self._rows.update(decoded)
             self._done.add(unit_id)
             self._cond.notify_all()
+        # Callbacks run outside the lock; stats ride the same accepted
+        # result as the rows, so requeued units still report exactly
+        # once, from whichever worker's result won.
+        if self.on_group_done is not None:
+            for index, rows in decoded.items():
+                self.on_group_done(
+                    index, rows,
+                    float(timings.get(str(index)) or 0.0),
+                    worker.worker_id,
+                )
         if self.on_unit_done is not None:
             self.on_unit_done(len(decoded))
 
@@ -626,6 +653,7 @@ class DistBackend(Backend):
 
     @staticmethod
     def incompatibility(runner) -> str:
+        """Why this runner cannot serialize into dist units, or None."""
         from ..runner import FrameProvider
 
         if runner.trace_provider is not None:
@@ -672,6 +700,7 @@ class DistBackend(Backend):
         return None
 
     def execute(self, runner, groups: list) -> list:
+        """Serve the plan to connected workers; reassemble their rows."""
         reason = self.incompatibility(runner)
         if reason is not None:
             raise ValueError(reason)
@@ -679,6 +708,18 @@ class DistBackend(Backend):
             return []
         settings = DistSettings.resolve(**self._overrides)
         units = build_units(runner, groups, settings.chunksize)
+        observer = observer_of(runner)
+
+        def group_stats(index, rows, seconds, worker_id):
+            """Book one accepted unit result as an observer record."""
+            # Worker-side timings arrive with each accepted result and
+            # land in the observer as ordinary unit records, tagged
+            # with the executing worker's id.
+            group = groups[index]
+            observe_unit_done(runner, group.scenario.name,
+                              _model_name(group.model), seconds, rows,
+                              worker=worker_id)
+
         with run_scoped_cache_dir() as (cache_dir, _):
             coordinator = Coordinator(
                 units,
@@ -687,6 +728,8 @@ class DistBackend(Backend):
                 on_unit_done=lambda count: report_group_done(runner,
                                                              count),
                 hold_units=settings.trace_stage,
+                on_group_done=group_stats if observer is not None
+                else None,
             )
             self.last_coordinator = coordinator
             # Bind before tracing: workers started first (the
@@ -696,12 +739,18 @@ class DistBackend(Backend):
             coordinator.start()
             try:
                 if settings.trace_stage:
+                    trace_started = time.monotonic()
                     self._trace_stage(runner, groups, cache_dir)
+                    observe_phase(runner, "trace",
+                                  time.monotonic() - trace_started)
                     coordinator.release_units()
                 rows_by_group = coordinator.serve()
             except BaseException:
                 coordinator.shutdown()
                 raise
+        if observer is not None:
+            observer.record_dist(coordinator.stats, coordinator.roster,
+                                 settings=settings.as_dict())
         return [rows_by_group[index] for index in range(len(groups))]
 
     @staticmethod
@@ -736,6 +785,7 @@ class DistBackend(Backend):
                     jobs.append((group.scenario, group.model))
 
             def trace(job):
+                """Trace one (scenario, model) delta chain."""
                 scenario, model = job
                 prev = None
                 for frame in range(scenario.frames):
@@ -760,6 +810,7 @@ class DistBackend(Backend):
                         jobs.append((group.scenario, group.model, frame))
 
             def trace(job):
+                """Trace one (scenario, model, frame) job."""
                 scenario, model, frame = job
                 built = runner.frame_provider.frame_for(scenario, model,
                                                         frame)

@@ -48,7 +48,7 @@ from .protocol import (
 
 
 def execute_unit(groups: list, cache: TraceCache,
-                 providers: dict) -> dict:
+                 providers: dict, timings: dict = None) -> dict:
     """Execute one unit's group specs; rows as JSON records per index.
 
     ``providers`` maps frame-provider registry names to live instances;
@@ -56,6 +56,11 @@ def execute_unit(groups: list, cache: TraceCache,
     here on first use, so every provider — and its frame cache — lives
     for the worker's lifetime rather than being rebuilt (and its scene
     synthesis re-run) once per unit.
+
+    ``timings``, when given, is filled with each group's wall seconds
+    under the same string index keys as the returned rows — the
+    per-unit statistics the worker ships back in its ``result``
+    message for the coordinator's run manifest.
 
     Split out from the connection loop so tests can drive execution
     without a socket.  Import inside: the spec layer imports the runner
@@ -66,6 +71,7 @@ def execute_unit(groups: list, cache: TraceCache,
 
     out = {}
     for entry in groups:
+        started = time.monotonic()
         spec = ExperimentSpec.from_dict(entry["spec"])
         provider = providers.get(spec.frame_provider)
         if provider is None:
@@ -76,6 +82,8 @@ def execute_unit(groups: list, cache: TraceCache,
         # Columnar streaming: records come straight off the table's
         # struct arrays, not through per-row SimResult views.
         out[str(entry["index"])] = table.to_records()
+        if timings is not None:
+            timings[str(entry["index"])] = time.monotonic() - started
     return out
 
 
@@ -211,9 +219,11 @@ class Worker:
                 continue                  # ignore unknown message types
             unit_id = msg.get("unit")
             try:
+                timings = {}
                 groups = execute_unit(msg.get("groups") or [], cache,
-                                      providers)
-                reply = message("result", unit=unit_id, groups=groups)
+                                      providers, timings=timings)
+                reply = message("result", unit=unit_id, groups=groups,
+                                timings=timings)
             except Exception as error:   # noqa: BLE001 — reported upstream
                 detail = traceback.format_exception_only(
                     type(error), error

@@ -1,0 +1,400 @@
+"""Run manifests: how a result table was produced, as an artifact.
+
+A result sink (``results.json`` / ``results.csv``) records *what* came
+out of a sweep; the :class:`RunManifest` written next to it records
+*how* — the resolved experiment spec and its content hash, the git
+revision of the tree, the resolved engine settings, which backend (and,
+for distributed runs, which workers) executed the plan, per-unit and
+per-phase timings, trace-cache hit/miss/disk statistics, delta-tracing
+utilization, and streaming per-layer sparsity analytics.  Together with
+the table it makes a run a self-contained, diffable reproduction
+artifact: ``repro report`` renders both, and two manifests can be
+compared field-for-field to explain why two tables differ.
+
+The data flows in through a :class:`RunObserver` — a thread-safe hook
+the :class:`~repro.engine.runner.ExperimentRunner` carries for the
+duration of one ``run()`` call.  Backends report through module helpers
+in :mod:`~repro.engine.backends` (the same pattern as progress
+reporting): each finished work group contributes one *unit* record
+(scenario, model, wall seconds, row count, executing worker), each
+backend stage contributes a *phase* timing, and every streamed row's
+per-layer detail feeds a
+:class:`~repro.analysis.sparsity.SparsityAnalyzer` incrementally, so
+observation never retains tables or traces.
+
+Coverage by backend: the serial and thread backends time units
+in-process; the process backend times them inside its worker processes
+and ships the seconds back with the rows; the distributed backend's
+workers time each group and return timings in the existing row-stream
+``result`` message, so unit records stay complete even when units are
+requeued across worker failures (the first accepted result carries the
+timings).  Trace-cache statistics are the *coordinating* process's
+cache delta — for process and distributed runs the per-worker caches
+live elsewhere, so those manifests record the local trace-stage
+activity only.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import subprocess
+import threading
+import time
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+
+from ..analysis.sparsity import SparsityAnalyzer
+
+#: Schema identifier stamped into every manifest file.
+MANIFEST_SCHEMA = "repro.RunManifest"
+
+#: Manifest layout version; bumped on breaking changes so old files
+#: fail loudly instead of misparsing.
+MANIFEST_VERSION = 1
+
+#: Numeric cache-statistics keys that are *deltas* over one run (the
+#: remaining keys — entry count, directory — are end-of-run state).
+_CACHE_DELTA_KEYS = ("hits", "misses", "disk_hits", "disk_writes",
+                     "delta_layers", "full_layers")
+
+
+def spec_hash(spec_dict: dict) -> str:
+    """Content hash of one resolved experiment-spec dict.
+
+    The digest is taken over the canonical JSON form (sorted keys,
+    minimal separators), so two specs that serialize to the same
+    document hash identically regardless of key order or formatting.
+    """
+    canonical = json.dumps(spec_dict, sort_keys=True,
+                           separators=(",", ":"), default=str)
+    return hashlib.sha1(canonical.encode()).hexdigest()
+
+
+def git_revision(root=None) -> str:
+    """The checked-out git revision of ``root`` (or the cwd), or None.
+
+    Best effort by design: a missing ``git`` binary, a non-repository
+    directory or any other failure yields ``None`` rather than an
+    error — manifests must be writable from deployment environments
+    that never see the repository.
+    """
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=str(root) if root else None,
+            capture_output=True, text=True, timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    rev = proc.stdout.strip()
+    return rev or None
+
+
+def manifest_path_for(out) -> Path:
+    """The manifest path written alongside one result sink.
+
+    ``results.json`` maps to ``results.manifest.json`` (likewise for
+    ``.csv`` or any other suffix); the manifest always lands next to
+    the table it describes.
+    """
+    path = Path(out)
+    return path.with_name(path.stem + ".manifest.json")
+
+
+class RunObserver:
+    """Streaming collector of one run's execution statistics.
+
+    Attach one to :meth:`ExperimentRunner.run(observer=...)
+    <repro.engine.runner.ExperimentRunner.run>`; every backend then
+    reports per-unit timings, phase timings and streamed rows through
+    it (see :func:`~repro.engine.backends.observe_unit_done`).  All
+    methods are thread-safe — parallel backends call them from pool
+    threads and the distributed backend from connection handlers.
+
+    Attributes:
+        units: One dict per finished work group: ``{"scenario",
+            "model", "seconds", "rows", "worker"}`` (``worker`` is the
+            executing distributed worker's id, else None).
+        phases: One ``{"name", "seconds"}`` dict per recorded stage
+            (trace stage, total run, ...), in completion order.
+        analyzer: The :class:`~repro.analysis.sparsity.SparsityAnalyzer`
+            fed every streamed row's per-layer detail.
+        cache_stats: Trace-cache statistics delta over the observed run
+            (populated by :meth:`finish`).
+        dist: Distributed-run detail (coordinator stats, worker roster,
+            resolved dist settings), or None for local backends.
+    """
+
+    def __init__(self, analyzer: SparsityAnalyzer = None):
+        self.units = []
+        self.phases = []
+        self.analyzer = analyzer if analyzer is not None \
+            else SparsityAnalyzer()
+        self.cache_stats = {}
+        self.dist = None
+        self._lock = threading.Lock()
+        self._started = None
+        self._cache_before = None
+
+    # -- lifecycle (driven by ExperimentRunner.run) ------------------------
+
+    def attach(self, runner) -> None:
+        """Snapshot pre-run state; called as the run starts."""
+        with self._lock:
+            self._started = time.monotonic()
+            self._cache_before = runner.cache.stats()
+
+    def finish(self, runner) -> None:
+        """Record the total wall time and the cache-stats delta."""
+        with self._lock:
+            if self._started is not None:
+                self.phases.append({
+                    "name": "run",
+                    "seconds": time.monotonic() - self._started,
+                })
+            after = runner.cache.stats()
+            before = self._cache_before or {}
+            delta = {
+                key: after.get(key, 0) - before.get(key, 0)
+                for key in _CACHE_DELTA_KEYS
+            }
+            delta["entries"] = after.get("entries", 0)
+            delta["disk_dir"] = after.get("disk_dir")
+            self.cache_stats = delta
+
+    # -- streaming hooks (driven by backends) ------------------------------
+
+    def record_unit(self, scenario: str, model: str, seconds: float,
+                    results=(), worker: str = None) -> None:
+        """One finished work group: timing plus its streamed rows."""
+        rows = 0
+        for result in results:
+            rows += 1
+            self.analyzer.ingest_result(result)
+        with self._lock:
+            self.units.append({
+                "scenario": str(scenario),
+                "model": str(model),
+                "seconds": float(seconds),
+                "rows": rows,
+                "worker": worker,
+            })
+
+    def record_phase(self, name: str, seconds: float) -> None:
+        """One named backend stage's wall time."""
+        with self._lock:
+            self.phases.append({
+                "name": str(name),
+                "seconds": float(seconds),
+            })
+
+    @contextlib.contextmanager
+    def phase(self, name: str):
+        """Context manager timing one stage into :attr:`phases`."""
+        started = time.monotonic()
+        try:
+            yield self
+        finally:
+            self.record_phase(name, time.monotonic() - started)
+
+    def record_dist(self, stats: dict, workers: list,
+                    settings: dict = None) -> None:
+        """Distributed-run detail from the coordinator, post-serve."""
+        with self._lock:
+            self.dist = {
+                "stats": dict(stats or {}),
+                "workers": list(workers or []),
+                "settings": dict(settings) if settings else None,
+            }
+
+    # -- snapshot ----------------------------------------------------------
+
+    def unit_seconds(self) -> float:
+        """Total seconds across recorded units (not wall time)."""
+        with self._lock:
+            return sum(unit["seconds"] for unit in self.units)
+
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot of everything observed so far."""
+        with self._lock:
+            return {
+                "units": [dict(unit) for unit in self.units],
+                "phases": [dict(phase) for phase in self.phases],
+                "cache": dict(self.cache_stats),
+                "dist": (None if self.dist is None
+                         else json.loads(json.dumps(self.dist))),
+                "analysis": self.analyzer.summary(),
+            }
+
+
+@dataclass
+class RunManifest:
+    """Everything recorded about how one result table was produced.
+
+    Attributes:
+        name: The experiment spec's name (or the runner's description).
+        created: ISO-8601 UTC timestamp of manifest assembly.
+        spec: The full resolved :class:`~repro.engine.spec.ExperimentSpec`
+            dict, or None for hand-built runners without a source spec.
+        spec_hash: SHA-1 of the canonical spec JSON (None without one).
+        git_rev: Checked-out git revision, when resolvable.
+        backend: Name of the backend that executed the plan.
+        settings: Resolved engine-knob snapshot (the runner's actual
+            values, not just the environment's).
+        table: Result-table shape summary: row count and the scenario /
+            model / simulator axes.
+        phases: Per-stage wall timings (trace stage, total run, ...).
+        units: Per-work-group records (scenario, model, seconds, rows,
+            executing worker).
+        cache: Trace-cache statistics delta over the run, including
+            delta-tracing utilization (``delta_layers`` rule-patched vs
+            ``full_layers`` rebuilt, for traces computed locally).
+        dist: Distributed-run detail (coordinator stats, worker roster,
+            resolved dist settings), or None.
+        analysis: Streaming per-layer sparsity/overhead aggregates from
+            the run's :class:`~repro.analysis.sparsity.SparsityAnalyzer`.
+    """
+
+    name: str
+    created: str
+    spec: dict = None
+    spec_hash: str = None
+    git_rev: str = None
+    backend: str = None
+    settings: dict = field(default_factory=dict)
+    table: dict = field(default_factory=dict)
+    phases: list = field(default_factory=list)
+    units: list = field(default_factory=list)
+    cache: dict = field(default_factory=dict)
+    dist: dict = None
+    analysis: dict = field(default_factory=dict)
+
+    @classmethod
+    def collect(cls, runner, table, observer: RunObserver = None,
+                backend: str = None) -> "RunManifest":
+        """Assemble the manifest of one finished run.
+
+        Args:
+            runner: The :class:`~repro.engine.runner.ExperimentRunner`
+                that executed (its knobs and source spec are recorded).
+            table: The resulting
+                :class:`~repro.engine.result.ExperimentTable`.
+            observer: The :class:`RunObserver` passed to ``run()``;
+                None yields a manifest without timings/analytics.
+            backend: Override for the recorded backend name; defaults
+                to the runner's configured backend.
+        """
+        source = getattr(runner, "source_spec", None)
+        spec_dict = None
+        digest = None
+        if source is not None:
+            try:
+                spec_dict = source.to_dict()
+                digest = spec_hash(spec_dict)
+            except ValueError:
+                spec_dict = None       # unserializable programmatic spec
+        if backend is None:
+            configured = runner.backend
+            backend = configured if isinstance(configured, str) \
+                else configured.name
+        observed = observer.as_dict() if observer is not None else {}
+        cache_dir = getattr(runner.cache, "disk_dir", None)
+        return cls(
+            name=(spec_dict or {}).get("name")
+                 or getattr(source, "name", None) or "run",
+            created=datetime.now(timezone.utc).isoformat(),
+            spec=spec_dict,
+            spec_hash=digest,
+            git_rev=git_revision(),
+            backend=backend,
+            settings={
+                "backend": backend,
+                "workers": runner.max_workers,
+                "trace_workers": runner.trace_workers,
+                "rulegen_shards": runner.rulegen_shards,
+                "cache_dir": str(cache_dir) if cache_dir else None,
+                "delta_trace": runner.delta_trace,
+                "delta_threshold": runner.delta_threshold,
+            },
+            table={
+                "rows": len(table),
+                "scenarios": list(table.scenarios),
+                "models": list(table.models),
+                "simulators": list(table.simulators),
+            },
+            phases=observed.get("phases", []),
+            units=observed.get("units", []),
+            cache=observed.get("cache", {}),
+            dist=observed.get("dist"),
+            analysis=observed.get("analysis", {}),
+        )
+
+    # -- serialization -----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The manifest as a JSON-safe dict (schema-stamped)."""
+        return {
+            "schema": MANIFEST_SCHEMA,
+            "version": MANIFEST_VERSION,
+            "name": self.name,
+            "created": self.created,
+            "spec": self.spec,
+            "spec_hash": self.spec_hash,
+            "git_rev": self.git_rev,
+            "backend": self.backend,
+            "settings": self.settings,
+            "table": self.table,
+            "phases": self.phases,
+            "units": self.units,
+            "cache": self.cache,
+            "dist": self.dist,
+            "analysis": self.analysis,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunManifest":
+        """Rebuild a manifest from its dict form, validating the schema."""
+        if not isinstance(data, dict) \
+                or data.get("schema") != MANIFEST_SCHEMA:
+            raise ValueError(
+                f"not a {MANIFEST_SCHEMA} document "
+                f"(schema={data.get('schema') if isinstance(data, dict) else None!r})"
+            )
+        if data.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported {MANIFEST_SCHEMA} version "
+                f"{data.get('version')!r} (this build reads "
+                f"{MANIFEST_VERSION})"
+            )
+        return cls(**{
+            key: data.get(key)
+            for key in ("name", "created", "spec", "spec_hash",
+                        "git_rev", "backend", "settings", "table",
+                        "phases", "units", "cache", "dist", "analysis")
+        })
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialize to a JSON document string."""
+        return json.dumps(self.to_dict(), indent=indent, default=str) \
+            + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunManifest":
+        """Parse a manifest from its JSON document string."""
+        return cls.from_dict(json.loads(text))
+
+    def write(self, path) -> Path:
+        """Write the manifest file; returns the path written."""
+        path = Path(path)
+        path.write_text(self.to_json())
+        return path
+
+    @classmethod
+    def load(cls, path) -> "RunManifest":
+        """Read a manifest file back."""
+        return cls.from_json(Path(path).read_text())

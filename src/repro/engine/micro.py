@@ -74,6 +74,7 @@ class MappingSim(Simulator):
         )
 
     def run(self, trace: ModelTrace) -> SimResult:
+        """Simulate one traced model; one :class:`SimResult` row."""
         per_layer = []
         total = 0
         for layer in trace.layers:
@@ -158,6 +159,7 @@ class GatherDramSim(Simulator):
         return dram.stats.cycles
 
     def run(self, trace: ModelTrace) -> SimResult:
+        """Simulate one traced model; one :class:`SimResult` row."""
         per_layer = []
         total = 0
         for layer in trace.layers:

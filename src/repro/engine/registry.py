@@ -95,6 +95,7 @@ class Registry:
             )
 
         def wrap(target):
+            """Book ``target`` under the validated name."""
             if not overwrite and key in self._factories:
                 raise ValueError(
                     f"{self.kind} {key!r} is already registered "

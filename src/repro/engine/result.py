@@ -563,6 +563,7 @@ class ExperimentTable:
                           for name in columns])) if self._length else []
 
     def as_dicts(self, columns=RESULT_COLUMNS) -> list:
+        """Every row as a plain dict in ``columns`` order."""
         pulled = [self._column_values(name) for name in columns]
         return [dict(zip(columns, values)) for values in zip(*pulled)]
 
@@ -675,14 +676,17 @@ class ExperimentTable:
 
     @property
     def scenarios(self) -> list:
+        """Distinct scenario labels, in first-seen row order."""
         return self._first_seen("scenario")
 
     @property
     def models(self) -> list:
+        """Distinct model labels, in first-seen row order."""
         return self._first_seen("model")
 
     @property
     def simulators(self) -> list:
+        """Distinct simulator labels, in first-seen row order."""
         return self._first_seen("simulator")
 
 

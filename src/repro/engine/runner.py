@@ -287,6 +287,7 @@ class ExperimentRunner:
         self.delta_threshold = resolve_delta_threshold(delta_threshold)
         self._specs = {}
         self._progress = None
+        self._observer = None
         #: The :class:`~repro.engine.spec.ExperimentSpec` this runner
         #: was built from, set by ``ExperimentSpec.build_runner``; the
         #: distributed backend serializes its work units from it.
@@ -368,7 +369,7 @@ class ExperimentRunner:
         return groups
 
     def run(self, parallel: bool = True, backend=None,
-            progress=False) -> ExperimentTable:
+            progress=False, observer=None) -> ExperimentTable:
         """Execute the full grid.
 
         Args:
@@ -383,6 +384,12 @@ class ExperimentRunner:
                 (``done/total``, elapsed) to stderr as the sweep runs;
                 a callable receives ``(done, total, elapsed_seconds)``
                 instead.  Every backend reports through the same seam.
+            observer: Optional
+                :class:`~repro.engine.manifest.RunObserver` collecting
+                per-unit timings, phase timings, cache statistics and
+                streaming per-layer analytics for a
+                :class:`~repro.engine.manifest.RunManifest`.  Every
+                backend reports through the same seam as progress.
 
         Returns:
             An :class:`ExperimentTable` in deterministic
@@ -415,10 +422,16 @@ class ExperimentRunner:
         if progress:
             sink = progress if callable(progress) else None
             self._progress = ProgressReporter(len(groups), sink=sink)
+        if observer is not None:
+            self._observer = observer
+            observer.attach(self)
         try:
             nested = chosen.execute(self, groups)
         finally:
             self._progress = None
+            if observer is not None:
+                observer.finish(self)
+                self._observer = None
         return ExperimentTable(
             results=[row for rows in nested for row in rows]
         )

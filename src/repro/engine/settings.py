@@ -391,6 +391,20 @@ class DistSettings:
             trace_stage=resolve_dist_trace_stage(trace_stage),
         )
 
+    def as_dict(self) -> dict:
+        """The resolved dist knobs as a JSON-safe dict (manifest form)."""
+        return {
+            "host": self.host,
+            "port": self.port,
+            "chunksize": self.chunksize,
+            "unit_timeout": self.unit_timeout,
+            "heartbeat_interval": self.heartbeat_interval,
+            "worker_timeout": self.worker_timeout,
+            "max_attempts": self.max_attempts,
+            "start_timeout": self.start_timeout,
+            "trace_stage": self.trace_stage,
+        }
+
 
 @dataclass(frozen=True)
 class EngineSettings:
@@ -442,6 +456,7 @@ class EngineSettings:
         )
 
     def as_dict(self) -> dict:
+        """The resolved knobs as a JSON-safe dict (manifest form)."""
         return {
             "backend": self.backend,
             "workers": self.workers,

@@ -47,6 +47,7 @@ class Simulator:
     name: str = "simulator"
 
     def run(self, trace: ModelTrace) -> SimResult:
+        """Simulate one traced model; one :class:`SimResult` row."""
         raise NotImplementedError
 
 
@@ -105,6 +106,7 @@ class SpadeSimulator(Simulator):
         )
 
     def run(self, trace: ModelTrace) -> SimResult:
+        """Simulate one traced model; one :class:`SimResult` row."""
         result = self._accelerator.run_trace(trace)
         sim_result = _from_model_result(self.name, result, self.config)
         return sim_result
@@ -119,6 +121,7 @@ class DenseAccSimulator(Simulator):
         self.name = name or f"DenseAcc.{config.name}"
 
     def run(self, trace: ModelTrace) -> SimResult:
+        """Simulate one traced model; one :class:`SimResult` row."""
         result = self._accelerator.run_trace(trace)
         return _from_model_result(self.name, result, self.config)
 
@@ -132,6 +135,7 @@ class PointAccSim(Simulator):
         self.name = name or f"PointAcc.{config.name}"
 
     def run(self, trace: ModelTrace) -> SimResult:
+        """Simulate one traced model; one :class:`SimResult` row."""
         result = self._simulator.run_trace(trace)
         latency_ms = _cycles_to_ms(result.total_cycles, self.config.clock_ghz)
         per_layer = [
@@ -175,6 +179,7 @@ class SpadeNoOverlapSim(Simulator):
         self.name = name or f"SPADE.{config.name} (no overlap)"
 
     def run(self, trace: ModelTrace) -> SimResult:
+        """Simulate one traced model; one :class:`SimResult` row."""
         from ..baselines.pointacc import spade_no_overlap
 
         result = spade_no_overlap(trace, self.config)
@@ -214,6 +219,7 @@ class SpConv2DSim(Simulator):
             self.name = name
 
     def run(self, trace: ModelTrace) -> SimResult:
+        """Simulate one traced model; one :class:`SimResult` row."""
         per_layer = []
         total_cycles = 0
         total_macs = 0
@@ -263,6 +269,7 @@ class PlatformSim(Simulator):
         self.name = name or spec.name
 
     def run(self, trace: ModelTrace) -> SimResult:
+        """Simulate one traced model; one :class:`SimResult` row."""
         result = self._model.run_trace(trace)
         return SimResult(
             simulator=self.name,
@@ -291,6 +298,7 @@ class TraceStatsSim(Simulator):
     name = "TraceStats"
 
     def run(self, trace: ModelTrace) -> SimResult:
+        """Simulate one traced model; one :class:`SimResult` row."""
         per_layer = [
             {
                 "name": layer.spec.name,

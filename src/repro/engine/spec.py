@@ -108,6 +108,7 @@ def cell_filter_from_rules(rules: list):
     frozen = [dict(rule) for rule in rules]
 
     def matches(rule, scenario_name, model_name, simulator_name):
+        """Whether one include-rule covers the named cell."""
         labels = {
             "scenario": scenario_name,
             "model": model_name,
@@ -119,6 +120,7 @@ def cell_filter_from_rules(rules: list):
         )
 
     def cell_filter(scenario, model_name, simulator):
+        """The runner-facing predicate over resolved cells."""
         return any(
             matches(rule, scenario.name, model_name, simulator.name)
             for rule in frozen
@@ -415,6 +417,7 @@ class ExperimentSpec:
         return cls(**data)
 
     def to_json(self, indent: int = 2) -> str:
+        """Serialize to the JSON document ``from_json`` reads back."""
         return json.dumps(self.to_dict(), indent=indent) + "\n"
 
     @classmethod
@@ -429,6 +432,7 @@ class ExperimentSpec:
         return cls.from_dict(data)
 
     def save(self, path) -> Path:
+        """Write the spec JSON to ``path``; returns the path."""
         path = Path(path)
         path.write_text(self.to_json())
         return path

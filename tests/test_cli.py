@@ -8,10 +8,16 @@ import pytest
 
 from repro.cli import main
 from repro.engine import (
+    BACKENDS,
+    FRAME_PROVIDERS,
+    SIMULATORS,
     ExperimentRunner,
     ExperimentTable,
+    RunManifest,
     Scenario,
+    manifest_path_for,
     shared_trace_cache,
+    spec_hash,
 )
 
 SPEC = {
@@ -221,3 +227,71 @@ class TestWorkerCommand:
         assert main(["worker", "--connect", "127.0.0.1:9",
                      "--retry-seconds", "0.2"]) == 1
         assert "no coordinator" in capsys.readouterr().err
+
+
+class TestDescribeEveryRegistrant:
+    """`repro describe` renders every registered name, not just the
+    ones the docs happen to mention."""
+
+    # Families whose bare name needs arguments to build; describe them
+    # through a concrete spec string instead.
+    SPEC_FOR_FAMILY = {
+        "dense": "dense-he",
+        "platform": "platform:A6000",
+        "pointacc": "pointacc-he",
+        "spade": "spade-he",
+    }
+
+    def test_every_simulator_family(self, capsys):
+        for family in SIMULATORS.names():
+            name = self.SPEC_FOR_FAMILY.get(family, family)
+            assert main(["describe", name]) == 0, name
+            out = capsys.readouterr().out
+            assert name in out and out.strip(), name
+
+    def test_every_backend(self, capsys):
+        for name in BACKENDS.names():
+            assert main(["describe", name]) == 0, name
+            out = capsys.readouterr().out
+            assert "backend" in out and name in out, name
+
+    def test_every_frame_provider(self, capsys):
+        for name in FRAME_PROVIDERS.names():
+            assert main(["describe", name]) == 0, name
+            out = capsys.readouterr().out
+            assert "frame provider" in out and name in out, name
+
+
+class TestRunManifestSink:
+    def test_out_writes_a_manifest_next_to_the_sink(self, capsys,
+                                                    tmp_path,
+                                                    spec_path):
+        out = tmp_path / "r.json"
+        assert main(["run", spec_path, "--out", str(out)]) == 0
+        err = capsys.readouterr().err
+        assert "wrote run manifest" in err
+        manifest = RunManifest.load(manifest_path_for(out))
+        assert manifest.name == "cli-test"
+        assert manifest.spec_hash == spec_hash(manifest.spec)
+        assert manifest.backend == "serial"
+        assert sum(unit["rows"] for unit in manifest.units) \
+            == manifest.table["rows"] \
+            == len(ExperimentTable.from_json(str(out)))
+
+    def test_csv_sink_gets_a_json_manifest(self, capsys, tmp_path,
+                                           spec_path):
+        out = tmp_path / "r.csv"
+        assert main(["run", spec_path, "--out", str(out)]) == 0
+        path = manifest_path_for(out)
+        assert path.name == "r.manifest.json" and path.exists()
+
+    def test_stdout_sink_skips_the_manifest(self, capsys, spec_path):
+        assert main(["run", spec_path, "--out", "-"]) == 0
+        assert "wrote run manifest" not in capsys.readouterr().err
+
+    def test_unwritable_out_dir_is_actionable(self, capsys,
+                                              spec_path):
+        assert main(["run", spec_path, "--out",
+                     "/nonexistent/r.json"]) == 2
+        err = capsys.readouterr().err
+        assert "does not exist" in err and "--out" in err

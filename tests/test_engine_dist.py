@@ -21,6 +21,8 @@ from repro.engine import (
     ExperimentRunner,
     ExperimentSpec,
     ExperimentTable,
+    RunManifest,
+    RunObserver,
     SimResult,
     Simulator,
     TraceCache,
@@ -341,8 +343,10 @@ class TestFaultTolerance:
 
         threading.Thread(target=kill_first_busy_worker,
                          daemon=True).start()
+        observer = RunObserver()
+        runner = spec.build_runner()
         try:
-            table = spec.build_runner().run(backend=backend)
+            table = runner.run(backend=backend, observer=observer)
         finally:
             for worker in workers:
                 worker.kill()
@@ -356,6 +360,26 @@ class TestFaultTolerance:
         stats = backend.last_coordinator.stats
         assert stats["worker_failures"] >= 1
         assert stats["requeues"] >= 1
+        # Manifest parity: per-unit stats stay complete through the
+        # kill/requeue — exactly one record per group (the first
+        # accepted result), each timed, attributed and row-counted.
+        manifest = RunManifest.collect(runner, table,
+                                       observer=observer,
+                                       backend="dist")
+        assert sorted((unit["scenario"], unit["model"])
+                      for unit in manifest.units) == [
+            ("a", "SPP2"), ("a", "SPP3"),
+            ("b", "SPP2"), ("b", "SPP3"),
+        ]
+        for unit in manifest.units:
+            assert unit["seconds"] > 0
+            assert unit["worker"]
+        assert sum(unit["rows"] for unit in manifest.units) \
+            == len(table)
+        assert manifest.backend == "dist"
+        assert manifest.dist["stats"]["requeues"] >= 1
+        assert manifest.dist["workers"], "worker roster missing"
+        assert manifest.analysis["rows_ingested"] == len(table)
 
     def test_attempt_cap_names_the_failing_unit(self, fail_family):
         """Acceptance: a unit that fails on every attempt surfaces a

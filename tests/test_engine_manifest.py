@@ -1,0 +1,251 @@
+"""Run manifests: the RunObserver streaming collector, RunManifest
+assembly/serialization, and per-unit timing coverage across the local
+backends (the dist backend's manifest parity lives with the dist
+tests)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.analysis.sparsity import SparsityAnalyzer
+from repro.engine import (
+    MANIFEST_SCHEMA,
+    MANIFEST_VERSION,
+    ExperimentSpec,
+    RunManifest,
+    RunObserver,
+    git_revision,
+    manifest_path_for,
+    spec_hash,
+)
+
+
+def small_spec(**overrides) -> ExperimentSpec:
+    fields = dict(
+        name="manifest-test",
+        simulators=["spade-he", "dense-he"],
+        models=["SPP3"],
+        scenarios=[{"name": "m", "seed": 0}],
+        backend="serial",
+    )
+    fields.update(overrides)
+    return ExperimentSpec(**fields)
+
+
+def observed_run(spec=None, backend=None):
+    """One spec run with an observer attached; (runner, table, observer)."""
+    spec = spec or small_spec()
+    runner = spec.build_runner()
+    observer = RunObserver()
+    table = runner.run(backend=backend, observer=observer)
+    return runner, table, observer
+
+
+class TestSpecHash:
+    def test_key_order_does_not_matter(self):
+        assert spec_hash({"a": 1, "b": [2, 3]}) \
+            == spec_hash({"b": [2, 3], "a": 1})
+
+    def test_content_does(self):
+        assert spec_hash({"a": 1}) != spec_hash({"a": 2})
+
+    def test_matches_the_spec_dict(self):
+        spec = small_spec()
+        runner, table, observer = observed_run(spec)
+        manifest = RunManifest.collect(runner, table, observer=observer)
+        assert manifest.spec == spec.to_dict()
+        assert manifest.spec_hash == spec_hash(spec.to_dict())
+
+
+class TestGitRevision:
+    def test_resolves_in_this_repository(self):
+        rev = git_revision()
+        assert rev is not None and len(rev) == 40
+        assert all(ch in "0123456789abcdef" for ch in rev)
+
+    def test_none_outside_a_repository(self, tmp_path):
+        assert git_revision(tmp_path) is None
+
+
+class TestManifestPath:
+    @pytest.mark.parametrize("sink, expected", [
+        ("results.json", "results.manifest.json"),
+        ("results.csv", "results.manifest.json"),
+        ("out/table.json", "table.manifest.json"),
+    ])
+    def test_lands_next_to_the_sink(self, sink, expected):
+        assert manifest_path_for(sink).name == expected
+
+
+class TestRunObserver:
+    def test_records_units_phases_and_rows(self):
+        runner, table, observer = observed_run()
+        # One (scenario, model) group; its unit carries every row.
+        assert len(observer.units) == 1
+        unit = observer.units[0]
+        assert unit["scenario"] == "m" and unit["model"] == "SPP3"
+        assert unit["rows"] == len(table) == 2
+        assert unit["seconds"] > 0
+        assert unit["worker"] is None
+        names = [phase["name"] for phase in observer.phases]
+        assert "run" in names
+        assert observer.unit_seconds() > 0
+
+    def test_cache_delta_is_a_delta(self):
+        # Two identical runs against the same runner cache: the second
+        # observer must see a pure-hit delta, not cumulative counters.
+        # The scenario seed is unique so the shared in-process trace
+        # cache (warmed by other tests) is cold for the first run.
+        spec = small_spec(scenarios=[{"name": "delta-probe",
+                                      "seed": 987123}])
+        runner = spec.build_runner()
+        first = RunObserver()
+        runner.run(observer=first)
+        second = RunObserver()
+        runner.run(observer=second)
+        assert first.cache_stats["misses"] == 1
+        assert second.cache_stats["misses"] == 0
+        assert second.cache_stats["hits"] >= 1
+
+    def test_streaming_analytics_aggregate_per_layer(self):
+        runner, table, observer = observed_run()
+        summary = observer.analyzer.summary()
+        assert summary["rows_ingested"] == len(table)
+        assert summary["layers"] > 0
+        fields = summary["per_layer"][0]["fields"]
+        assert "overhead_fraction" in fields or "macs" in fields
+
+    def test_phase_context_manager(self):
+        observer = RunObserver()
+        with observer.phase("stage"):
+            pass
+        assert observer.phases[0]["name"] == "stage"
+        assert observer.phases[0]["seconds"] >= 0
+
+    def test_thread_safe_unit_recording(self):
+        observer = RunObserver()
+        threads = [
+            threading.Thread(
+                target=lambda: [
+                    observer.record_unit("s", "m", 0.001)
+                    for _ in range(50)
+                ]
+            )
+            for _ in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(observer.units) == 400
+
+    def test_as_dict_is_json_safe(self):
+        runner, table, observer = observed_run()
+        observer.record_dist({"requeues": 0}, [{"worker": "w"}],
+                             settings={"port": 0})
+        snapshot = observer.as_dict()
+        json.dumps(snapshot)     # must not raise
+        assert snapshot["dist"]["workers"] == [{"worker": "w"}]
+
+
+class TestRunManifest:
+    def test_collect_records_settings_and_table_shape(self):
+        runner, table, observer = observed_run()
+        manifest = RunManifest.collect(runner, table, observer=observer)
+        assert manifest.name == "manifest-test"
+        assert manifest.backend == "serial"
+        assert manifest.settings["workers"] == runner.max_workers
+        assert manifest.settings["delta_trace"] is False
+        assert manifest.table["rows"] == 2
+        assert manifest.table["simulators"] == ["SPADE.HE",
+                                                "DenseAcc.HE"]
+        assert manifest.units == observer.units
+        assert manifest.analysis["rows_ingested"] == 2
+
+    def test_json_round_trip(self, tmp_path):
+        runner, table, observer = observed_run()
+        manifest = RunManifest.collect(runner, table, observer=observer)
+        path = manifest.write(tmp_path / "run.manifest.json")
+        loaded = RunManifest.load(path)
+        assert loaded.to_dict() == manifest.to_dict()
+        document = json.loads(path.read_text())
+        assert document["schema"] == MANIFEST_SCHEMA
+        assert document["version"] == MANIFEST_VERSION
+
+    def test_from_dict_rejects_foreign_documents(self):
+        with pytest.raises(ValueError, match="not a"):
+            RunManifest.from_dict({"schema": "something.else"})
+        with pytest.raises(ValueError, match="version"):
+            RunManifest.from_dict({"schema": MANIFEST_SCHEMA,
+                                   "version": 99})
+
+    def test_collect_without_observer_still_works(self):
+        spec = small_spec()
+        runner = spec.build_runner()
+        table = runner.run()
+        manifest = RunManifest.collect(runner, table)
+        assert manifest.units == [] and manifest.phases == []
+        assert manifest.table["rows"] == len(table)
+
+
+class TestBackendCoverage:
+    """Every local backend produces complete unit records."""
+
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_units_cover_the_table(self, backend):
+        spec = small_spec(
+            models=["SPP2", "SPP3"],
+            scenarios=[{"name": "a", "seed": 0},
+                       {"name": "b", "seed": 1}],
+            backend=backend,
+            workers=2,
+        )
+        runner, table, observer = observed_run(spec)
+        # One unit per (scenario, model) group, each timed and with
+        # its streamed rows counted.
+        assert len(observer.units) == 4
+        assert sorted((unit["scenario"], unit["model"])
+                      for unit in observer.units) == [
+            ("a", "SPP2"), ("a", "SPP3"),
+            ("b", "SPP2"), ("b", "SPP3"),
+        ]
+        assert all(unit["seconds"] > 0 for unit in observer.units)
+        assert sum(unit["rows"] for unit in observer.units) \
+            == len(table) == 8
+        if backend != "serial":
+            assert "trace" in [p["name"] for p in observer.phases]
+
+    def test_thread_backend_matches_serial_analytics(self):
+        serial = observed_run(small_spec())[2]
+        threaded = observed_run(
+            small_spec(backend="thread", workers=2))[2]
+        assert serial.analyzer.layer_stats() \
+            == threaded.analyzer.layer_stats()
+
+
+class TestSparsityAnalyzerUnit:
+    def test_gating(self):
+        analyzer = SparsityAnalyzer(enabled=False)
+        analyzer.ingest_result({"model": "M",
+                                "per_layer": [{"name": "L", "x": 1}]})
+        assert analyzer.summary()["rows_ingested"] == 0
+        analyzer.enable()
+        analyzer.ingest_result({"model": "M",
+                                "per_layer": [{"name": "L", "x": 1}]})
+        assert analyzer.summary()["rows_ingested"] == 1
+
+    def test_aggregates_count_mean_min_max(self):
+        analyzer = SparsityAnalyzer()
+        for value in (1.0, 3.0):
+            analyzer.ingest_result({
+                "model": "M",
+                "per_layer": [{"name": "L", "metric": value,
+                               "skipme": "text"}],
+            })
+        entry = analyzer.layer_stats()[0]
+        assert entry["model"] == "M" and entry["layer"] == "L"
+        stats = entry["fields"]["metric"]
+        assert stats == {"count": 2, "mean": 2.0, "min": 1.0,
+                         "max": 3.0}
+        assert "skipme" not in entry["fields"]

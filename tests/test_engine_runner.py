@@ -59,6 +59,10 @@ class TestTraceCache:
             "by_label": {},
             "disk_hits": 0,
             "disk_writes": 0,
+            "delta_layers": 0,
+            "full_layers": sum(
+                1 for layer in first.layers if layer.rules is not None
+            ),
             "disk_dir": None,
         }
 
