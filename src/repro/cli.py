@@ -10,7 +10,13 @@ them and inspects the registries:
   stdout, no ``--out`` for a formatted text table); file sinks get a
   :class:`~repro.engine.manifest.RunManifest` written next to them
   (``results.manifest.json``), and the manifest path is echoed on
-  stderr;
+  stderr; ``--journal`` write-ahead-logs each completed work group and
+  ``--resume`` restarts an interrupted journaled run, skipping the
+  units already on disk (the stitched output is byte-identical to an
+  uninterrupted run);
+* ``repro journal inspect run.journal``
+  — show a run journal's header, completed units, and any recovered
+  torn tail;
 * ``repro report results.json [--html] [--out PATH]``
   — render a run's table + manifest as text or a single-file HTML
   report (``--diff other.json`` compares two runs); see
@@ -135,6 +141,34 @@ def _emit_table(table, out, fmt: str) -> None:
     _status(f"wrote {len(table)} rows to {out} ({fmt})")
 
 
+def _run_journal(args):
+    """Resolve ``--journal``/``--resume`` into a RunJournal (or None).
+
+    ``--journal`` insists on a fresh file (an existing non-empty one is
+    almost always a forgotten ``--resume``); ``--resume`` is
+    resume-or-create, so retry loops and CI can pass it unconditionally.
+    """
+    if args.journal is not None and args.resume is not None:
+        raise ValueError(
+            "pass --journal (fresh run) or --resume (continue one), "
+            "not both"
+        )
+    if args.journal is not None:
+        path = Path(args.journal)
+        if path.exists() and path.stat().st_size > 0:
+            raise ValueError(
+                f"journal {args.journal!r} already exists; continue "
+                f"that run with --resume {args.journal}, or remove the "
+                f"file to start over"
+            )
+    target = args.resume if args.resume is not None else args.journal
+    if target is None:
+        return None
+    from .engine.journal import RunJournal
+
+    return RunJournal(target)
+
+
 def _cmd_run(args) -> int:
     spec = ExperimentSpec.load(args.spec)
     overrides = {
@@ -147,9 +181,12 @@ def _cmd_run(args) -> int:
             ("cache_dir", args.cache_dir),
             ("delta_trace", args.delta_trace),
             ("delta_threshold", args.delta_threshold),
+            ("faults", args.faults),
+            ("degrade", args.degrade),
         )
         if value is not None
     }
+    journal = _run_journal(args)
     # Fail on an unusable sink *before* the (possibly long) run, not
     # after the table is already computed.
     out = args.out if args.out is not None else spec.out
@@ -167,12 +204,20 @@ def _cmd_run(args) -> int:
         f"on the {backend_name} backend"
     )
     observer = RunObserver() if to_file else None
-    table = runner.run(progress=args.progress, observer=observer)
+    table = runner.run(progress=args.progress, observer=observer,
+                       journal=journal)
+    if journal is not None:
+        done = journal.summary()
+        _status(
+            f"journal {done['path']}: resumed {done['resumed_units']} "
+            f"unit(s), appended {done['appended_units']}"
+        )
     try:
         _emit_table(table, out, args.format)
         if to_file:
             manifest = RunManifest.collect(runner, table,
-                                           observer=observer)
+                                           observer=observer,
+                                           journal=journal)
             manifest_path = manifest.write(manifest_path_for(out))
             _status(f"wrote run manifest to {manifest_path}")
     except OSError as error:
@@ -239,8 +284,49 @@ def _cmd_worker(args) -> int:
         cache_dir=args.cache_dir if args.cache_dir is not None else UNSET,
         retry_seconds=args.retry_seconds,
         max_units=args.max_units,
+        reconnect_seconds=args.reconnect_seconds,
     )
     return worker.run()
+
+
+# ---------------------------------------------------------------------------
+# repro journal
+# ---------------------------------------------------------------------------
+
+
+def _cmd_journal(args) -> int:
+    from .engine.journal import read_journal
+
+    try:
+        info = read_journal(args.path)
+    except FileNotFoundError:
+        raise ValueError(
+            f"no journal at {args.path!r}; journals are written by "
+            f"`repro run --journal/--resume`"
+        ) from None
+    header = info["header"]
+    _out(f"run journal {args.path}")
+    _out(f"  name        : {header.get('name')}")
+    _out(f"  spec_hash   : {header.get('spec_hash')}")
+    units = info["units"]
+    _out(f"  completed   : {len(units)} unit(s)")
+    for record in units:
+        rows = record.get("rows") or []
+        line = f"  {record.get('unit'):<24}: {len(rows)} row(s)"
+        seconds = record.get("seconds")
+        if seconds is not None:
+            line += f", {seconds:.2f}s"
+        worker = record.get("worker")
+        if worker:
+            line += f" on {worker}"
+        _out(line)
+    if info["dropped"]:
+        _out(f"  dropped     : {info['dropped']} invalid line(s) "
+             f"(skipped on resume)")
+    if info["torn_bytes"]:
+        _out(f"  torn tail   : {info['torn_bytes']} byte(s) of a "
+             f"half-written record (truncated on resume)")
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -275,6 +361,9 @@ def _cmd_cache(args) -> int:
         _out(f"  hits/misses : {memory['hits']}/{memory['misses']}")
         _out(f"  disk hits   : {memory['disk_hits']} "
              f"(writes {memory['disk_writes']})")
+        if memory.get("quarantined"):
+            _out(f"  quarantined : {memory['quarantined']} corrupt "
+                 f"artifact(s) sidelined")
         for (scenario, model), count in sorted(
                 memory.get("by_label", {}).items()):
             _out(f"  {scenario}/{model:<12}: {count} entries")
@@ -287,6 +376,9 @@ def _cmd_cache(args) -> int:
         _out(f"disk tier ({disk['dir']})")
         _out(f"  artifacts   : {disk['entries']}")
         _out(f"  size        : {_format_bytes(disk['bytes'])}")
+        if disk.get("quarantined"):
+            _out(f"  quarantined : {disk['quarantined']} corrupt "
+                 f"artifact(s) awaiting cleanup")
         for group in disk.get("models", []):
             _out(f"  {group['model']:<12}: {group['entries']} frame(s), "
                  f"{_format_bytes(group['bytes'])} "
@@ -476,6 +568,22 @@ def build_parser() -> argparse.ArgumentParser:
                      help="changed-input fraction above which delta "
                           "tracing falls back to full rulegen "
                           "(default REPRO_ENGINE_DELTA_THRESHOLD)")
+    run.add_argument("--faults", dest="faults",
+                     help="deterministic fault-injection plan for chaos "
+                          "testing, e.g. 'kill_worker:unit=2' "
+                          "(default REPRO_ENGINE_FAULTS)")
+    run.add_argument("--degrade", dest="degrade",
+                     help="fall back dist->process->serial when the "
+                          "chosen backend cannot start (1/0, default "
+                          "REPRO_ENGINE_DEGRADE)")
+    run.add_argument("--journal", metavar="PATH",
+                     help="write-ahead-log each completed work group "
+                          "here; the file must not already hold a run "
+                          "(continue one with --resume)")
+    run.add_argument("--resume", metavar="PATH",
+                     help="resume (or start) a journaled run: units "
+                          "already in PATH are skipped and their rows "
+                          "stitched into the output byte-identically")
     run.add_argument("--out",
                      help="result sink: a .csv/.json path, or '-' for "
                           "stdout (default: the spec's `out`, else a "
@@ -540,7 +648,22 @@ def build_parser() -> argparse.ArgumentParser:
                              "coordinator (default: 30)")
     worker.add_argument("--max-units", dest="max_units", type=int,
                         help="exit cleanly after N units (drain mode)")
+    worker.add_argument("--reconnect-seconds", dest="reconnect_seconds",
+                        type=float, default=0.0,
+                        help="after losing an established connection, "
+                             "keep re-dialling this long — survives a "
+                             "coordinator restart, e.g. a run resumed "
+                             "with --resume (default: 0 = exit)")
     worker.set_defaults(func=_cmd_worker)
+
+    journal = commands.add_parser(
+        "journal",
+        help="inspect a run journal written by `repro run "
+             "--journal/--resume`",
+    )
+    journal.add_argument("action", choices=("inspect",))
+    journal.add_argument("path", help="journal file to inspect")
+    journal.set_defaults(func=_cmd_journal)
 
     cache = commands.add_parser(
         "cache",

@@ -29,16 +29,38 @@
 * :mod:`repro.engine.dist`       — the distributed coordinator/worker
   backend (``"dist"``): spec-dict work units over length-prefixed JSON
   TCP, trace-artifact shipping through the cache disk tier, heartbeats
-  and requeue-based fault tolerance (``repro worker`` serves it).
+  and requeue-based fault tolerance (``repro worker`` serves it);
+* :mod:`repro.engine.journal`    — :class:`RunJournal`, the per-run
+  write-ahead log behind ``repro run --resume`` (checkpoint every
+  completed work group, recover torn tails, stitch byte-identical
+  output);
+* :mod:`repro.engine.faults`     — the deterministic fault-injection
+  harness (:class:`FaultPlan` from ``REPRO_ENGINE_FAULTS``) the chaos
+  tests drive worker kills, dropped connections, stalled heartbeats
+  and corrupted cache entries through.
 """
 
 from .backends import (
     Backend,
+    BackendUnavailable,
     ProcessBackend,
     SerialBackend,
     ThreadBackend,
     WorkGroup,
     resolve_backend,
+)
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    InjectedFault,
+)
+from .journal import (
+    JOURNAL_SCHEMA,
+    JOURNAL_VERSION,
+    RunJournal,
+    read_journal,
+    unit_key,
 )
 from .cache import (
     TraceCache,
@@ -84,9 +106,11 @@ from .runner import (
 from .settings import (
     BACKEND_ENV_VAR,
     CACHE_DIR_ENV_VAR,
+    DEGRADE_ENV_VAR,
     DELTA_THRESHOLD_ENV_VAR,
     DELTA_TRACE_ENV_VAR,
     ENGINE_ENV_VARS,
+    FAULTS_ENV_VAR,
     RULEGEN_SHARDS_ENV_VAR,
     TRACE_WORKERS_ENV_VAR,
     WORKERS_ENV_VAR,
@@ -116,6 +140,7 @@ from .dist import (  # noqa: E402
     Coordinator,
     DistBackend,
     DistRunError,
+    DistStartTimeout,
     Worker,
 )
 
@@ -124,10 +149,14 @@ __all__ = [
     "BACKEND_ENV_VAR",
     "CACHE_DIR_ENV_VAR",
     "DEFAULT_SCENARIO",
+    "DEGRADE_ENV_VAR",
     "DELTA_THRESHOLD_ENV_VAR",
     "DELTA_TRACE_ENV_VAR",
     "ENGINE_ENV_VARS",
+    "FAULTS_ENV_VAR",
     "FRAME_PROVIDERS",
+    "JOURNAL_SCHEMA",
+    "JOURNAL_VERSION",
     "MANIFEST_SCHEMA",
     "MANIFEST_VERSION",
     "RESULT_COLUMNS",
@@ -137,21 +166,28 @@ __all__ = [
     "TRACE_WORKERS_ENV_VAR",
     "WORKERS_ENV_VAR",
     "Backend",
+    "BackendUnavailable",
     "Coordinator",
     "DenseAccSimulator",
     "DistBackend",
     "DistRunError",
+    "DistStartTimeout",
     "EngineSettings",
     "ExperimentRunner",
     "ExperimentSpec",
     "ExperimentTable",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
     "FrameProvider",
     "GatherDramSim",
+    "InjectedFault",
     "MappingSim",
     "PlatformSim",
     "PointAccSim",
     "ProcessBackend",
     "Registry",
+    "RunJournal",
     "RunManifest",
     "RunObserver",
     "Scenario",
@@ -175,6 +211,7 @@ __all__ = [
     "manifest_path_for",
     "scan_disk_tier",
     "mean_result",
+    "read_journal",
     "spec_hash",
     "register_backend",
     "register_frame_provider",
@@ -183,5 +220,6 @@ __all__ = [
     "resolve_simulators",
     "shared_trace_cache",
     "spec_fingerprint",
+    "unit_key",
     "validate_scenario",
 ]

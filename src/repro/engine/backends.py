@@ -224,6 +224,16 @@ def observer_of(runner):
     return getattr(runner, "_observer", None)
 
 
+def journal_of(runner):
+    """The runner's active :class:`~repro.engine.journal.RunJournal`.
+
+    Set by ``runner.run(journal=...)`` for the duration of one run —
+    the journal rides the same per-group seam as the observer, so every
+    backend that streams rows checkpoints them for free.
+    """
+    return getattr(runner, "_journal", None)
+
+
 def observe_unit_done(runner, scenario_name: str, model_name: str,
                       seconds: float, results=(),
                       worker: str = None) -> None:
@@ -231,9 +241,16 @@ def observe_unit_done(runner, scenario_name: str, model_name: str,
 
     ``results`` are the group's streamed rows (fed to the observer's
     per-layer analyzer); ``worker`` identifies the executing distributed
-    worker.  A no-op without an active observer, so the hot path costs
-    one attribute read.
+    worker.  When a run journal is active the group is also appended to
+    it here — durably, before the call returns — which is what makes
+    every backend resumable through the one seam.  A no-op without an
+    active observer or journal, so the hot path costs two attribute
+    reads.
     """
+    journal = journal_of(runner)
+    if journal is not None:
+        journal.record_unit(scenario_name, model_name, seconds,
+                            results=results, worker=worker)
     observer = observer_of(runner)
     if observer is not None:
         observer.record_unit(scenario_name, model_name, seconds,
@@ -245,6 +262,20 @@ def observe_phase(runner, name: str, seconds: float) -> None:
     observer = observer_of(runner)
     if observer is not None:
         observer.record_phase(name, seconds)
+
+
+class BackendUnavailable(RuntimeError):
+    """A backend cannot start at all (as opposed to failing mid-run).
+
+    Raised, for example, by the dist coordinator when no worker
+    connects within the start timeout.  When the runner's ``degrade``
+    knob is on, :meth:`ExperimentRunner.run` catches this and retries
+    the plan on the next backend in :attr:`fallbacks` (the degradation
+    ladder) instead of failing the sweep.
+    """
+
+    #: Backend names to try next, most capable first.
+    fallbacks = ("process", "serial")
 
 
 class Backend:
@@ -376,7 +407,8 @@ class ThreadBackend(Backend):
         # Per-group observer accounting: a group's unit record carries
         # the *sum* of its cells' seconds (the work done, not the wall
         # span of interleaved cells) plus every row it streamed.
-        observing = observer_of(runner) is not None
+        observing = (observer_of(runner) is not None
+                     or journal_of(runner) is not None)
         group_seconds = {id(group): 0.0 for group in groups}
         group_rows = {id(group): [] for group in groups}
 

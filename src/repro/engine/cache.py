@@ -35,6 +35,7 @@ import numpy as np
 
 from ..analysis.sparsity import ModelTrace, trace_model
 from ..models.specs import ModelSpec
+from . import faults
 from .settings import CACHE_DIR_ENV_VAR, UNSET, resolve_cache_dir
 
 #: Sentinel distinguishing "no disk_dir given, use the environment" from
@@ -48,6 +49,12 @@ _FROM_ENV = UNSET
 #: the naming scheme lives (path construction, eviction, the
 #: ``repro cache`` scans).
 TRACE_ARTIFACT_SUFFIX = ".trace.pkl"
+
+#: Filename suffix corrupt artifacts are renamed to when quarantined:
+#: they stop being loadable (or clearable as live entries) but stay on
+#: disk for forensics.  Deliberately not an extension of
+#: TRACE_ARTIFACT_SUFFIX globs.
+QUARANTINE_SUFFIX = ".trace.quarantined"
 
 
 def spec_fingerprint(spec: ModelSpec) -> str:
@@ -121,6 +128,7 @@ class TraceCache:
         self.disk_writes = 0
         self.delta_layers = 0
         self.full_layers = 0
+        self.quarantined = 0
         self._entries = {}
         self._inflight = {}
         self._labels = {}
@@ -151,7 +159,11 @@ class TraceCache:
         A missing, truncated or otherwise unreadable file is treated as
         a plain miss — the trace is recomputed and rewritten — so a
         crashed writer or a stale library version can never poison the
-        cache permanently.
+        cache permanently.  The unreadable artifact itself is
+        *quarantined* (renamed aside with :data:`QUARANTINE_SUFFIX` and
+        counted in :meth:`stats`), not silently deleted: corruption in
+        a shared store is an operational signal, and the bytes stay
+        available for forensics.
         """
         if self.disk_dir is None:
             return None
@@ -161,13 +173,26 @@ class TraceCache:
         except FileNotFoundError:
             return None
         except Exception:
-            # Corrupt entry: drop it so the rewrite below replaces it.
+            self._quarantine(key)
+            return None
+        if not isinstance(trace, ModelTrace):
+            self._quarantine(key)
+            return None
+        return trace
+
+    def _quarantine(self, key: str) -> None:
+        """Move a corrupt artifact aside and count it (the rewrite of a
+        fresh trace then lands on the original path)."""
+        path = self._disk_path(key)
+        try:
+            os.replace(path, path.with_name(f"{key}{QUARANTINE_SUFFIX}"))
+        except OSError:
             try:
-                self._disk_path(key).unlink()
+                path.unlink()
             except OSError:
                 pass
-            return None
-        return trace if isinstance(trace, ModelTrace) else None
+        with self._lock:
+            self.quarantined += 1
 
     def _disk_store(self, key: str, trace: ModelTrace) -> bool:
         """Persist atomically (tmp + rename); failures are non-fatal."""
@@ -186,6 +211,14 @@ class TraceCache:
             except OSError:
                 pass
             return False
+        # Chaos harness: corrupt_cache:entry=N garbles the N-th stored
+        # artifact after the fact, so the next load must quarantine it.
+        if faults.check("cache.store", key=key) == "corrupt_cache":
+            try:
+                with open(path, "wb") as handle:
+                    handle.write(b"corrupt trace artifact (injected)")
+            except OSError:
+                pass
         return True
 
     # -- lookup ------------------------------------------------------------
@@ -282,12 +315,15 @@ class TraceCache:
             self.disk_writes = 0
             self.delta_layers = 0
             self.full_layers = 0
+            self.quarantined = 0
         if disk and self.disk_dir is not None:
-            for path in self.disk_dir.glob(f"*{TRACE_ARTIFACT_SUFFIX}"):
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
+            for pattern in (f"*{TRACE_ARTIFACT_SUFFIX}",
+                            f"*{QUARANTINE_SUFFIX}"):
+                for path in self.disk_dir.glob(pattern):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        pass
 
     def stats(self) -> dict:
         """Hit/miss/disk counters, delta-tracing layer counts, entry
@@ -306,6 +342,7 @@ class TraceCache:
                 "disk_writes": self.disk_writes,
                 "delta_layers": self.delta_layers,
                 "full_layers": self.full_layers,
+                "quarantined": self.quarantined,
                 "disk_dir": str(self.disk_dir) if self.disk_dir else None,
                 "by_label": by_label,
             }
@@ -330,8 +367,10 @@ def scan_disk_tier(directory, detail: bool = False) -> dict:
     path = Path(directory)
     entries = 0
     total = 0
+    quarantined = 0
     groups = {}
     if path.is_dir():
+        quarantined = sum(1 for _ in path.glob(f"*{QUARANTINE_SUFFIX}"))
         for artifact in path.glob(f"*{TRACE_ARTIFACT_SUFFIX}"):
             try:
                 size = artifact.stat().st_size
@@ -346,7 +385,8 @@ def scan_disk_tier(directory, detail: bool = False) -> dict:
                 )
                 group["entries"] += 1
                 group["bytes"] += size
-    summary = {"dir": str(path), "entries": entries, "bytes": total}
+    summary = {"dir": str(path), "entries": entries, "bytes": total,
+               "quarantined": quarantined}
     if detail:
         models = []
         for prefix, group in sorted(groups.items()):

@@ -19,6 +19,7 @@ from .coordinator import (
     Coordinator,
     DistBackend,
     DistRunError,
+    DistStartTimeout,
     build_units,
     group_spec_dict,
 )
@@ -39,6 +40,7 @@ __all__ = [
     "Coordinator",
     "DistBackend",
     "DistRunError",
+    "DistStartTimeout",
     "ProtocolError",
     "Worker",
     "build_units",

@@ -44,11 +44,15 @@ import socket
 import threading
 import time
 from collections import deque
+from datetime import datetime, timezone
 
+from .. import faults
 from ..backends import (
     Backend,
+    BackendUnavailable,
     _model_name,
     chunk_payload,
+    journal_of,
     observe_phase,
     observe_unit_done,
     observer_of,
@@ -69,7 +73,27 @@ from .protocol import (
 
 class DistRunError(RuntimeError):
     """A distributed run that could not complete (unit exhausted its
-    attempt cap, or the worker fleet disappeared)."""
+    attempt cap, or the worker fleet disappeared).
+
+    An attempt-cap failure carries ``attempts``: the failed unit's full
+    dispatch history as dicts (worker id, assignment/failure timestamps,
+    failure reason), so the error names more than the unit.
+    """
+
+    #: Per-attempt history dicts of the failing unit (may be empty).
+    attempts = ()
+
+
+class DistStartTimeout(BackendUnavailable, DistRunError):
+    """No worker connected within ``start_timeout`` — the dist backend
+    never started.  Subclasses :class:`BackendUnavailable` so a run
+    with the ``degrade`` knob on falls down the backend ladder
+    (process, then serial) instead of failing."""
+
+
+def _utc_now() -> str:
+    """Wall-clock timestamp for attempt histories (ISO-8601, UTC)."""
+    return datetime.now(timezone.utc).isoformat(timespec="milliseconds")
 
 
 # ---------------------------------------------------------------------------
@@ -202,6 +226,10 @@ class Coordinator:
         self.on_group_done = on_group_done
         self._units = {unit["unit"]: unit for unit in units}
         self._attempts = {unit["unit"]: 0 for unit in units}
+        #: unit id -> list of attempt dicts (worker, timestamps,
+        #: failure reason) — attached to the DistRunError when a unit
+        #: exhausts its cap, so the failure names every try.
+        self._history = {unit["unit"]: [] for unit in units}
         self._last_error = {}
         # hold_units lets the backend bind the listener (so workers can
         # connect and handshake) while its trace stage is still
@@ -435,6 +463,11 @@ class Coordinator:
                 if self._pending:
                     unit_id = self._pending.popleft()
                     self._attempts[unit_id] += 1
+                    self._history[unit_id].append({
+                        "attempt": self._attempts[unit_id],
+                        "worker": worker.worker_id,
+                        "assigned_at": _utc_now(),
+                    })
                     deadline = (time.monotonic()
                                 + self.settings.unit_timeout)
                     self._inflight[unit_id] = (worker, deadline)
@@ -448,6 +481,12 @@ class Coordinator:
                     break
                 # Idle: wait for a requeue or for completion.
                 self._cond.wait(0.25)
+        # Chaos harness: coordinator_drop:unit=N raises here (an
+        # OSError), so the handler reaps this connection and the unit
+        # requeues — the worker must survive the dropped socket.
+        if reply["type"] == "unit":
+            faults.check("coordinator.assign", unit=reply.get("unit"),
+                         worker=worker.worker_id)
         send_message(worker.sock, reply)
         return reply["type"] != "shutdown"
 
@@ -473,6 +512,11 @@ class Coordinator:
                 pass
             self._rows.update(decoded)
             self._done.add(unit_id)
+            for entry in reversed(self._history.get(unit_id, [])):
+                if (entry["worker"] == worker.worker_id
+                        and "failed_at" not in entry):
+                    entry["completed_at"] = _utc_now()
+                    break
             self._cond.notify_all()
         # Callbacks run outside the lock; stats ride the same accepted
         # result as the rows, so requeued units still report exactly
@@ -514,15 +558,30 @@ class Coordinator:
         Caller holds the condition lock.
         """
         self._last_error[unit_id] = reason
+        history = self._history.get(unit_id, [])
+        for entry in reversed(history):
+            if "failed_at" not in entry and "completed_at" not in entry:
+                entry["failed_at"] = _utc_now()
+                entry["reason"] = reason
+                break
         if unit_id in self._done:
             return
         if self._attempts[unit_id] >= self.settings.max_attempts:
             label = self._units[unit_id]["label"]
-            self._failure = DistRunError(
+            trail = "; ".join(
+                f"attempt {entry['attempt']} on {entry['worker']!r} "
+                f"at {entry['assigned_at']}"
+                + (f": {entry['reason']}" if entry.get("reason") else "")
+                for entry in history
+            )
+            error = DistRunError(
                 f"work unit {unit_id} ({label}) exhausted "
                 f"{self.settings.max_attempts} attempt(s); "
                 f"last failure: {reason}"
+                + (f" [{trail}]" if trail else "")
             )
+            error.attempts = [dict(entry) for entry in history]
+            self._failure = error
         else:
             self.stats["requeues"] += 1
             self._pending.appendleft(unit_id)
@@ -599,7 +658,7 @@ class Coordinator:
                         and self._no_worker_since is not None
                         and now - self._no_worker_since
                         > self.settings.start_timeout):
-                    self._failure = DistRunError(
+                    self._failure = DistStartTimeout(
                         f"no connected workers for "
                         f"{self.settings.start_timeout:g}s — start some "
                         f"with `repro worker --connect "
@@ -709,6 +768,7 @@ class DistBackend(Backend):
         settings = DistSettings.resolve(**self._overrides)
         units = build_units(runner, groups, settings.chunksize)
         observer = observer_of(runner)
+        journal = journal_of(runner)
 
         def group_stats(index, rows, seconds, worker_id):
             """Book one accepted unit result as an observer record."""
@@ -728,7 +788,8 @@ class DistBackend(Backend):
                 on_unit_done=lambda count: report_group_done(runner,
                                                              count),
                 hold_units=settings.trace_stage,
-                on_group_done=group_stats if observer is not None
+                on_group_done=group_stats
+                if (observer is not None or journal is not None)
                 else None,
             )
             self.last_coordinator = coordinator

@@ -40,6 +40,8 @@ from __future__ import annotations
 import json
 import struct
 
+from .. import faults
+
 #: 4-byte big-endian unsigned frame-length header.
 _HEADER = struct.Struct(">I")
 
@@ -71,6 +73,10 @@ def send_message(sock, payload: dict) -> None:
     heartbeat thread) must serialize calls with their own lock —
     ``sendall`` of header and body is two writes.
     """
+    # Chaos harness: drop_conn / delay_conn count both directions of
+    # protocol traffic through this one site.
+    faults.check("protocol.message", direction="send",
+                 msg_type=payload.get("type"))
     data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
     if len(data) > MAX_MESSAGE_BYTES:
         raise ProtocolError(
@@ -103,6 +109,7 @@ def recv_message(sock) -> dict:
         ProtocolError: the frame is oversized or not a JSON object.
         socket.timeout / OSError: propagated from the socket layer.
     """
+    faults.check("protocol.message", direction="recv")
     (length,) = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
     if length > MAX_MESSAGE_BYTES:
         raise ProtocolError(

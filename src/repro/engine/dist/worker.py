@@ -29,12 +29,14 @@ their frames.
 from __future__ import annotations
 
 import os
+import random
 import socket
 import sys
 import threading
 import time
 import traceback
 
+from .. import faults
 from ..cache import TraceCache
 from ..runner import FrameProvider
 from ..settings import UNSET
@@ -45,6 +47,23 @@ from .protocol import (
     recv_message,
     send_message,
 )
+
+
+def backoff_delays(rng, base: float = 0.1, cap: float = 2.0):
+    """Yield exponential backoff delays with deterministic jitter.
+
+    Delays double from ``base`` up to ``cap``, each multiplied by a
+    jitter factor in [0.5, 1.0) drawn from ``rng`` — a
+    :class:`random.Random` seeded per worker, so two workers hammering
+    a restarted coordinator desynchronize, yet any single worker's
+    retry schedule replays exactly.
+    """
+    attempt = 0
+    while True:
+        delay = min(cap, base * (2 ** attempt))
+        yield delay * (0.5 + 0.5 * rng.random())
+        if delay < cap:
+            attempt += 1
 
 
 def execute_unit(groups: list, cache: TraceCache,
@@ -109,12 +128,19 @@ class Worker:
             memory-only cache.
         retry_seconds: How long to keep retrying the initial connection
             — this is what lets workers start before the coordinator.
+            Retries back off exponentially with per-worker jitter.
         max_units: Exit cleanly after this many units (drain mode for
             tests and rolling restarts); ``None`` serves until shutdown.
+        reconnect_seconds: After losing an *established* connection,
+            keep re-dialling (same backoff + jitter) for this long
+            before giving up — lets workers survive a coordinator
+            restart, e.g. an interrupted run resumed with ``--resume``.
+            The default 0 keeps the old exit-on-disconnect behaviour.
     """
 
     def __init__(self, address, worker_id: str = None, cache_dir=UNSET,
-                 retry_seconds: float = 30.0, max_units: int = None):
+                 retry_seconds: float = 30.0, max_units: int = None,
+                 reconnect_seconds: float = 0.0):
         self.address = (parse_address(address)
                         if isinstance(address, str) else tuple(address))
         self.worker_id = worker_id or (
@@ -123,9 +149,13 @@ class Worker:
         self._cache_dir = cache_dir
         self.retry_seconds = float(retry_seconds)
         self.max_units = max_units
+        self.reconnect_seconds = float(reconnect_seconds)
         self.units_done = 0
         self._send_lock = threading.Lock()
         self._stop_heartbeat = threading.Event()
+        # String seeds hash deterministically in random.Random, so a
+        # worker's whole retry schedule is a pure function of its id.
+        self._rng = random.Random(f"repro-worker-{self.worker_id}")
 
     def _log(self, text: str) -> None:
         print(f"[repro worker {self.worker_id}] {text}",
@@ -133,21 +163,28 @@ class Worker:
 
     # -- connection --------------------------------------------------------
 
-    def _connect(self):
-        """Dial the coordinator, retrying until ``retry_seconds`` runs
-        out (so a worker may be launched before the coordinator)."""
-        deadline = time.monotonic() + self.retry_seconds
+    def _connect(self, budget: float = None):
+        """Dial the coordinator with exponential backoff + jitter.
+
+        Retries until ``budget`` seconds run out (``retry_seconds`` by
+        default), so a worker may be launched before the coordinator —
+        or, with a ``reconnect_seconds`` budget, outlive one.
+        """
+        budget = self.retry_seconds if budget is None else budget
+        deadline = time.monotonic() + budget
+        delays = backoff_delays(self._rng)
         while True:
             try:
                 return socket.create_connection(self.address, timeout=5.0)
             except OSError as error:
-                if time.monotonic() >= deadline:
+                now = time.monotonic()
+                if now >= deadline:
                     raise ConnectionError(
                         f"no coordinator at "
                         f"{self.address[0]}:{self.address[1]} after "
-                        f"{self.retry_seconds:g}s: {error}"
+                        f"{budget:g}s: {error}"
                     ) from None
-                time.sleep(0.2)
+                time.sleep(min(next(delays), max(0.0, deadline - now)))
 
     def _send(self, sock, payload: dict) -> None:
         with self._send_lock:
@@ -155,6 +192,11 @@ class Worker:
 
     def _heartbeat_loop(self, sock, interval: float) -> None:
         while not self._stop_heartbeat.wait(interval):
+            if faults.check("worker.heartbeat") == "stall_heartbeat":
+                # Chaos harness: go silent without closing the socket —
+                # the coordinator's reaper must notice on its own.
+                self._log("heartbeat stalled (injected fault)")
+                return
             try:
                 self._send(sock, message("heartbeat"))
             except OSError:
@@ -163,23 +205,39 @@ class Worker:
     # -- the loop ----------------------------------------------------------
 
     def run(self) -> int:
-        """Serve the coordinator until shutdown; returns an exit code."""
-        try:
-            sock = self._connect()
-        except ConnectionError as error:
-            self._log(str(error))
-            return 1
-        try:
-            return self._serve(sock)
-        except (ProtocolError, OSError) as error:
-            self._log(f"connection to coordinator lost: {error}")
-            return 1
-        finally:
-            self._stop_heartbeat.set()
+        """Serve the coordinator until shutdown; returns an exit code.
+
+        With a ``reconnect_seconds`` budget, a lost *established*
+        connection triggers a fresh dial-and-handshake loop instead of
+        an exit — the coordinator (old or restarted) sees an ordinary
+        new worker and the welcome re-announces the run's cache dir.
+        """
+        budget = self.retry_seconds
+        while True:
             try:
-                sock.close()
-            except OSError:
-                pass
+                sock = self._connect(budget)
+            except ConnectionError as error:
+                self._log(str(error))
+                return 1
+            # Fresh event per connection: the previous connection's
+            # teardown must not stop the next connection's heartbeat.
+            self._stop_heartbeat = threading.Event()
+            try:
+                return self._serve(sock)
+            except (ProtocolError, OSError) as error:
+                self._log(f"connection to coordinator lost: {error}")
+                if self.reconnect_seconds <= 0:
+                    return 1
+                self._log(
+                    f"re-dialling for up to {self.reconnect_seconds:g}s"
+                )
+                budget = self.reconnect_seconds
+            finally:
+                self._stop_heartbeat.set()
+                try:
+                    sock.close()
+                except OSError:
+                    pass
 
     def _serve(self, sock) -> int:
         self._send(sock, message("hello", worker=self.worker_id,
@@ -218,6 +276,9 @@ class Worker:
             if kind != "unit":
                 continue                  # ignore unknown message types
             unit_id = msg.get("unit")
+            # Chaos harness: kill_worker:unit=K exits hard (os._exit,
+            # status 137) just before this process's K-th unit runs.
+            faults.check("worker.unit", unit=unit_id)
             try:
                 timings = {}
                 groups = execute_unit(msg.get("groups") or [], cache,

@@ -58,7 +58,7 @@ MANIFEST_VERSION = 1
 #: Numeric cache-statistics keys that are *deltas* over one run (the
 #: remaining keys — entry count, directory — are end-of-run state).
 _CACHE_DELTA_KEYS = ("hits", "misses", "disk_hits", "disk_writes",
-                     "delta_layers", "full_layers")
+                     "delta_layers", "full_layers", "quarantined")
 
 
 def spec_hash(spec_dict: dict) -> str:
@@ -258,6 +258,9 @@ class RunManifest:
             resolved dist settings), or None.
         analysis: Streaming per-layer sparsity/overhead aggregates from
             the run's :class:`~repro.analysis.sparsity.SparsityAnalyzer`.
+        journal: Run-journal summary (path, spec hash, resumed vs
+            appended unit counts, torn/dropped line recovery), or None
+            when the run was not journaled.
     """
 
     name: str
@@ -273,10 +276,11 @@ class RunManifest:
     cache: dict = field(default_factory=dict)
     dist: dict = None
     analysis: dict = field(default_factory=dict)
+    journal: dict = None
 
     @classmethod
     def collect(cls, runner, table, observer: RunObserver = None,
-                backend: str = None) -> "RunManifest":
+                backend: str = None, journal=None) -> "RunManifest":
         """Assemble the manifest of one finished run.
 
         Args:
@@ -288,6 +292,9 @@ class RunManifest:
                 None yields a manifest without timings/analytics.
             backend: Override for the recorded backend name; defaults
                 to the runner's configured backend.
+            journal: The run's
+                :class:`~repro.engine.journal.RunJournal` (or its
+                ``summary()`` dict); None for unjournaled runs.
         """
         source = getattr(runner, "source_spec", None)
         spec_dict = None
@@ -320,6 +327,8 @@ class RunManifest:
                 "cache_dir": str(cache_dir) if cache_dir else None,
                 "delta_trace": runner.delta_trace,
                 "delta_threshold": runner.delta_threshold,
+                "faults": runner.faults,
+                "degrade": runner.degrade,
             },
             table={
                 "rows": len(table),
@@ -332,6 +341,8 @@ class RunManifest:
             cache=observed.get("cache", {}),
             dist=observed.get("dist"),
             analysis=observed.get("analysis", {}),
+            journal=(journal.summary()
+                     if hasattr(journal, "summary") else journal),
         )
 
     # -- serialization -----------------------------------------------------
@@ -354,6 +365,7 @@ class RunManifest:
             "cache": self.cache,
             "dist": self.dist,
             "analysis": self.analysis,
+            "journal": self.journal,
         }
 
     @classmethod
@@ -375,7 +387,8 @@ class RunManifest:
             key: data.get(key)
             for key in ("name", "created", "spec", "spec_hash",
                         "git_rev", "backend", "settings", "table",
-                        "phases", "units", "cache", "dist", "analysis")
+                        "phases", "units", "cache", "dist", "analysis",
+                        "journal")
         })
 
     def to_json(self, indent: int = 2) -> str:

@@ -24,6 +24,7 @@ session fixtures straight in.
 
 from __future__ import annotations
 
+import sys
 import threading
 from dataclasses import dataclass
 
@@ -32,7 +33,9 @@ from ..data.pillars import voxelize
 from ..data.synthetic import KITTI_SCENE, SceneGenerator, nuscenes_scene_config
 from ..models.specs import ModelSpec, build_model_spec
 from ..models.zoo import TABLE1_PAPER, grid_for, scene_config_for
+from . import faults as _faults
 from .backends import (
+    BackendUnavailable,
     ProcessBackend,
     ProgressReporter,
     SerialBackend,
@@ -42,13 +45,16 @@ from .backends import (
     resolve_backend,
 )
 from .cache import TraceCache, shared_trace_cache
+from .journal import RunJournal, unit_key
 from .registry import register_frame_provider
 from .result import ExperimentTable
 from .settings import (
     TRACE_WORKERS_ENV_VAR,
     WORKERS_ENV_VAR,
+    resolve_degrade,
     resolve_delta_threshold,
     resolve_delta_trace,
+    resolve_faults,
     resolve_rulegen_shards,
     resolve_trace_workers,
     resolve_workers,
@@ -246,7 +252,8 @@ class ExperimentRunner:
                  frame_provider: FrameProvider = None,
                  cell_filter=None, backend=None, max_workers: int = None,
                  trace_workers: int = None, rulegen_shards: int = None,
-                 delta_trace: bool = None, delta_threshold: float = None):
+                 delta_trace: bool = None, delta_threshold: float = None,
+                 faults: str = None, degrade: bool = None):
         self.simulators = resolve_simulators(simulators)
         self.models = list(models)
         self.scenarios = list(scenarios) if scenarios else [DEFAULT_SCENARIO]
@@ -285,9 +292,12 @@ class ExperimentRunner:
         self.rulegen_shards = resolve_rulegen_shards(rulegen_shards)
         self.delta_trace = resolve_delta_trace(delta_trace)
         self.delta_threshold = resolve_delta_threshold(delta_threshold)
+        self.faults = resolve_faults(faults)
+        self.degrade = resolve_degrade(degrade)
         self._specs = {}
         self._progress = None
         self._observer = None
+        self._journal = None
         #: The :class:`~repro.engine.spec.ExperimentSpec` this runner
         #: was built from, set by ``ExperimentSpec.build_runner``; the
         #: distributed backend serializes its work units from it.
@@ -369,7 +379,7 @@ class ExperimentRunner:
         return groups
 
     def run(self, parallel: bool = True, backend=None,
-            progress=False, observer=None) -> ExperimentTable:
+            progress=False, observer=None, journal=None) -> ExperimentTable:
         """Execute the full grid.
 
         Args:
@@ -390,6 +400,12 @@ class ExperimentRunner:
                 streaming per-layer analytics for a
                 :class:`~repro.engine.manifest.RunManifest`.  Every
                 backend reports through the same seam as progress.
+            journal: Optional :class:`~repro.engine.journal.RunJournal`
+                (or a path for one) checkpointing every completed work
+                group.  An existing journal resumes: its spec hash is
+                validated, completed units are skipped, and their
+                journaled rows are stitched back in plan order, so the
+                resumed table is identical to an uninterrupted run.
 
         Returns:
             An :class:`ExperimentTable` in deterministic
@@ -419,19 +435,80 @@ class ExperimentRunner:
                 "(frames > 1) need the frame-provider path"
             )
         groups = self.plan()
+        done = set()
+        pending = groups
+        if journal is not None:
+            if not isinstance(journal, RunJournal):
+                journal = RunJournal(journal)
+            journal.open_for_run(self, groups)
+            done = journal.completed_keys()
+            pending = [group for group in groups
+                       if self._group_key(group) not in done]
         if progress:
             sink = progress if callable(progress) else None
-            self._progress = ProgressReporter(len(groups), sink=sink)
+            self._progress = ProgressReporter(len(pending), sink=sink)
         if observer is not None:
             self._observer = observer
             observer.attach(self)
+            # Replay resumed units so the manifest's unit log and
+            # streaming analytics cover the whole sweep, not just the
+            # groups executed after the resume point.
+            for group in groups:
+                key = self._group_key(group)
+                if key in done:
+                    observer.record_unit(
+                        group.scenario.name,
+                        self._model_name(group.model),
+                        journal.seconds_for(key),
+                        results=journal.rows_for(key),
+                        worker=journal.worker_for(key),
+                    )
+        self._journal = journal
         try:
-            nested = chosen.execute(self, groups)
+            with _faults.scoped(self.faults):
+                if not pending:
+                    nested = []
+                else:
+                    try:
+                        nested = chosen.execute(self, pending)
+                    except BackendUnavailable as error:
+                        if not self.degrade:
+                            raise
+                        fallback = self._degraded_backend(error)
+                        print(
+                            f"warning: {chosen.name} backend unavailable "
+                            f"({error}); degrading to {fallback.name}",
+                            file=sys.stderr,
+                        )
+                        nested = fallback.execute(self, pending)
         finally:
             self._progress = None
+            self._journal = None
+            if journal is not None:
+                journal.close()
             if observer is not None:
                 observer.finish(self)
                 self._observer = None
+        if done:
+            # Stitch journaled rows back in plan order around the rows
+            # the backend just produced for the pending groups.
+            live = iter(nested)
+            nested = [
+                journal.rows_for(key) if key in done else next(live)
+                for key in map(self._group_key, groups)
+            ]
         return ExperimentTable(
             results=[row for rows in nested for row in rows]
         )
+
+    def _group_key(self, group) -> str:
+        """The journal unit key of one work group."""
+        return unit_key(group.scenario.name, self._model_name(group.model))
+
+    def _degraded_backend(self, error):
+        """The first compatible backend on ``error``'s fallback ladder."""
+        for name in getattr(error, "fallbacks", ("process", "serial")):
+            candidate = resolve_backend(name)
+            if candidate.incompatibility(self) is None:
+                return candidate
+        return SerialBackend()

@@ -51,6 +51,15 @@ DELTA_TRACE_ENV_VAR = "REPRO_ENGINE_DELTA_TRACE"
 #: before delta rule generation falls back to a full rebuild.
 DELTA_THRESHOLD_ENV_VAR = "REPRO_ENGINE_DELTA_THRESHOLD"
 
+#: Deterministic fault-injection plan for chaos testing (grammar in
+#: ``repro.engine.faults`` / docs/robustness.md; empty = disarmed).
+FAULTS_ENV_VAR = "REPRO_ENGINE_FAULTS"
+
+#: Whether a run may degrade to the next backend in the ladder
+#: (dist -> process -> serial) when its backend cannot start
+#: ("1"/"0", default off: fail loudly).
+DEGRADE_ENV_VAR = "REPRO_ENGINE_DEGRADE"
+
 #: Host the distributed coordinator binds its listening socket to.
 DIST_HOST_ENV_VAR = "REPRO_ENGINE_DIST_HOST"
 
@@ -90,6 +99,8 @@ ENGINE_ENV_VARS = (
     CACHE_DIR_ENV_VAR,
     DELTA_TRACE_ENV_VAR,
     DELTA_THRESHOLD_ENV_VAR,
+    FAULTS_ENV_VAR,
+    DEGRADE_ENV_VAR,
     DIST_HOST_ENV_VAR,
     DIST_PORT_ENV_VAR,
     DIST_CHUNKSIZE_ENV_VAR,
@@ -251,6 +262,38 @@ def resolve_delta_threshold(value=None,
     ``REPRO_ENGINE_DELTA_THRESHOLD`` > 0.5."""
     return _resolve_env(value, DELTA_THRESHOLD_ENV_VAR, 0.5, source,
                         fraction)
+
+
+def resolve_faults(value=None, source: str = "faults"):
+    """Fault-injection plan text: value > ``REPRO_ENGINE_FAULTS`` > None.
+
+    The plan is validated (but not armed) via
+    :meth:`repro.engine.faults.FaultPlan.parse`; a malformed plan
+    raises :class:`ValueError` naming the offending source.  Returns
+    the normalized plan text, or ``None`` when no plan is set.
+    """
+    if value is None:
+        value = os.environ.get(FAULTS_ENV_VAR)
+        source = FAULTS_ENV_VAR
+    if value is None:
+        return None
+    text = str(value).strip()
+    if not text:
+        return None
+    from .faults import FaultPlan  # local import: faults imports this module
+
+    try:
+        FaultPlan.parse(text)
+    except ValueError as error:
+        raise ValueError(f"{source}: {error}") from None
+    return text
+
+
+def resolve_degrade(value=None, source: str = "degrade") -> bool:
+    """Backend-degradation toggle: value > ``REPRO_ENGINE_DEGRADE`` >
+    off."""
+    return _resolve_env(value, DEGRADE_ENV_VAR, False, source,
+                        boolean_flag)
 
 
 def resolve_dist_host(value=None) -> str:
@@ -423,6 +466,12 @@ class EngineSettings:
             previous frame's rules).
         delta_threshold: Fraction of a frame the diff may touch before
             the delta path falls back to a full rebuild.
+        faults: Deterministic fault-injection plan text (chaos
+            harness; see ``docs/robustness.md``), or ``None`` when
+            disarmed.
+        degrade: When True, a run whose backend cannot start degrades
+            along the ladder (dist to process to serial) instead of
+            failing; default off.
     """
 
     backend: str = "thread"
@@ -432,11 +481,14 @@ class EngineSettings:
     cache_dir: str = None
     delta_trace: bool = False
     delta_threshold: float = 0.5
+    faults: str = None
+    degrade: bool = False
 
     @classmethod
     def resolve(cls, backend=None, workers=None, trace_workers=None,
                 rulegen_shards=None, cache_dir=UNSET, delta_trace=None,
-                delta_threshold=None) -> "EngineSettings":
+                delta_threshold=None, faults=None,
+                degrade=None) -> "EngineSettings":
         """Resolve every knob: explicit argument > environment > default.
 
         This is the constructor the runner and the declarative spec
@@ -453,6 +505,8 @@ class EngineSettings:
             cache_dir=resolve_cache_dir(cache_dir),
             delta_trace=resolve_delta_trace(delta_trace),
             delta_threshold=resolve_delta_threshold(delta_threshold),
+            faults=resolve_faults(faults),
+            degrade=resolve_degrade(degrade),
         )
 
     def as_dict(self) -> dict:
@@ -465,4 +519,6 @@ class EngineSettings:
             "cache_dir": self.cache_dir,
             "delta_trace": self.delta_trace,
             "delta_threshold": self.delta_threshold,
+            "faults": self.faults,
+            "degrade": self.degrade,
         }

@@ -51,6 +51,7 @@ from .settings import (
     boolean_flag,
     fraction,
     positive_int,
+    resolve_faults,
 )
 from .simulators import Simulator, build_simulator
 
@@ -161,6 +162,13 @@ class ExperimentSpec:
         delta_threshold: Fraction of changed inputs above which delta
             tracing falls back to a full rulegen, or ``None`` to
             inherit ``REPRO_ENGINE_DELTA_THRESHOLD``.
+        faults: Deterministic fault-injection plan text (the chaos
+            harness; grammar in ``docs/robustness.md``), or ``None``
+            to inherit ``REPRO_ENGINE_FAULTS``.
+        degrade: Allow graceful backend degradation (dist to process
+            to serial) when the chosen backend cannot start, or
+            ``None`` to inherit ``REPRO_ENGINE_DEGRADE`` (default
+            off).
         frame_provider: Frame-provider registry name (default
             ``"synthetic"``).
         cells: Declarative cell include-rules (see
@@ -181,6 +189,8 @@ class ExperimentSpec:
     cache_dir: str = None
     delta_trace: bool = None
     delta_threshold: float = None
+    faults: str = None
+    degrade: bool = None
     frame_provider: str = DEFAULT_FRAME_PROVIDER
     cells: list = field(default_factory=list)
     out: str = None
@@ -298,6 +308,13 @@ class ExperimentSpec:
         if self.delta_threshold is not None:
             self.delta_threshold = fraction(self.delta_threshold,
                                             "delta_threshold")
+        if self.faults is not None:
+            try:
+                self.faults = resolve_faults(self.faults, "faults")
+            except ValueError as error:
+                raise _spec_error(self.name, str(error)) from None
+        if self.degrade is not None:
+            self.degrade = boolean_flag(self.degrade, "degrade")
         if self.cache_dir is not None \
                 and not isinstance(self.cache_dir, (str, Path)):
             raise _spec_error(
@@ -376,6 +393,8 @@ class ExperimentSpec:
                           if self.cache_dir is not None else None),
             "delta_trace": self.delta_trace,
             "delta_threshold": self.delta_threshold,
+            "faults": self.faults,
+            "degrade": self.degrade,
             "frame_provider": self.frame_provider,
             "cells": [dict(rule) for rule in self.cells],
             "out": self.out,
@@ -399,8 +418,8 @@ class ExperimentSpec:
         allowed = {
             "name", "simulators", "models", "scenarios", "backend",
             "workers", "trace_workers", "rulegen_shards", "cache_dir",
-            "delta_trace", "delta_threshold", "frame_provider", "cells",
-            "out",
+            "delta_trace", "delta_threshold", "faults", "degrade",
+            "frame_provider", "cells", "out",
         }
         unknown = sorted(set(data) - allowed)
         if unknown:
@@ -471,6 +490,8 @@ class ExperimentSpec:
             delta_trace=overrides.get("delta_trace", self.delta_trace),
             delta_threshold=overrides.get("delta_threshold",
                                           self.delta_threshold),
+            faults=overrides.get("faults", self.faults),
+            degrade=overrides.get("degrade", self.degrade),
         )
 
     def build_runner(self, *, cache=None, trace_provider=None,
@@ -489,7 +510,8 @@ class ExperimentSpec:
         unknown = sorted(
             set(overrides)
             - {"backend", "workers", "trace_workers", "rulegen_shards",
-               "cache_dir", "delta_trace", "delta_threshold"}
+               "cache_dir", "delta_trace", "delta_threshold", "faults",
+               "degrade"}
         )
         if unknown:
             raise _spec_error(
@@ -524,7 +546,9 @@ class ExperimentSpec:
                 value = positive_int(value, knob)
             knobs[knob] = value
         for knob, check in (("delta_trace", boolean_flag),
-                            ("delta_threshold", fraction)):
+                            ("delta_threshold", fraction),
+                            ("degrade", boolean_flag),
+                            ("faults", resolve_faults)):
             value = overrides.get(knob, getattr(self, knob))
             if value is not None:
                 value = check(value, knob)
@@ -549,6 +573,8 @@ class ExperimentSpec:
             rulegen_shards=knobs["rulegen_shards"],
             delta_trace=knobs["delta_trace"],
             delta_threshold=knobs["delta_threshold"],
+            faults=knobs["faults"],
+            degrade=knobs["degrade"],
         )
         # The distributed backend re-serializes its work units from the
         # source spec; keep the provenance on the runner (and whether

@@ -63,6 +63,7 @@ class TestTraceCache:
             "full_layers": sum(
                 1 for layer in first.layers if layer.rules is not None
             ),
+            "quarantined": 0,
             "disk_dir": None,
         }
 
