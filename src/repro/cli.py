@@ -30,6 +30,13 @@ them and inspects the registries:
 * ``repro worker --connect HOST:PORT``
   — serve a distributed coordinator (the ``--backend dist`` run on the
   other end) until it shuts the worker down;
+* ``repro serve`` and its clients ``repro submit spec.json
+  [--priority N] [--wait]``, ``repro status [run-id]``,
+  ``repro results <run-id> [--out X]``, ``repro cancel <run-id>``,
+  ``repro queue``
+  — the persistent experiment service: one daemon owns a durable
+  priority run queue and a worker fleet reused across runs, with every
+  submission recorded under ``runs/<run-id>/`` (see ``docs/service.md``);
 * ``repro cache stats|clear``
   — inspect or empty the trace-artifact store
   (``REPRO_TRACE_CACHE_DIR`` or ``--cache-dir``) that distributed and
@@ -287,6 +294,153 @@ def _cmd_worker(args) -> int:
         reconnect_seconds=args.reconnect_seconds,
     )
     return worker.run()
+
+
+# ---------------------------------------------------------------------------
+# repro serve / submit / status / results / cancel / queue
+# ---------------------------------------------------------------------------
+
+
+def _cmd_serve(args) -> int:
+    import signal
+
+    from .engine.service import ExperimentService
+    from .engine.settings import ServiceSettings
+
+    settings = ServiceSettings.resolve(
+        host=args.host,
+        port=args.port,
+        store_dir=args.store,
+        max_inflight=args.max_inflight,
+        submitter_cap=args.submitter_cap,
+        drain_timeout=args.drain_timeout,
+    )
+    service = ExperimentService(settings)
+    try:
+        service.start()
+    except Exception as error:  # noqa: BLE001 — bind errors are usage errors
+        raise ValueError(f"cannot start the experiment service: {error}") \
+            from None
+    _status(
+        f"experiment service on {settings.host}:{service.port} "
+        f"(store {settings.store_dir}, max_inflight "
+        f"{settings.max_inflight}); stop with SIGTERM"
+    )
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, lambda *_: service.request_stop())
+    return service.serve_forever()
+
+
+def _service_client(args):
+    from .engine.service import ServiceClient
+
+    return ServiceClient(host=args.host, port=args.port)
+
+
+def _service_call(call):
+    """Run one client call, mapping service/socket errors to exit 2."""
+    from .engine.service import ServiceError
+
+    try:
+        return call()
+    except ServiceError as error:
+        raise ValueError(f"service: {error}") from None
+    except OSError as error:
+        raise ValueError(
+            f"cannot reach the experiment service: {error}; is "
+            f"`repro serve` running?"
+        ) from None
+
+
+def _cmd_submit(args) -> int:
+    spec = ExperimentSpec.load(args.spec).to_dict()
+    client = _service_client(args)
+    state = _service_call(lambda: client.submit(
+        spec, priority=args.priority, submitter=args.submitter,
+    ))
+    run_id = state["run"]
+    _status(f"queued {run_id} (priority {state['priority']})")
+    _out(run_id)
+    if not args.wait:
+        return 0
+    final = _service_call(lambda: client.wait(run_id))
+    _status(f"{run_id}: {final['state']}")
+    return 0 if final["state"] == "done" else 1
+
+
+def _print_run_state(state: dict) -> None:
+    _out(f"run {state.get('run')}")
+    for key in ("state", "priority", "submitter", "submitted_at",
+                "running_at", "done_at", "failed_at", "cancelled_at",
+                "interrupted_at", "rows", "resumed_units",
+                "appended_units", "error"):
+        if state.get(key) is not None:
+            _out(f"  {key:<14}: {state[key]}")
+
+
+def _cmd_status(args) -> int:
+    client = _service_client(args)
+    if args.run is None:
+        reply = _service_call(client.status)
+        service = reply.get("service") or {}
+        queue = reply.get("queue") or {}
+        _out(f"experiment service {service.get('host')}:"
+             f"{service.get('port')} (store {service.get('store_dir')})")
+        _out(f"  workers   : {len(reply.get('workers') or [])}")
+        _out(f"  inflight  : {', '.join(queue.get('inflight') or []) or '-'}")
+        queued = queue.get("queued") or []
+        _out(f"  queued    : {len(queued)}")
+        for entry in queued:
+            _out(f"    {entry['run']} (priority {entry['priority']}, "
+                 f"{entry['submitter']})")
+        return 0
+    if args.wait:
+        state = _service_call(lambda: client.wait(args.run))
+    else:
+        state = _service_call(lambda: client.status(args.run))
+    _print_run_state(state)
+    return 0
+
+
+def _cmd_results(args) -> int:
+    client = _service_client(args)
+    reply = _service_call(lambda: client.results(args.run))
+    if args.out is None or args.out == "-":
+        sys.stdout.write(reply["csv"])
+        return 0
+    fmt = _infer_format(args.out, args.format)
+    _check_writable_sink(args.out)
+    # The stored text is written verbatim, so a fetched table is
+    # byte-identical to the file the service wrote.
+    Path(args.out).write_text(reply["csv" if fmt == "csv" else "json"])
+    _status(f"wrote {args.run} results to {args.out} ({fmt})")
+    if reply.get("manifest"):
+        manifest_path = manifest_path_for(args.out)
+        Path(manifest_path).write_text(reply["manifest"])
+        _status(f"wrote run manifest to {manifest_path}")
+    return 0
+
+
+def _cmd_cancel(args) -> int:
+    client = _service_client(args)
+    state = _service_call(lambda: client.cancel(args.run))
+    _status(f"{args.run}: {state.get('state')}")
+    return 0
+
+
+def _cmd_queue(args) -> int:
+    client = _service_client(args)
+    reply = _service_call(client.queue)
+    inflight = reply.get("inflight") or []
+    _out(f"inflight ({len(inflight)}/{reply.get('max_inflight')}): "
+         f"{', '.join(inflight) or '-'}")
+    queued = reply.get("queued") or []
+    _out(f"queued ({len(queued)}):")
+    for entry in queued:
+        note = "" if entry.get("ready") else " [submitter at cap]"
+        _out(f"  {entry['run']}  priority {entry['priority']:<3} "
+             f"{entry['submitter']}{note}")
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -655,6 +809,91 @@ def build_parser() -> argparse.ArgumentParser:
                              "coordinator restart, e.g. a run resumed "
                              "with --resume (default: 0 = exit)")
     worker.set_defaults(func=_cmd_worker)
+
+    serve = commands.add_parser(
+        "serve",
+        help="run the persistent experiment service (durable run "
+             "queue + shared worker fleet)",
+    )
+    serve.add_argument("--host",
+                       help="bind address (default "
+                            "REPRO_ENGINE_SERVICE_HOST)")
+    serve.add_argument("--port", help="TCP port, 0 for ephemeral "
+                                      "(default REPRO_ENGINE_SERVICE_PORT)")
+    serve.add_argument("--store",
+                       help="run-store root directory (default "
+                            "REPRO_ENGINE_SERVICE_DIR, else ./runs)")
+    serve.add_argument("--max-inflight", dest="max_inflight",
+                       help="concurrently executing runs (default "
+                            "REPRO_ENGINE_SERVICE_MAX_INFLIGHT)")
+    serve.add_argument("--submitter-cap", dest="submitter_cap",
+                       help="per-submitter inflight cap (default "
+                            "REPRO_ENGINE_SERVICE_SUBMITTER_CAP)")
+    serve.add_argument("--drain-timeout", dest="drain_timeout",
+                       help="SIGTERM drain budget in seconds (default "
+                            "REPRO_ENGINE_SERVICE_DRAIN_TIMEOUT)")
+    serve.set_defaults(func=_cmd_serve)
+
+    def _client_flags(parser) -> None:
+        """The service-address flags every client verb shares."""
+        parser.add_argument("--host",
+                            help="service host (default "
+                                 "REPRO_ENGINE_SERVICE_HOST)")
+        parser.add_argument("--port",
+                            help="service port (default "
+                                 "REPRO_ENGINE_SERVICE_PORT)")
+
+    submit = commands.add_parser(
+        "submit", help="queue an experiment spec on the service"
+    )
+    submit.add_argument("spec", help="path to an ExperimentSpec .json file")
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher dispatches first (default 0)")
+    submit.add_argument("--submitter", default="anon",
+                        help="fair-share identity (default 'anon')")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the run finishes (exit 1 "
+                             "unless it completes)")
+    _client_flags(submit)
+    submit.set_defaults(func=_cmd_submit)
+
+    status = commands.add_parser(
+        "status", help="one run's state, or the service summary"
+    )
+    status.add_argument("run", nargs="?",
+                        help="run id (omit for the service summary)")
+    status.add_argument("--wait", action="store_true",
+                        help="block until the run reaches a terminal "
+                             "state")
+    _client_flags(status)
+    status.set_defaults(func=_cmd_status)
+
+    results = commands.add_parser(
+        "results", help="fetch a finished run's result table"
+    )
+    results.add_argument("run", help="run id")
+    results.add_argument("--out",
+                         help="write the stored table here (.csv/.json, "
+                              "byte-identical to the service's file; "
+                              "default: CSV to stdout)")
+    results.add_argument("--format", choices=("csv", "json"),
+                         help="output format for --out (inferred from "
+                              "the suffix when omitted)")
+    _client_flags(results)
+    results.set_defaults(func=_cmd_results)
+
+    cancel = commands.add_parser(
+        "cancel", help="cancel a queued or inflight run"
+    )
+    cancel.add_argument("run", help="run id")
+    _client_flags(cancel)
+    cancel.set_defaults(func=_cmd_cancel)
+
+    queue = commands.add_parser(
+        "queue", help="the service's dispatch-ordered run queue"
+    )
+    _client_flags(queue)
+    queue.set_defaults(func=_cmd_queue)
 
     journal = commands.add_parser(
         "journal",

@@ -30,6 +30,10 @@
   backend (``"dist"``): spec-dict work units over length-prefixed JSON
   TCP, trace-artifact shipping through the cache disk tier, heartbeats
   and requeue-based fault tolerance (``repro worker`` serves it);
+* :mod:`repro.engine.service`    — the persistent experiment service
+  (``repro serve``): a durable priority run queue and a worker fleet
+  reused across runs, with ``repro submit/status/results/cancel/queue``
+  as its clients;
 * :mod:`repro.engine.journal`    — :class:`RunJournal`, the per-run
   write-ahead log behind ``repro run --resume`` (checkpoint every
   completed work group, recover torn tails, stitch byte-identical
@@ -135,13 +139,21 @@ from .spec import (
 )
 
 # Imported last: the dist subsystem builds on the spec layer and
-# registers the "dist" backend as an import side effect.
+# registers the "dist" backend as an import side effect; the service
+# builds on dist in turn.
 from .dist import (  # noqa: E402
     Coordinator,
     DistBackend,
     DistRunError,
     DistStartTimeout,
     Worker,
+)
+from .service import (  # noqa: E402
+    ExperimentService,
+    RunScheduler,
+    RunStore,
+    ServiceClient,
+    ServiceError,
 )
 
 __all__ = [
@@ -174,6 +186,7 @@ __all__ = [
     "DistStartTimeout",
     "EngineSettings",
     "ExperimentRunner",
+    "ExperimentService",
     "ExperimentSpec",
     "ExperimentTable",
     "FaultInjector",
@@ -190,8 +203,12 @@ __all__ = [
     "RunJournal",
     "RunManifest",
     "RunObserver",
+    "RunScheduler",
+    "RunStore",
     "Scenario",
     "SerialBackend",
+    "ServiceClient",
+    "ServiceError",
     "SimResult",
     "Simulator",
     "SpConv2DSim",

@@ -62,12 +62,14 @@ from ..backends import (
 from ..cache import TraceCache
 from ..registry import register_backend
 from ..result import _record_to_result
-from ..settings import DistSettings
+from ..settings import DIST_TOKEN_ENV_VAR, DistSettings
 from .protocol import (
     ProtocolError,
+    auth_nonce,
     message,
     recv_message,
     send_message,
+    verify_digest,
 )
 
 
@@ -189,6 +191,7 @@ class _WorkerConn:
         self.inflight = None          # unit id this worker is executing
         self.dead = False
         self.graceful = False         # announced goodbye (drain mode)
+        self.partial = {}             # unit id -> staged partial result
 
     def close(self) -> None:
         """Tear the worker's socket down, both directions."""
@@ -379,6 +382,52 @@ class Coordinator:
             threading.Thread(target=self._serve_worker, args=(conn,),
                              name="repro-dist-worker", daemon=True).start()
 
+    def _log(self, text: str) -> None:
+        """Operational chatter — stderr, like the worker's log lines."""
+        import sys
+
+        print(f"[repro coordinator] {text}", file=sys.stderr, flush=True)
+
+    def _authenticate(self, conn, first: dict) -> bool:
+        """Challenge the peer when a token is configured.
+
+        The peer's *first* message is already read; with a token set,
+        a ``challenge`` goes out and the next message must be a valid
+        ``auth`` before that first message is processed.  Returns False
+        (peer logged and dropped) on any handshake failure.
+        """
+        token = getattr(self.settings, "token", None)
+        if not token:
+            return True
+        nonce = auth_nonce()
+        send_message(conn, message("challenge", nonce=nonce))
+        try:
+            reply = recv_message(conn)
+        except (ProtocolError, OSError):
+            reply = {}
+        if (reply.get("type") != "auth"
+                or not verify_digest(token, nonce, reply.get("digest"))):
+            peer = first.get("worker") or first.get("type") or "peer"
+            self._log(
+                f"dropping unauthenticated {peer!r} (failed the "
+                f"{DIST_TOKEN_ENV_VAR} challenge)"
+            )
+            try:
+                conn.close()
+            except OSError:
+                pass
+            return False
+        return True
+
+    def _handle_peer(self, conn, first: dict) -> None:
+        """A connection whose first message is not ``hello``.
+
+        The plain coordinator serves only workers, so unknown peers
+        are dropped; the experiment service overrides this hook to
+        answer client requests on the same socket.
+        """
+        conn.close()
+
     def _serve_worker(self, conn) -> None:
         # Workers heartbeat every heartbeat_interval even while idle,
         # so worker_timeout seconds of pure socket silence means the
@@ -391,8 +440,10 @@ class Coordinator:
         worker = None
         try:
             hello = recv_message(conn)
+            if not self._authenticate(conn, hello):
+                return
             if hello.get("type") != "hello":
-                conn.close()
+                self._handle_peer(conn, hello)
                 return
             worker = _WorkerConn(
                 conn,
@@ -409,6 +460,7 @@ class Coordinator:
                 "welcome",
                 cache_dir=self.cache_dir,
                 heartbeat_interval=self.settings.heartbeat_interval,
+                batch_rows=getattr(self.settings, "batch_rows", 0),
             ))
             while True:
                 msg = recv_message(conn)
@@ -492,11 +544,27 @@ class Coordinator:
 
     def _handle_result(self, worker, msg: dict) -> None:
         unit_id = msg.get("unit")
+        if msg.get("done") is False:
+            # A partial flush (result batching): stage the rows on the
+            # connection until the unit's final frame arrives — the
+            # unit books exactly once, whole, so requeue accounting is
+            # untouched by the framing granularity.
+            with self._cond:
+                worker.last_seen = time.monotonic()
+                staged = worker.partial.setdefault(
+                    unit_id, {"groups": {}, "timings": {}})
+                staged["groups"].update(msg.get("groups") or {})
+                staged["timings"].update(msg.get("timings") or {})
+            return
+        staged = worker.partial.pop(unit_id, None)
+        raw_groups = dict((staged or {}).get("groups") or {})
+        raw_groups.update(msg.get("groups") or {})
         decoded = {
             int(index): [_record_to_result(record) for record in records]
-            for index, records in (msg.get("groups") or {}).items()
+            for index, records in raw_groups.items()
         }
-        timings = msg.get("timings") or {}
+        timings = dict((staged or {}).get("timings") or {})
+        timings.update(msg.get("timings") or {})
         with self._cond:
             worker.last_seen = time.monotonic()
             if worker.inflight == unit_id:
@@ -535,6 +603,7 @@ class Coordinator:
         unit_id = msg.get("unit")
         with self._cond:
             worker.last_seen = time.monotonic()
+            worker.partial.pop(unit_id, None)
             if worker.inflight == unit_id:
                 worker.inflight = None
             # Only the current owner's error counts: a stale report
@@ -581,10 +650,19 @@ class Coordinator:
                 + (f" [{trail}]" if trail else "")
             )
             error.attempts = [dict(entry) for entry in history]
-            self._failure = error
+            self._register_failure(unit_id, error)
         else:
             self.stats["requeues"] += 1
             self._pending.appendleft(unit_id)
+
+    def _register_failure(self, unit_id, error) -> None:
+        """Book a unit's attempt-cap exhaustion as a fatal failure.
+
+        The run-scoped coordinator fails the whole run; the experiment
+        service's fleet overrides this to fail only the unit's run.
+        Caller holds the condition lock.
+        """
+        self._failure = error
 
     def _reap(self, worker, reason: str) -> None:
         """Mark one worker dead and requeue anything it held."""
@@ -694,7 +772,8 @@ class DistBackend(Backend):
     def __init__(self, host=None, port=None, chunksize=None,
                  unit_timeout=None, heartbeat_interval=None,
                  worker_timeout=None, max_attempts=None,
-                 start_timeout=None, trace_stage=None):
+                 start_timeout=None, trace_stage=None, token=None,
+                 batch_rows=None):
         self._overrides = {
             "host": host,
             "port": port,
@@ -705,6 +784,8 @@ class DistBackend(Backend):
             "max_attempts": max_attempts,
             "start_timeout": start_timeout,
             "trace_stage": trace_stage,
+            "token": token,
+            "batch_rows": batch_rows,
         }
         #: The coordinator of the most recent ``execute`` call — state
         #: introspection for tests and operator tooling.

@@ -19,15 +19,40 @@ worker →   hello       ``worker`` (id string), ``pid``
 worker →   request     pull one unit (sent when idle)
 worker →   heartbeat   liveness beacon (background thread, every
                        ``heartbeat_interval`` seconds)
-worker →   result      ``unit`` (id), ``groups`` ({index: [row records]})
+worker →   result      ``unit`` (id), ``groups`` ({index: [row records]}),
+                       ``timings``; ``done: false`` marks a partial
+                       flush (result batching — the final frame of the
+                       unit omits ``done`` or sends ``true``)
 worker →   error       ``unit`` (id), ``error`` (message string)
 worker →   goodbye     announced clean exit (drain mode) — not a failure
-coord  →   welcome     ``cache_dir``, ``heartbeat_interval``
+coord  →   welcome     ``cache_dir``, ``heartbeat_interval``,
+                       ``batch_rows``
 coord  →   unit        ``unit`` (id), ``groups`` ([{index, spec}, ...])
 coord  →   wait        nothing to do right now; re-request (bounds the
                        worker's read timeout while idle)
 coord  →   shutdown    no more work; the worker exits cleanly
 ========== =========== ====================================================
+
+The experiment service (``repro serve``) speaks the same framing on the
+same socket; a peer whose *first* message is not ``hello`` is a client:
+
+========== =========== ====================================================
+client →   submit      ``spec`` (ExperimentSpec dict), ``priority``,
+                       ``submitter``
+client →   status      ``run`` (id, optional — omitted asks for the
+                       service summary)
+client →   results     ``run`` (id)
+client →   cancel      ``run`` (id)
+client →   queue       (no payload) — the dispatch-ordered queue
+service →  submitted / status / results / cancelled / queue — the
+           matching replies; ``error`` (``error`` string) for rejects
+========== =========== ====================================================
+
+When a shared secret is configured (``REPRO_ENGINE_DIST_TOKEN``), the
+server answers any peer's first message with ``challenge`` (``nonce``);
+the peer must reply ``auth`` (``digest`` = :func:`auth_digest` of the
+nonce) before the first message is processed.  Peers that fail the
+handshake are dropped with a log line.
 
 Framing helpers below own all socket byte-handling; peers never touch
 ``recv`` buffers directly.  A closed connection surfaces as
@@ -37,7 +62,10 @@ Framing helpers below own all socket byte-handling; peers never touch
 
 from __future__ import annotations
 
+import hashlib
+import hmac
 import json
+import os
 import struct
 
 from .. import faults
@@ -127,6 +155,48 @@ def recv_message(sock) -> dict:
             f"got {type(payload).__name__}"
         )
     return payload
+
+
+def auth_nonce() -> str:
+    """A fresh random nonce for one HMAC challenge (hex text)."""
+    return os.urandom(16).hex()
+
+
+def auth_digest(token: str, nonce: str) -> str:
+    """The expected ``auth`` reply to a ``challenge``: HMAC-SHA256 of
+    the nonce under the shared token, as hex text."""
+    return hmac.new(str(token).encode("utf-8"),
+                    str(nonce).encode("utf-8"),
+                    hashlib.sha256).hexdigest()
+
+
+def verify_digest(token: str, nonce: str, digest) -> bool:
+    """Constant-time check of a peer's ``auth`` digest."""
+    expected = auth_digest(token, nonce)
+    return hmac.compare_digest(expected, str(digest or ""))
+
+
+def answer_challenge(sock, reply: dict, token: str):
+    """Client-side half of the auth handshake.
+
+    ``reply`` is the first message received after this peer's opening
+    send.  When it is a ``challenge``, answer it with the token's
+    digest and return the *next* message (the server's real reply);
+    any other message passes through untouched.  Raises
+    :class:`ProtocolError` when the server demands auth but no token
+    is configured on this side.
+    """
+    if reply.get("type") != "challenge":
+        return reply
+    if not token:
+        raise ProtocolError(
+            "peer requires authentication but no token is configured "
+            "(set REPRO_ENGINE_DIST_TOKEN)"
+        )
+    send_message(sock, message(
+        "auth", digest=auth_digest(token, reply.get("nonce") or "")
+    ))
+    return recv_message(sock)
 
 
 def parse_address(text: str) -> tuple:

@@ -8,7 +8,10 @@ exactly one coordinator.  Its loop is deliberately boring:
    coordinator binds (CI starts two workers in the background, then
    launches ``repro run --backend dist``);
 2. handshake — ``hello`` up, ``welcome`` down (the welcome names the
-   run's shared trace-artifact directory and the heartbeat interval);
+   run's shared trace-artifact directory, the heartbeat interval, and
+   the result-batching threshold); when the coordinator is configured
+   with a shared token it interposes an HMAC ``challenge`` that the
+   worker answers from its own ``REPRO_ENGINE_DIST_TOKEN``;
 3. pull — ``request`` a unit, execute it, send ``result`` (or
    ``error`` with the exception message), repeat;
 4. exit — on the coordinator's ``shutdown`` message (exit code 0), or
@@ -39,9 +42,10 @@ import traceback
 from .. import faults
 from ..cache import TraceCache
 from ..runner import FrameProvider
-from ..settings import UNSET
+from ..settings import UNSET, resolve_dist_token
 from .protocol import (
     ProtocolError,
+    auth_digest,
     message,
     parse_address,
     recv_message,
@@ -202,6 +206,43 @@ class Worker:
             except OSError:
                 return
 
+    def _run_unit(self, sock, unit_id, entries, cache, providers,
+                  batch_rows: int) -> dict:
+        """Execute one unit's groups and build its final ``result``.
+
+        With ``batch_rows`` off (0, the default) this is the classic
+        one-frame-per-unit path.  With it on, groups execute one at a
+        time and completed rows are coalesced and flushed early as
+        partial ``result`` frames (``done: false``) once the buffer
+        reaches ``batch_rows`` rows, so a unit of many small groups
+        streams back in a few frames instead of one giant one at the
+        end.  The returned frame (``done: true``) carries whatever is
+        still buffered; the coordinator merges staged frames per unit.
+        """
+        if batch_rows <= 0 or len(entries) <= 1:
+            timings = {}
+            groups = execute_unit(entries, cache, providers,
+                                  timings=timings)
+            return message("result", unit=unit_id, groups=groups,
+                           timings=timings)
+        staged, timings, buffered = {}, {}, 0
+        for position, entry in enumerate(entries):
+            part = execute_unit([entry], cache, providers,
+                                timings=timings)
+            key = str(entry["index"])
+            staged[key] = part[key]
+            buffered += len(part[key])
+            if buffered >= batch_rows and position + 1 < len(entries):
+                self._send(sock, message(
+                    "result", unit=unit_id, groups=staged,
+                    timings={k: timings[k] for k in staged},
+                    done=False,
+                ))
+                staged, buffered = {}, 0
+        return message("result", unit=unit_id, groups=staged,
+                       timings={k: timings[k] for k in staged},
+                       done=True)
+
     # -- the loop ----------------------------------------------------------
 
     def run(self) -> int:
@@ -243,6 +284,19 @@ class Worker:
         self._send(sock, message("hello", worker=self.worker_id,
                                  pid=os.getpid()))
         welcome = recv_message(sock)
+        if welcome.get("type") == "challenge":
+            token = resolve_dist_token()
+            if token is None:
+                self._log(
+                    "coordinator requires authentication but no "
+                    "REPRO_ENGINE_DIST_TOKEN is set"
+                )
+                return 1
+            self._send(sock, message(
+                "auth",
+                digest=auth_digest(token, welcome.get("nonce") or ""),
+            ))
+            welcome = recv_message(sock)
         if welcome.get("type") != "welcome":
             self._log(f"unexpected handshake reply: {welcome.get('type')}")
             return 1
@@ -256,6 +310,7 @@ class Worker:
         from ..spec import DEFAULT_FRAME_PROVIDER
 
         providers = {DEFAULT_FRAME_PROVIDER: FrameProvider()}
+        batch_rows = int(welcome.get("batch_rows") or 0)
         interval = float(welcome.get("heartbeat_interval") or 1.0)
         heartbeat = threading.Thread(
             target=self._heartbeat_loop, args=(sock, interval),
@@ -280,11 +335,9 @@ class Worker:
             # status 137) just before this process's K-th unit runs.
             faults.check("worker.unit", unit=unit_id)
             try:
-                timings = {}
-                groups = execute_unit(msg.get("groups") or [], cache,
-                                      providers, timings=timings)
-                reply = message("result", unit=unit_id, groups=groups,
-                                timings=timings)
+                reply = self._run_unit(sock, unit_id,
+                                       msg.get("groups") or [], cache,
+                                       providers, batch_rows)
             except Exception as error:   # noqa: BLE001 — reported upstream
                 detail = traceback.format_exception_only(
                     type(error), error

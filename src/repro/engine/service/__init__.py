@@ -1,0 +1,51 @@
+"""The persistent experiment service (``repro serve``).
+
+One daemon owns the listening socket and a worker fleet that stays
+attached across runs; clients submit :class:`~repro.engine.spec.
+ExperimentSpec` JSON over the same length-prefixed JSON-TCP protocol
+the workers use, and a priority/fair-share scheduler dispatches queued
+runs onto the shared fleet.  Every accepted submission is durably
+recorded in an on-disk run store, so a daemon restart recovers the
+queue and resumes interrupted runs through their journals.
+
+* :mod:`repro.engine.service.store`     — :class:`RunStore`, the
+  durable ``runs/<run-id>/`` layout (spec, state, journal, results,
+  manifest);
+* :mod:`repro.engine.service.scheduler` — :class:`RunScheduler`, the
+  pure pending/ready/inflight state machine with priority bands and
+  per-submitter fair sharing;
+* :mod:`repro.engine.service.server`    — :class:`ExperimentService`
+  (the daemon) and :class:`FleetCoordinator` (the run-outliving
+  coordinator subclass);
+* :mod:`repro.engine.service.client`    — :class:`ServiceClient`, the
+  one-request-per-connection client the CLI verbs use.
+"""
+
+from .client import ServiceClient, ServiceError
+from .scheduler import RunScheduler
+from .server import (
+    ExperimentService,
+    FleetCoordinator,
+    RunCancelled,
+    ServiceStopped,
+)
+from .store import (
+    RECOVERABLE_STATES,
+    RUN_STATES,
+    TERMINAL_STATES,
+    RunStore,
+)
+
+__all__ = [
+    "RECOVERABLE_STATES",
+    "RUN_STATES",
+    "TERMINAL_STATES",
+    "ExperimentService",
+    "FleetCoordinator",
+    "RunCancelled",
+    "RunScheduler",
+    "RunStore",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceStopped",
+]

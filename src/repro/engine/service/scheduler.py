@@ -1,0 +1,175 @@
+"""The run scheduler: a pure state machine over submitted runs.
+
+Modelled on the centralized controllers of multi-tenant training
+schedulers: every submitted run moves through explicit sets —
+
+    pending -> ready -> inflight -> done | failed | cancelled
+
+``pending`` holds runs whose submitter is at their fair-share cap;
+``ready`` runs are dispatchable.  :meth:`next` picks the highest
+``priority`` band first, and *within* a band round-robins across
+submitters (fair sharing: two users submitting batches interleave
+instead of the first monopolizing the fleet), FIFO within one
+submitter.  Global concurrency is capped by ``max_inflight``; each
+submitter additionally by ``submitter_cap``.
+
+The class does no I/O and takes no locks — the service drives it under
+its own lock and persists transitions to the :class:`RunStore`, which
+is what makes the queue recoverable: a daemon restart replays the
+store's non-terminal records through :meth:`submit` and the machine is
+back where it was.
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+
+class _Entry:
+    """Scheduler-side record of one submitted run."""
+
+    def __init__(self, run_id: str, priority: int, submitter: str,
+                 seq: int):
+        self.run_id = run_id
+        self.priority = priority
+        self.submitter = submitter
+        self.seq = seq
+
+
+class RunScheduler:
+    """Priority + fair-share dispatch over a shared worker fleet.
+
+    Args:
+        max_inflight: How many runs may execute concurrently.
+        submitter_cap: How many of one submitter's runs may be
+            inflight at once.
+    """
+
+    def __init__(self, max_inflight: int = 1, submitter_cap: int = 1):
+        self.max_inflight = int(max_inflight)
+        self.submitter_cap = int(submitter_cap)
+        self._queued = {}             # run id -> _Entry (pending+ready)
+        self._inflight = {}           # run id -> _Entry
+        self._finished = {}           # run id -> outcome string
+        self._seq = count()
+        # priority band -> the submitter served last, so the next pick
+        # in that band starts *after* them (round-robin fairness).
+        self._last_served = {}
+
+    # -- intake ------------------------------------------------------------
+
+    def submit(self, run_id: str, priority: int = 0,
+               submitter: str = "anon") -> None:
+        """Queue one run (idempotent against double submission)."""
+        if run_id in self._queued or run_id in self._inflight:
+            return
+        self._finished.pop(run_id, None)
+        self._queued[run_id] = _Entry(str(run_id), int(priority),
+                                      str(submitter), next(self._seq))
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _ready(self) -> list:
+        """Queued entries whose submitter is under the fair-share cap."""
+        busy = {}
+        for entry in self._inflight.values():
+            busy[entry.submitter] = busy.get(entry.submitter, 0) + 1
+        return [
+            entry for entry in self._queued.values()
+            if busy.get(entry.submitter, 0) < self.submitter_cap
+        ]
+
+    def next(self) -> str:
+        """The run id to dispatch now, or ``None``.
+
+        Highest priority band first; within the band, the submitter
+        round-robin position advances past whoever was served last, and
+        that submitter's oldest run in the band goes out.  Does not
+        mark the run inflight — call :meth:`start` once execution
+        actually begins.
+        """
+        if len(self._inflight) >= self.max_inflight:
+            return None
+        ready = self._ready()
+        if not ready:
+            return None
+        top = max(entry.priority for entry in ready)
+        band = [entry for entry in ready if entry.priority == top]
+        submitters = sorted({entry.submitter for entry in band})
+        last = self._last_served.get(top)
+        if last in submitters:
+            pivot = submitters.index(last) + 1
+            submitters = submitters[pivot:] + submitters[:pivot]
+        chosen = submitters[0]
+        entry = min(
+            (e for e in band if e.submitter == chosen),
+            key=lambda e: e.seq,
+        )
+        return entry.run_id
+
+    def start(self, run_id: str) -> None:
+        """Move one queued run to inflight (books the fair-share turn)."""
+        entry = self._queued.pop(run_id)
+        self._inflight[run_id] = entry
+        self._last_served[entry.priority] = entry.submitter
+
+    def finish(self, run_id: str, outcome: str = "done") -> None:
+        """Retire an inflight (or queued) run with a terminal outcome."""
+        entry = self._inflight.pop(run_id, None)
+        if entry is None:
+            self._queued.pop(run_id, None)
+        self._finished[run_id] = outcome
+
+    def cancel(self, run_id: str) -> str:
+        """Cancel one run; returns where it was caught.
+
+        ``"queued"`` — removed before dispatch, nothing else to do;
+        ``"inflight"`` — the caller must interrupt the execution (the
+        entry stays inflight until :meth:`finish`); ``None`` — unknown
+        or already finished.
+        """
+        if run_id in self._queued:
+            del self._queued[run_id]
+            self._finished[run_id] = "cancelled"
+            return "queued"
+        if run_id in self._inflight:
+            return "inflight"
+        return None
+
+    # -- introspection -----------------------------------------------------
+
+    def queued_ids(self) -> list:
+        """Queued run ids in dispatch order (priority desc, then FIFO)."""
+        return [
+            entry.run_id
+            for entry in sorted(self._queued.values(),
+                                key=lambda e: (-e.priority, e.seq))
+        ]
+
+    def inflight_ids(self) -> list:
+        """Currently executing run ids, oldest first."""
+        return [
+            entry.run_id
+            for entry in sorted(self._inflight.values(),
+                                key=lambda e: e.seq)
+        ]
+
+    def snapshot(self) -> dict:
+        """The machine's sets as a JSON-safe dict (the ``queue`` reply)."""
+        ready_ids = {entry.run_id for entry in self._ready()}
+        return {
+            "queued": [
+                {
+                    "run": entry.run_id,
+                    "priority": entry.priority,
+                    "submitter": entry.submitter,
+                    "ready": entry.run_id in ready_ids,
+                }
+                for entry in sorted(self._queued.values(),
+                                    key=lambda e: (-e.priority, e.seq))
+            ],
+            "inflight": self.inflight_ids(),
+            "finished": dict(self._finished),
+            "max_inflight": self.max_inflight,
+            "submitter_cap": self.submitter_cap,
+        }

@@ -1,0 +1,194 @@
+"""The durable run store: one directory per accepted submission.
+
+Every run the service accepts gets ``<store_dir>/<run-id>/`` holding
+
+=========================== ===============================================
+``spec.json``               the submitted ExperimentSpec dict, verbatim
+``state.json``              the run's lifecycle record (state, priority,
+                            submitter, timestamps, error) — rewritten
+                            atomically on every transition
+``run.journal``             the PR-8 write-ahead log of completed work
+                            groups (appears once execution starts)
+``results.csv`` /           the finished table, both serializations —
+``results.json``            what ``repro results`` returns byte-for-byte
+``results.manifest.json``   the run's provenance manifest
+=========================== ===============================================
+
+The store *is* the queue's durability: a restarted daemon rescans it,
+re-queues every run whose state is not terminal, and the journal path
+makes interrupted runs resume instead of re-executing.  State files are
+written via a temp file + :func:`os.replace`, so a crash mid-write
+leaves the previous state, never a torn one.
+
+Run ids are ``r0001``-style counters allocated by scanning the store —
+monotonic across daemon restarts, and their lexicographic order *is*
+submission order (the scheduler's FIFO tiebreak).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from datetime import datetime, timezone
+from pathlib import Path
+
+#: Lifecycle states a run's ``state.json`` may carry.  ``queued`` /
+#: ``running`` / ``interrupted`` are recoverable (a restarted daemon
+#: re-queues them); ``done`` / ``failed`` / ``cancelled`` are terminal.
+RUN_STATES = ("queued", "running", "interrupted",
+              "done", "failed", "cancelled")
+
+#: The states a daemon restart feeds back into the scheduler.
+RECOVERABLE_STATES = ("queued", "running", "interrupted")
+
+#: The states that end a run (``repro submit --wait`` stops polling).
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+
+def _utc_now() -> str:
+    """Wall-clock timestamp for state transitions (ISO-8601, UTC)."""
+    return datetime.now(timezone.utc).isoformat(timespec="milliseconds")
+
+
+class RunStore:
+    """The on-disk run store rooted at one directory.
+
+    All methods are thread-safe (one process-wide lock — state files
+    are tiny and transitions rare), but the store is single-writer by
+    design: exactly one daemon owns a store directory at a time.
+    """
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    # -- paths -------------------------------------------------------------
+
+    def run_dir(self, run_id: str) -> Path:
+        """The run's directory (not necessarily existing yet)."""
+        return self.root / str(run_id)
+
+    def spec_path(self, run_id: str) -> Path:
+        """The run's submitted-spec file."""
+        return self.run_dir(run_id) / "spec.json"
+
+    def state_path(self, run_id: str) -> Path:
+        """The run's lifecycle-record file."""
+        return self.run_dir(run_id) / "state.json"
+
+    def journal_path(self, run_id: str) -> Path:
+        """The run's write-ahead journal (the resume seam)."""
+        return self.run_dir(run_id) / "run.journal"
+
+    def results_path(self, run_id: str, fmt: str = "csv") -> Path:
+        """The run's finished table (``fmt`` is ``csv`` or ``json``)."""
+        return self.run_dir(run_id) / f"results.{fmt}"
+
+    def manifest_path(self, run_id: str) -> Path:
+        """The run's provenance manifest."""
+        return self.run_dir(run_id) / "results.manifest.json"
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def create(self, spec: dict, priority: int = 0,
+               submitter: str = "anon") -> dict:
+        """Persist one accepted submission; return its state record.
+
+        Allocates the next ``rNNNN`` id, writes the spec verbatim and
+        an initial ``queued`` state.  The directory exists (with both
+        files fsync-replaced into place) before this returns — an
+        accepted submission survives an immediate crash.
+        """
+        with self._lock:
+            taken = [
+                int(path.name[1:])
+                for path in self.root.iterdir()
+                if path.is_dir() and path.name.startswith("r")
+                and path.name[1:].isdigit()
+            ]
+            run_id = f"r{max(taken, default=0) + 1:04d}"
+            run_dir = self.run_dir(run_id)
+            run_dir.mkdir(parents=True)
+            self._write_json(self.spec_path(run_id), spec)
+            state = {
+                "run": run_id,
+                "state": "queued",
+                "priority": int(priority),
+                "submitter": str(submitter),
+                "submitted_at": _utc_now(),
+            }
+            self._write_json(self.state_path(run_id), state)
+            return state
+
+    def spec(self, run_id: str) -> dict:
+        """The run's submitted spec dict (raises on unknown ids)."""
+        path = self.spec_path(run_id)
+        if not path.exists():
+            raise KeyError(f"no run {run_id!r} in store {self.root}")
+        return json.loads(path.read_text())
+
+    def state(self, run_id: str) -> dict:
+        """The run's current lifecycle record (raises on unknown ids)."""
+        path = self.state_path(run_id)
+        if not path.exists():
+            raise KeyError(f"no run {run_id!r} in store {self.root}")
+        return json.loads(path.read_text())
+
+    def update(self, run_id: str, **fields) -> dict:
+        """Merge ``fields`` into the run's state record, atomically.
+
+        A ``state`` transition is timestamped (``<state>_at``)
+        automatically; unknown states are rejected to keep the store's
+        vocabulary closed.
+        """
+        new_state = fields.get("state")
+        if new_state is not None and new_state not in RUN_STATES:
+            raise ValueError(
+                f"unknown run state {new_state!r} "
+                f"(one of {', '.join(RUN_STATES)})"
+            )
+        with self._lock:
+            state = json.loads(self.state_path(run_id).read_text())
+            state.update(fields)
+            if new_state is not None:
+                state[f"{new_state}_at"] = _utc_now()
+            self._write_json(self.state_path(run_id), state)
+            return state
+
+    def scan(self) -> list:
+        """Every run's state record, in run-id (= submission) order."""
+        records = []
+        for path in sorted(self.root.iterdir()):
+            state_file = path / "state.json"
+            if path.is_dir() and state_file.exists():
+                records.append(json.loads(state_file.read_text()))
+        return records
+
+    def recoverable(self) -> list:
+        """State records a restarted daemon must re-queue, in order.
+
+        ``running`` runs (the daemon died mid-execution) come back as
+        ``interrupted`` — their journal holds the completed units, so
+        re-dispatch resumes instead of re-executing.
+        """
+        found = []
+        for state in self.scan():
+            if state.get("state") not in RECOVERABLE_STATES:
+                continue
+            if state.get("state") == "running":
+                state = self.update(state["run"], state="interrupted")
+            found.append(state)
+        return found
+
+    @staticmethod
+    def _write_json(path: Path, payload: dict) -> None:
+        """Write ``payload`` to ``path`` atomically (tmp + replace)."""
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        data = json.dumps(payload, indent=2, sort_keys=True)
+        with open(tmp, "w") as handle:
+            handle.write(data + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)

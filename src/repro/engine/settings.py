@@ -89,6 +89,39 @@ DIST_START_TIMEOUT_ENV_VAR = "REPRO_ENGINE_DIST_START_TIMEOUT"
 #: shared cache dir before dispatching ("1"/"0"; default on).
 DIST_TRACE_STAGE_ENV_VAR = "REPRO_ENGINE_DIST_TRACE_STAGE"
 
+#: Shared secret for the HMAC challenge/response handshake on the
+#: coordinator's (and the experiment service's) listening socket;
+#: unset disables authentication.
+DIST_TOKEN_ENV_VAR = "REPRO_ENGINE_DIST_TOKEN"
+
+#: Row-record count per worker result frame: a worker flushes a
+#: ``result`` message once this many rows have accumulated; 0 (the
+#: default) coalesces a whole unit's rows into one frame.
+DIST_BATCH_ROWS_ENV_VAR = "REPRO_ENGINE_DIST_BATCH_ROWS"
+
+#: Address the experiment service (``repro serve``) binds; clients and
+#: workers connect to it.
+SERVICE_HOST_ENV_VAR = "REPRO_ENGINE_SERVICE_HOST"
+
+#: Port the experiment service listens on (0 = ephemeral).
+SERVICE_PORT_ENV_VAR = "REPRO_ENGINE_SERVICE_PORT"
+
+#: Root directory of the service's durable run store
+#: (``<dir>/<run-id>/`` holds spec, state, journal and results).
+SERVICE_DIR_ENV_VAR = "REPRO_ENGINE_SERVICE_DIR"
+
+#: How many submitted runs the service executes concurrently on its
+#: shared worker fleet.
+SERVICE_MAX_INFLIGHT_ENV_VAR = "REPRO_ENGINE_SERVICE_MAX_INFLIGHT"
+
+#: How many of one submitter's runs may be inflight at once (the
+#: fair-share cap; further submissions stay pending).
+SERVICE_SUBMITTER_CAP_ENV_VAR = "REPRO_ENGINE_SERVICE_SUBMITTER_CAP"
+
+#: Seconds a SIGTERM'd ``repro serve`` waits for inflight units to
+#: drain into the run journals before closing its sockets.
+SERVICE_DRAIN_TIMEOUT_ENV_VAR = "REPRO_ENGINE_SERVICE_DRAIN_TIMEOUT"
+
 #: Every environment variable the engine reads, in one tuple — the
 #: contract tested by ``tests/test_engine_settings.py``.
 ENGINE_ENV_VARS = (
@@ -110,6 +143,14 @@ ENGINE_ENV_VARS = (
     DIST_MAX_ATTEMPTS_ENV_VAR,
     DIST_START_TIMEOUT_ENV_VAR,
     DIST_TRACE_STAGE_ENV_VAR,
+    DIST_TOKEN_ENV_VAR,
+    DIST_BATCH_ROWS_ENV_VAR,
+    SERVICE_HOST_ENV_VAR,
+    SERVICE_PORT_ENV_VAR,
+    SERVICE_DIR_ENV_VAR,
+    SERVICE_MAX_INFLIGHT_ENV_VAR,
+    SERVICE_SUBMITTER_CAP_ENV_VAR,
+    SERVICE_DRAIN_TIMEOUT_ENV_VAR,
 )
 
 #: Sentinel distinguishing "no value given, consult the environment"
@@ -383,6 +424,105 @@ def resolve_dist_trace_stage(value=None,
                         boolean_flag)
 
 
+def resolve_dist_token(value=None):
+    """Shared auth secret: value > ``REPRO_ENGINE_DIST_TOKEN`` > None.
+
+    An empty string (either source) means "no authentication", the
+    same as leaving the variable unset.
+    """
+    if value is None:
+        value = os.environ.get(DIST_TOKEN_ENV_VAR)
+    token = str(value) if value else None
+    return token or None
+
+
+def nonnegative_int(value, source: str) -> int:
+    """Validate a count-or-disabled knob into an int >= 0."""
+    try:
+        count = int(str(value).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a non-negative integer, got {value!r}"
+        ) from None
+    if count < 0:
+        raise ValueError(
+            f"{source} must be a non-negative integer, got {value!r}"
+        )
+    return count
+
+
+def resolve_dist_batch_rows(value=None,
+                            source: str = "batch_rows") -> int:
+    """Rows per worker result frame: value >
+    ``REPRO_ENGINE_DIST_BATCH_ROWS`` > 0 (one frame per unit)."""
+    return _resolve_env(value, DIST_BATCH_ROWS_ENV_VAR, 0, source,
+                        nonnegative_int)
+
+
+def resolve_service_host(value=None) -> str:
+    """Service bind host: value > ``REPRO_ENGINE_SERVICE_HOST`` >
+    loopback."""
+    if value is not None:
+        return str(value)
+    return os.environ.get(SERVICE_HOST_ENV_VAR) or "127.0.0.1"
+
+
+def resolve_service_port(value=None, source: str = "port") -> int:
+    """Service port: value > ``REPRO_ENGINE_SERVICE_PORT`` > 7464.
+
+    0 is allowed and means "bind an ephemeral port" (the bound port is
+    reported by the service once listening).
+    """
+    if value is None:
+        value = os.environ.get(SERVICE_PORT_ENV_VAR)
+        if value is None:
+            return 7464
+        source = SERVICE_PORT_ENV_VAR
+    try:
+        port = int(str(value).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a TCP port (0-65535), got {value!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(
+            f"{source} must be a TCP port (0-65535), got {value!r}"
+        )
+    return port
+
+
+def resolve_service_dir(value=None) -> str:
+    """Run-store root: value > ``REPRO_ENGINE_SERVICE_DIR`` >
+    ``"runs"``."""
+    if value is not None:
+        return str(value)
+    return os.environ.get(SERVICE_DIR_ENV_VAR) or "runs"
+
+
+def resolve_service_max_inflight(value=None,
+                                 source: str = "max_inflight") -> int:
+    """Concurrent runs on the fleet: value >
+    ``REPRO_ENGINE_SERVICE_MAX_INFLIGHT`` > 1."""
+    return _resolve_env(value, SERVICE_MAX_INFLIGHT_ENV_VAR, 1, source,
+                        positive_int)
+
+
+def resolve_service_submitter_cap(value=None,
+                                  source: str = "submitter_cap") -> int:
+    """Per-submitter inflight cap: value >
+    ``REPRO_ENGINE_SERVICE_SUBMITTER_CAP`` > 1."""
+    return _resolve_env(value, SERVICE_SUBMITTER_CAP_ENV_VAR, 1, source,
+                        positive_int)
+
+
+def resolve_service_drain_timeout(value=None,
+                                  source: str = "drain_timeout") -> float:
+    """Graceful-shutdown drain budget in seconds: value >
+    ``REPRO_ENGINE_SERVICE_DRAIN_TIMEOUT`` > 30."""
+    return _resolve_env(value, SERVICE_DRAIN_TIMEOUT_ENV_VAR, 30.0,
+                        source, positive_float)
+
+
 @dataclass(frozen=True)
 class DistSettings:
     """One fully-resolved snapshot of every distributed-backend knob.
@@ -403,6 +543,13 @@ class DistSettings:
         trace_stage: When True the coordinator traces every unique
             frame into the shared cache dir before dispatching, so
             workers load artifacts by content key instead of re-tracing.
+        token: Shared secret for the HMAC challenge/response handshake
+            on the listening socket; unauthenticated peers are dropped.
+            ``None`` (the default) disables authentication.
+        batch_rows: Row records per worker result frame — a worker
+            flushes a partial ``result`` message once this many rows
+            have accumulated; 0 (the default) coalesces a whole unit's
+            rows into a single frame.
     """
 
     host: str = "127.0.0.1"
@@ -414,12 +561,15 @@ class DistSettings:
     max_attempts: int = 3
     start_timeout: float = 60.0
     trace_stage: bool = True
+    token: str = None
+    batch_rows: int = 0
 
     @classmethod
     def resolve(cls, host=None, port=None, chunksize=None,
                 unit_timeout=None, heartbeat_interval=None,
                 worker_timeout=None, max_attempts=None,
-                start_timeout=None, trace_stage=None) -> "DistSettings":
+                start_timeout=None, trace_stage=None, token=None,
+                batch_rows=None) -> "DistSettings":
         """Resolve every dist knob: explicit argument > environment >
         default — the same contract as :meth:`EngineSettings.resolve`."""
         return cls(
@@ -432,10 +582,16 @@ class DistSettings:
             max_attempts=resolve_dist_max_attempts(max_attempts),
             start_timeout=resolve_dist_start_timeout(start_timeout),
             trace_stage=resolve_dist_trace_stage(trace_stage),
+            token=resolve_dist_token(token),
+            batch_rows=resolve_dist_batch_rows(batch_rows),
         )
 
     def as_dict(self) -> dict:
-        """The resolved dist knobs as a JSON-safe dict (manifest form)."""
+        """The resolved dist knobs as a JSON-safe dict (manifest form).
+
+        The auth token is a secret: the manifest form records only
+        whether one is set, never its value.
+        """
         return {
             "host": self.host,
             "port": self.port,
@@ -446,6 +602,65 @@ class DistSettings:
             "max_attempts": self.max_attempts,
             "start_timeout": self.start_timeout,
             "trace_stage": self.trace_stage,
+            "token": bool(self.token),
+            "batch_rows": self.batch_rows,
+        }
+
+
+@dataclass(frozen=True)
+class ServiceSettings:
+    """One fully-resolved snapshot of every experiment-service knob.
+
+    Attributes:
+        host: Address ``repro serve`` binds; clients (``repro submit``
+            / ``status`` / ``results`` / ``cancel`` / ``queue``) and
+            workers connect to it.
+        port: Service TCP port; 0 binds an ephemeral port.
+        store_dir: Root of the durable run store — each accepted
+            submission gets a ``<store_dir>/<run-id>/`` directory with
+            its spec, state file, journal, results and manifest, from
+            which a restarted daemon recovers the queue.
+        max_inflight: How many submitted runs execute concurrently on
+            the shared worker fleet.
+        submitter_cap: How many of one submitter's runs may be
+            inflight at once; further submissions wait in ``pending``
+            (the fair-share cap).
+        drain_timeout: Seconds a SIGTERM'd daemon waits for inflight
+            units to drain into the run journals before closing.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 7464
+    store_dir: str = "runs"
+    max_inflight: int = 1
+    submitter_cap: int = 1
+    drain_timeout: float = 30.0
+
+    @classmethod
+    def resolve(cls, host=None, port=None, store_dir=None,
+                max_inflight=None, submitter_cap=None,
+                drain_timeout=None) -> "ServiceSettings":
+        """Resolve every service knob: explicit argument > environment
+        > default — the same contract as
+        :meth:`EngineSettings.resolve`."""
+        return cls(
+            host=resolve_service_host(host),
+            port=resolve_service_port(port),
+            store_dir=resolve_service_dir(store_dir),
+            max_inflight=resolve_service_max_inflight(max_inflight),
+            submitter_cap=resolve_service_submitter_cap(submitter_cap),
+            drain_timeout=resolve_service_drain_timeout(drain_timeout),
+        )
+
+    def as_dict(self) -> dict:
+        """The resolved service knobs as a JSON-safe dict."""
+        return {
+            "host": self.host,
+            "port": self.port,
+            "store_dir": self.store_dir,
+            "max_inflight": self.max_inflight,
+            "submitter_cap": self.submitter_cap,
+            "drain_timeout": self.drain_timeout,
         }
 
 

@@ -465,6 +465,111 @@ class TestFaultTolerance:
             spec.build_runner().run(backend=backend)
 
 
+class TestAuth:
+    def _handshake(self, port: int, token: str):
+        """Open a raw worker connection and answer the challenge."""
+        sock = socket.create_connection(("127.0.0.1", port),
+                                        timeout=5.0)
+        sock.settimeout(5.0)
+        send_message(sock, message("hello", worker="probe", pid=0))
+        challenge = recv_message(sock)
+        assert challenge["type"] == "challenge"
+        send_message(sock, message(
+            "auth",
+            digest=protocol_module.auth_digest(token,
+                                               challenge["nonce"]),
+        ))
+        return sock
+
+    def test_worker_socket_challenges_and_verifies(self):
+        from repro.engine.dist import Coordinator
+        from repro.engine.settings import DistSettings
+
+        spec = dist_spec(models=["SPP3"],
+                         scenarios=[{"name": "a", "seed": 0}])
+        runner = spec.build_runner()
+        units = build_units(runner, runner.plan(), 1)
+        coordinator = Coordinator(
+            units, settings=DistSettings.resolve(port=0, token="hush"),
+            hold_units=True,
+        )
+        coordinator.start()
+        try:
+            good = self._handshake(coordinator.port, "hush")
+            assert recv_message(good)["type"] == "welcome"
+            good.close()
+            bad = self._handshake(coordinator.port, "wrong-token")
+            # Dropped without a welcome: the failed digest closes the
+            # socket before any protocol state is reachable.
+            with pytest.raises(ConnectionClosed):
+                recv_message(bad)
+            bad.close()
+        finally:
+            coordinator.shutdown()
+
+    def test_authenticated_run_matches_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE_DIST_TOKEN", "hush")
+        spec = dist_spec(models=["SPP3"],
+                         scenarios=[{"name": "a", "seed": 0}])
+        port = free_port()
+        start_worker_thread(port)       # reads the token from the env
+        table = spec.build_runner().run(
+            backend=DistBackend(port=port, start_timeout=30))
+        assert table.to_csv() == serial_projection(spec).to_csv()
+
+
+class TestResultBatching:
+    def test_batched_run_matches_serial(self):
+        """batch_rows streams partial result frames; the assembled
+        table is still byte-identical to the serial run."""
+        spec = dist_spec()
+        port = free_port()
+        start_worker_thread(port)
+        table = spec.build_runner().run(
+            backend=DistBackend(port=port, start_timeout=30,
+                                chunksize=4, batch_rows=1))
+        assert table.to_csv() == serial_projection(spec).to_csv()
+
+    def test_worker_flushes_partial_frames(self):
+        spec = dist_spec(models=["SPP3"])
+        runner = spec.build_runner()
+        units = build_units(runner, runner.plan(), chunksize=2)
+        entries = units[0]["groups"]
+        assert len(entries) == 2
+        left, right = socket.socketpair()
+        try:
+            worker = Worker(("127.0.0.1", 0))
+            final = worker._run_unit(left, "u7", entries, TraceCache(),
+                                     {"synthetic": FrameProvider()},
+                                     batch_rows=1)
+            partial = recv_message(right)
+        finally:
+            left.close()
+            right.close()
+        assert partial["type"] == "result"
+        assert partial["done"] is False
+        assert set(partial["groups"]) == {"0"}
+        assert final["done"] is True
+        assert set(final["groups"]) == {"1"}
+        # Between them the frames cover the unit exactly once.
+        assert partial["groups"]["0"] and final["groups"]["1"]
+
+    def test_single_group_units_stay_one_frame(self):
+        spec = dist_spec(models=["SPP3"],
+                         scenarios=[{"name": "a", "seed": 0}])
+        runner = spec.build_runner()
+        units = build_units(runner, runner.plan(), chunksize=1)
+        worker = Worker(("127.0.0.1", 0))
+        final = worker._run_unit(None, "u1", units[0]["groups"],
+                                 TraceCache(),
+                                 {"synthetic": FrameProvider()},
+                                 batch_rows=1)
+        # No socket needed: one group never flushes a partial frame,
+        # and the legacy single-frame shape (no "done" key) is kept.
+        assert final.get("done", True) is True
+        assert set(final["groups"]) == {"0"}
+
+
 class TestDistSelection:
     def test_dist_requires_a_spec_built_runner(self):
         runner = ExperimentRunner(simulators=["spade-he"],

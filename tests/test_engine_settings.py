@@ -177,12 +177,20 @@ class TestDelegation:
         import repro.engine.dist.protocol
         import repro.engine.dist.worker
         import repro.engine.runner
+        import repro.engine.service.client
+        import repro.engine.service.scheduler
+        import repro.engine.service.server
+        import repro.engine.service.store
 
         for module in (repro.engine.runner, repro.engine.backends,
                        repro.engine.cache, sparse_rulegen,
                        repro.engine.dist.coordinator,
                        repro.engine.dist.protocol,
-                       repro.engine.dist.worker):
+                       repro.engine.dist.worker,
+                       repro.engine.service.client,
+                       repro.engine.service.scheduler,
+                       repro.engine.service.server,
+                       repro.engine.service.store):
             assert "os.environ" not in inspect.getsource(module), module
 
     def test_resolve_cache_dir_empty_string_is_none(self, monkeypatch):
@@ -206,6 +214,8 @@ class TestDistKnobs:
         assert settings.max_attempts == 3
         assert settings.start_timeout == 60.0
         assert settings.trace_stage is True
+        assert settings.token is None
+        assert settings.batch_rows == 0
 
     def test_env_overrides_defaults(self, monkeypatch):
         from repro.engine.settings import DistSettings
@@ -219,11 +229,14 @@ class TestDistKnobs:
         monkeypatch.setenv("REPRO_ENGINE_DIST_MAX_ATTEMPTS", "7")
         monkeypatch.setenv("REPRO_ENGINE_DIST_START_TIMEOUT", "5")
         monkeypatch.setenv("REPRO_ENGINE_DIST_TRACE_STAGE", "0")
+        monkeypatch.setenv("REPRO_ENGINE_DIST_TOKEN", "s3cret")
+        monkeypatch.setenv("REPRO_ENGINE_DIST_BATCH_ROWS", "16")
         settings = DistSettings.resolve()
         assert settings == DistSettings(
             host="0.0.0.0", port=9001, chunksize=4, unit_timeout=12.5,
             heartbeat_interval=0.5, worker_timeout=3.0, max_attempts=7,
-            start_timeout=5.0, trace_stage=False,
+            start_timeout=5.0, trace_stage=False, token="s3cret",
+            batch_rows=16,
         )
 
     def test_explicit_beats_env(self, monkeypatch):
@@ -247,6 +260,8 @@ class TestDistKnobs:
         ("REPRO_ENGINE_DIST_MAX_ATTEMPTS", "1.5"),
         ("REPRO_ENGINE_DIST_START_TIMEOUT", "0"),
         ("REPRO_ENGINE_DIST_TRACE_STAGE", "maybe"),
+        ("REPRO_ENGINE_DIST_BATCH_ROWS", "-1"),
+        ("REPRO_ENGINE_DIST_BATCH_ROWS", "lots"),
     ])
     def test_bad_env_values_name_the_variable(self, monkeypatch, var,
                                               bad):
@@ -270,7 +285,80 @@ class TestDistKnobs:
         with pytest.raises(ValueError, match="max_attempts"):
             resolve_dist_max_attempts("few")
 
+    def test_empty_token_means_no_auth(self, monkeypatch):
+        from repro.engine.settings import DistSettings
+
+        monkeypatch.setenv("REPRO_ENGINE_DIST_TOKEN", "")
+        assert DistSettings.resolve().token is None
+        assert DistSettings.resolve(token="").token is None
+
+    def test_as_dict_never_leaks_the_token(self):
+        from repro.engine.settings import DistSettings
+
+        masked = DistSettings.resolve(token="s3cret").as_dict()
+        assert masked["token"] is True
+        assert "s3cret" not in repr(masked)
+        assert DistSettings.resolve().as_dict()["token"] is False
+
     def test_dist_vars_are_in_the_engine_contract(self):
         dist_vars = [var for var in ENGINE_ENV_VARS
                      if var.startswith("REPRO_ENGINE_DIST_")]
-        assert len(dist_vars) == 9
+        assert len(dist_vars) == 11
+
+
+class TestServiceKnobs:
+    """REPRO_ENGINE_SERVICE_* resolves through the same resolver."""
+
+    def test_defaults(self):
+        from repro.engine.settings import ServiceSettings
+
+        settings = ServiceSettings.resolve()
+        assert settings == ServiceSettings(
+            host="127.0.0.1", port=7464, store_dir="runs",
+            max_inflight=1, submitter_cap=1, drain_timeout=30.0,
+        )
+
+    def test_env_overrides_defaults(self, monkeypatch, tmp_path):
+        from repro.engine.settings import ServiceSettings
+
+        monkeypatch.setenv("REPRO_ENGINE_SERVICE_HOST", "0.0.0.0")
+        monkeypatch.setenv("REPRO_ENGINE_SERVICE_PORT", "7700")
+        monkeypatch.setenv("REPRO_ENGINE_SERVICE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_ENGINE_SERVICE_MAX_INFLIGHT", "3")
+        monkeypatch.setenv("REPRO_ENGINE_SERVICE_SUBMITTER_CAP", "2")
+        monkeypatch.setenv("REPRO_ENGINE_SERVICE_DRAIN_TIMEOUT", "12.5")
+        settings = ServiceSettings.resolve()
+        assert settings == ServiceSettings(
+            host="0.0.0.0", port=7700, store_dir=str(tmp_path),
+            max_inflight=3, submitter_cap=2, drain_timeout=12.5,
+        )
+
+    def test_explicit_beats_env(self, monkeypatch):
+        from repro.engine.settings import ServiceSettings
+
+        monkeypatch.setenv("REPRO_ENGINE_SERVICE_PORT", "7700")
+        monkeypatch.setenv("REPRO_ENGINE_SERVICE_MAX_INFLIGHT", "3")
+        settings = ServiceSettings.resolve(port=0, max_inflight=1)
+        assert settings.port == 0          # ephemeral is a valid choice
+        assert settings.max_inflight == 1
+
+    @pytest.mark.parametrize("var, bad", [
+        ("REPRO_ENGINE_SERVICE_PORT", "loud"),
+        ("REPRO_ENGINE_SERVICE_PORT", "70000"),
+        ("REPRO_ENGINE_SERVICE_MAX_INFLIGHT", "0"),
+        ("REPRO_ENGINE_SERVICE_SUBMITTER_CAP", "-1"),
+        ("REPRO_ENGINE_SERVICE_DRAIN_TIMEOUT", "0"),
+        ("REPRO_ENGINE_SERVICE_DRAIN_TIMEOUT", "later"),
+    ])
+    def test_bad_env_values_name_the_variable(self, monkeypatch, var,
+                                              bad):
+        from repro.engine.settings import ServiceSettings
+
+        monkeypatch.setenv(var, bad)
+        with pytest.raises(ValueError, match=var):
+            ServiceSettings.resolve()
+
+    def test_service_vars_are_in_the_engine_contract(self):
+        service_vars = [var for var in ENGINE_ENV_VARS
+                        if var.startswith("REPRO_ENGINE_SERVICE_")]
+        assert len(service_vars) == 6
