@@ -28,6 +28,9 @@ Times the same scenarios x models x simulators grid several ways —
 * **columnar export**: ``to_csv`` straight off the table's struct
   arrays vs the legacy per-row object walk on a sweep-sized synthetic
   table (identical bytes asserted);
+* **telemetry overhead**: the cold sweep with span tracing on vs off
+  (alternating cold rounds, min per variant) — the full price of
+  ``--trace-out``, capped at 5% by ``check_regression.py``;
 * **disk cache**: only when ``REPRO_TRACE_CACHE_DIR`` is set — a cold
   run populating the persistent tier, then a second fresh-cache run
   that must serve every trace from disk (the CI bench-smoke job asserts
@@ -99,6 +102,7 @@ EXPORT_ROWS = 4000
 EXPORT_ROUNDS = 3
 DELTA_ROUNDS = 3
 DELTA_FRAMES = 8
+TELEMETRY_ROUNDS = 3
 
 RESULTS_PATH = Path(__file__).parent / "results" / "engine_runner_timings.json"
 
@@ -463,6 +467,44 @@ def _disk_cache_sweep(grid: dict) -> dict:
     }
 
 
+def _telemetry_overhead_sweep(grid: dict) -> dict:
+    """The cold serial sweep with span tracing on vs off.
+
+    Same measurement protocol as the batching sweep: variants alternate
+    over the cold rounds, heavyweight state is released between
+    timings, and each variant's minimum is reported.  The traced
+    variant runs under an active :class:`SpanTracer` — every span
+    site in trace/simulate/serialize/cache is live — so
+    ``overhead_fraction`` is the full price of ``--trace-out``;
+    ``check_regression.py`` caps it at 5%.
+    """
+    from repro.engine import telemetry
+
+    times = {"off": [], "on": []}
+    spans = 0
+    for _ in range(TELEMETRY_ROUNDS):
+        for label in ("off", "on"):
+            runner = _build_runner(grid)
+            tracer = (telemetry.SpanTracer(process="bench")
+                      if label == "on" else None)
+            with telemetry.tracing(tracer):
+                table, elapsed = _timed_run(runner, parallel=False)
+                table.to_csv()
+            times[label].append(elapsed)
+            if tracer is not None:
+                spans = sum(tracer.counts().values())
+            _release_run_state(runner, table)
+    off_s = min(times["off"])
+    on_s = min(times["on"])
+    return {
+        "rounds": TELEMETRY_ROUNDS,
+        "spans_per_run": spans,
+        "untraced_s": off_s,
+        "traced_s": on_s,
+        "overhead_fraction": on_s / off_s - 1.0,
+    }
+
+
 def _dist_sweep(grid: dict) -> dict:
     """The grid through the dist backend: 2 loopback workers, parity
     asserted against the serial table (in its JSON wire projection)."""
@@ -540,6 +582,7 @@ def run_sweeps(smoke: bool = False) -> dict:
     delta_timings = _delta_trace_sweep(grid)
     columnar_export = _columnar_export_sweep()
     scaling = _rulegen_scaling()
+    telemetry_overhead = _telemetry_overhead_sweep(grid)
     disk_cache = _disk_cache_sweep(grid)
     dist = _dist_sweep(grid)
 
@@ -570,6 +613,7 @@ def run_sweeps(smoke: bool = False) -> dict:
         "delta_trace": delta_timings,
         "columnar_export": columnar_export,
         "rulegen_scaling": scaling,
+        "telemetry_overhead": telemetry_overhead,
         "dist": dist,
         "trace_cache": trace_cache_stats,
         "max_workers": max_workers,
@@ -627,6 +671,12 @@ def check_sweeps(timings: dict) -> None:
     if (timings["cpus"] or 1) > 1:
         backends = timings["backends"]
         assert backends["cold_process_s"] < backends["cold_serial_s"]
+    # Tracing must have been measured with live spans; the <5% overhead
+    # cap itself is enforced by check_regression.py against the fresh
+    # measurement (a hard cap, not a baseline ratio).
+    overhead = timings["telemetry_overhead"]
+    assert overhead["spans_per_run"] > 0
+    assert overhead["untraced_s"] > 0 and overhead["traced_s"] > 0
     # The distributed backend covered the whole plan (parity with the
     # serial table is asserted inside the sweep itself).
     dist = timings["dist"]

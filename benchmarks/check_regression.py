@@ -7,7 +7,9 @@ batched-vs-unbatched serial ratio (frame batching must never again be
 slower than the equivalent single-frame scenarios), the fused-vs-
 legacy rulegen speedup (the trace-layer hot path), and the delta-vs-
 full trace speedup (sequential frames must keep patching cheaper than
-rebuilding).
+rebuilding).  The ``telemetry_overhead`` section is additionally held
+to a hard cap: enabled span tracing must cost under 5% vs the untraced
+sweep measured in the same run.
 
 The gate compares *speedup ratios* (each measured against its own
 counterpart in the same run), not absolute seconds: ratios share the
@@ -38,6 +40,11 @@ GATED_METRICS = (
     "speedup_fused_vs_legacy",
     "speedup_delta_vs_full",
 )
+
+#: Hard cap on enabled-tracing overhead (``telemetry_overhead``
+#: section): traced vs untraced cold sweeps in the *same* run, so the
+#: fraction shares the machine's noise and needs no baseline ratio.
+TELEMETRY_OVERHEAD_CAP = 0.05
 
 
 def compare(fresh: dict, baseline: dict, threshold: float) -> list:
@@ -125,6 +132,19 @@ def main(argv=None) -> int:
             f"  {metric:30s} baseline {base_text:>9s}  "
             f"fresh {fresh_text:>9s}  ratio {ratio_text:>5s}  {status}"
         )
+
+    section = fresh.get("telemetry_overhead") or {}
+    overhead = section.get("overhead_fraction")
+    overhead_ok = overhead is not None and overhead <= TELEMETRY_OVERHEAD_CAP
+    overhead_text = "missing" if overhead is None else f"{overhead:+.2%}"
+    status = "ok" if overhead_ok else "REGRESSED"
+    print(
+        f"  {'telemetry_overhead':30s} cap "
+        f"{TELEMETRY_OVERHEAD_CAP:>8.0%}  "
+        f"fresh {overhead_text:>9s}  ratio     -  {status}"
+    )
+    if not overhead_ok:
+        failed.append(("telemetry_overhead",))
 
     if failed:
         print(

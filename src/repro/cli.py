@@ -211,27 +211,47 @@ def _cmd_run(args) -> int:
         f"on the {backend_name} backend"
     )
     observer = RunObserver() if to_file else None
-    table = runner.run(progress=args.progress, observer=observer,
-                       journal=journal)
-    if journal is not None:
-        done = journal.summary()
-        _status(
-            f"journal {done['path']}: resumed {done['resumed_units']} "
-            f"unit(s), appended {done['appended_units']}"
-        )
-    try:
-        _emit_table(table, out, args.format)
-        if to_file:
-            manifest = RunManifest.collect(runner, table,
-                                           observer=observer,
-                                           journal=journal)
-            manifest_path = manifest.write(manifest_path_for(out))
-            _status(f"wrote run manifest to {manifest_path}")
-    except OSError as error:
-        raise ValueError(
-            f"cannot write results to {out!r}: {error}; pick a "
-            f"writable --out path"
-        ) from None
+    from .engine import telemetry
+    from .engine.settings import TelemetrySettings
+
+    # --trace-out implies tracing on; REPRO_ENGINE_TELEMETRY=1 alone
+    # traces (manifest span counts) without writing an export file.
+    tel = TelemetrySettings.resolve(
+        enabled=(True if args.trace_out is not None else None),
+        trace_out=args.trace_out,
+    )
+    tracer = (telemetry.SpanTracer(process="runner")
+              if tel.enabled or tel.trace_out is not None else None)
+    with telemetry.tracing(tracer):
+        table = runner.run(progress=args.progress, observer=observer,
+                           journal=journal)
+        if journal is not None:
+            done = journal.summary()
+            _status(
+                f"journal {done['path']}: resumed {done['resumed_units']} "
+                f"unit(s), appended {done['appended_units']}"
+            )
+        try:
+            _emit_table(table, out, args.format)
+            if to_file:
+                manifest = RunManifest.collect(runner, table,
+                                               observer=observer,
+                                               journal=journal)
+                manifest_path = manifest.write(manifest_path_for(out))
+                _status(f"wrote run manifest to {manifest_path}")
+        except OSError as error:
+            raise ValueError(
+                f"cannot write results to {out!r}: {error}; pick a "
+                f"writable --out path"
+            ) from None
+    if tracer is not None and tel.trace_out is not None:
+        try:
+            _status(f"wrote Chrome trace to {tracer.export(tel.trace_out)}")
+        except OSError as error:
+            raise ValueError(
+                f"cannot write trace to {tel.trace_out!r}: {error}; "
+                f"pick a writable --trace-out path"
+            ) from None
     return 0
 
 
@@ -304,8 +324,9 @@ def _cmd_worker(args) -> int:
 def _cmd_serve(args) -> int:
     import signal
 
+    from .engine import telemetry
     from .engine.service import ExperimentService
-    from .engine.settings import ServiceSettings
+    from .engine.settings import ServiceSettings, TelemetrySettings
 
     settings = ServiceSettings.resolve(
         host=args.host,
@@ -315,12 +336,27 @@ def _cmd_serve(args) -> int:
         submitter_cap=args.submitter_cap,
         drain_timeout=args.drain_timeout,
     )
+    tel = TelemetrySettings.resolve(metrics_port=args.metrics_port)
     service = ExperimentService(settings)
     try:
         service.start()
     except Exception as error:  # noqa: BLE001 — bind errors are usage errors
         raise ValueError(f"cannot start the experiment service: {error}") \
             from None
+    metrics_server = None
+    if tel.metrics_port is not None:
+        try:
+            metrics_server = telemetry.serve_metrics(tel.metrics_port)
+        except OSError as error:
+            service.stop(drain=False)
+            raise ValueError(
+                f"cannot bind the metrics endpoint on port "
+                f"{tel.metrics_port}: {error}"
+            ) from None
+        _status(
+            f"Prometheus metrics on http://127.0.0.1:"
+            f"{metrics_server.server_address[1]}/metrics"
+        )
     _status(
         f"experiment service on {settings.host}:{service.port} "
         f"(store {settings.store_dir}, max_inflight "
@@ -328,7 +364,11 @@ def _cmd_serve(args) -> int:
     )
     for signum in (signal.SIGTERM, signal.SIGINT):
         signal.signal(signum, lambda *_: service.request_stop())
-    return service.serve_forever()
+    try:
+        return service.serve_forever()
+    finally:
+        if metrics_server is not None:
+            metrics_server.shutdown()
 
 
 def _service_client(args):
@@ -373,26 +413,99 @@ def _print_run_state(state: dict) -> None:
     for key in ("state", "priority", "submitter", "submitted_at",
                 "running_at", "done_at", "failed_at", "cancelled_at",
                 "interrupted_at", "rows", "resumed_units",
-                "appended_units", "error"):
+                "appended_units", "unit_seconds", "error"):
         if state.get(key) is not None:
             _out(f"  {key:<14}: {state[key]}")
+
+
+def _counter_total(metrics: dict, name: str) -> int:
+    """Sum one counter across its label series in a metrics snapshot."""
+    series = (metrics.get("counters") or {}).get(name) or []
+    return int(sum(entry.get("value") or 0 for entry in series))
+
+
+def _fleet_lines(reply: dict, metrics: dict = None) -> list:
+    """The service summary as display lines.
+
+    One renderer behind both ``repro status`` (printed once) and
+    ``repro top`` (reprinted per refresh): worker roster, inflight
+    runs, the dispatch-ordered queue, and — when a metrics snapshot is
+    supplied — the fleet counters.
+    """
+    service = reply.get("service") or {}
+    queue = reply.get("queue") or {}
+    workers = reply.get("workers") or []
+    lines = [
+        f"experiment service {service.get('host')}:{service.get('port')} "
+        f"(store {service.get('store_dir')})"
+        + (" [draining]" if service.get("draining") else ""),
+        "",
+        f"workers ({len(workers)}):",
+    ]
+    if workers:
+        lines.append(f"  {'worker':<24} {'pid':>8}  inflight")
+        for entry in workers:
+            lines.append(
+                f"  {str(entry.get('worker')):<24} "
+                f"{str(entry.get('pid') or '-'):>8}  "
+                f"{entry.get('inflight') or '-'}"
+            )
+    else:
+        lines.append("  (none connected)")
+    inflight = queue.get("inflight") or []
+    lines.append("")
+    lines.append(
+        f"inflight runs ({len(inflight)}/{queue.get('max_inflight')}): "
+        f"{', '.join(inflight) or '-'}"
+    )
+    queued = queue.get("queued") or []
+    lines.append(f"queued ({len(queued)}):")
+    for entry in queued:
+        note = "" if entry.get("ready") else " [submitter at cap]"
+        lines.append(
+            f"  {entry['run']}  priority {entry['priority']:<3} "
+            f"{entry['submitter']}{note}"
+        )
+    if metrics is not None:
+        lines.append("")
+        lines.append(
+            f"rows streamed {_counter_total(metrics, 'repro_rows_streamed_total')}"
+            f" | heartbeats {_counter_total(metrics, 'repro_heartbeats_total')}"
+            f" | requeues {_counter_total(metrics, 'repro_requeues_total')}"
+            f" | cache gets {_counter_total(metrics, 'repro_cache_gets_total')}"
+        )
+    return lines
+
+
+def _follow_summary(client, interval: float) -> int:
+    """Refresh the service summary until interrupted (``--follow``)."""
+    import time as _time
+
+    while True:
+        reply = _service_call(client.status)
+        try:
+            metrics = _service_call(client.metrics)
+        except ValueError:
+            metrics = None
+        sys.stdout.write("\x1b[2J\x1b[H")
+        _out("\n".join(_fleet_lines(reply, metrics)))
+        sys.stdout.flush()
+        try:
+            _time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def _cmd_status(args) -> int:
     client = _service_client(args)
     if args.run is None:
+        if args.follow:
+            try:
+                return _follow_summary(client, interval=2.0)
+            except KeyboardInterrupt:
+                return 0
         reply = _service_call(client.status)
-        service = reply.get("service") or {}
-        queue = reply.get("queue") or {}
-        _out(f"experiment service {service.get('host')}:"
-             f"{service.get('port')} (store {service.get('store_dir')})")
-        _out(f"  workers   : {len(reply.get('workers') or [])}")
-        _out(f"  inflight  : {', '.join(queue.get('inflight') or []) or '-'}")
-        queued = queue.get("queued") or []
-        _out(f"  queued    : {len(queued)}")
-        for entry in queued:
-            _out(f"    {entry['run']} (priority {entry['priority']}, "
-                 f"{entry['submitter']})")
+        _out("\n".join(_fleet_lines(reply)))
         return 0
     if args.wait:
         state = _service_call(lambda: client.wait(args.run))
@@ -400,6 +513,22 @@ def _cmd_status(args) -> int:
         state = _service_call(lambda: client.status(args.run))
     _print_run_state(state)
     return 0
+
+
+def _cmd_top(args) -> int:
+    client = _service_client(args)
+    if args.once:
+        reply = _service_call(client.status)
+        try:
+            metrics = _service_call(client.metrics)
+        except ValueError:
+            metrics = None
+        _out("\n".join(_fleet_lines(reply, metrics)))
+        return 0
+    try:
+        return _follow_summary(client, interval=args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_results(args) -> int:
@@ -464,16 +593,29 @@ def _cmd_journal(args) -> int:
     _out(f"  spec_hash   : {header.get('spec_hash')}")
     units = info["units"]
     _out(f"  completed   : {len(units)} unit(s)")
-    for record in units:
-        rows = record.get("rows") or []
-        line = f"  {record.get('unit'):<24}: {len(rows)} row(s)"
-        seconds = record.get("seconds")
-        if seconds is not None:
-            line += f", {seconds:.2f}s"
-        worker = record.get("worker")
-        if worker:
-            line += f" on {worker}"
-        _out(line)
+    if args.timings:
+        # The seconds column totals to the run's unit_seconds — the
+        # same number `repro status <run>` reports from the service.
+        _out(f"  {'unit':<24}  {'rows':>6}  {'seconds':>9}  worker")
+        total = 0.0
+        for record in units:
+            seconds = float(record.get("seconds") or 0.0)
+            total += seconds
+            _out(f"  {record.get('unit'):<24}  "
+                 f"{len(record.get('rows') or []):>6}  "
+                 f"{seconds:>9.2f}  {record.get('worker') or '-'}")
+        _out(f"  {'total':<24}  {'':>6}  {total:>9.2f}")
+    else:
+        for record in units:
+            rows = record.get("rows") or []
+            line = f"  {record.get('unit'):<24}: {len(rows)} row(s)"
+            seconds = record.get("seconds")
+            if seconds is not None:
+                line += f", {seconds:.2f}s"
+            worker = record.get("worker")
+            if worker:
+                line += f" on {worker}"
+            _out(line)
     if info["dropped"]:
         _out(f"  dropped     : {info['dropped']} invalid line(s) "
              f"(skipped on resume)")
@@ -746,6 +888,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="output format for --out (inferred from the "
                           "file suffix when omitted; '-' defaults to "
                           "csv)")
+    run.add_argument("--trace-out", dest="trace_out", metavar="PATH",
+                     help="trace the run and write a Chrome trace-event "
+                          "JSON timeline here (open it in Perfetto); "
+                          "implies REPRO_ENGINE_TELEMETRY=1")
     run.add_argument("--progress", action="store_true",
                      help="print per-group completion (done/total, "
                           "elapsed) to stderr while the sweep runs")
@@ -829,6 +975,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--submitter-cap", dest="submitter_cap",
                        help="per-submitter inflight cap (default "
                             "REPRO_ENGINE_SERVICE_SUBMITTER_CAP)")
+    serve.add_argument("--metrics-port", dest="metrics_port",
+                       help="serve Prometheus text exposition at "
+                            "http://127.0.0.1:PORT/metrics (0 for an "
+                            "ephemeral port; default: no endpoint)")
     serve.add_argument("--drain-timeout", dest="drain_timeout",
                        help="SIGTERM drain budget in seconds (default "
                             "REPRO_ENGINE_SERVICE_DRAIN_TIMEOUT)")
@@ -862,6 +1012,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     status.add_argument("run", nargs="?",
                         help="run id (omit for the service summary)")
+    status.add_argument("--follow", action="store_true",
+                        help="without a run id: keep the service "
+                             "summary refreshing until Ctrl-C (like "
+                             "`repro top`)")
     status.add_argument("--wait", action="store_true",
                         help="block until the run reaches a terminal "
                              "state")
@@ -895,6 +1049,19 @@ def build_parser() -> argparse.ArgumentParser:
     _client_flags(queue)
     queue.set_defaults(func=_cmd_queue)
 
+    top = commands.add_parser(
+        "top",
+        help="live fleet view: refreshing worker roster, queue and "
+             "counters from a running service",
+    )
+    _client_flags(top)
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh period in seconds (default 2)")
+    top.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit (no refresh "
+                          "loop; scripts and tests)")
+    top.set_defaults(func=_cmd_top)
+
     journal = commands.add_parser(
         "journal",
         help="inspect a run journal written by `repro run "
@@ -902,6 +1069,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     journal.add_argument("action", choices=("inspect",))
     journal.add_argument("path", help="journal file to inspect")
+    journal.add_argument("--timings", action="store_true",
+                         help="per-unit rows/seconds/worker columns "
+                              "plus a total-seconds row")
     journal.set_defaults(func=_cmd_journal)
 
     cache = commands.add_parser(

@@ -41,7 +41,12 @@
 * :mod:`repro.engine.faults`     — the deterministic fault-injection
   harness (:class:`FaultPlan` from ``REPRO_ENGINE_FAULTS``) the chaos
   tests drive worker kills, dropped connections, stalled heartbeats
-  and corrupted cache entries through.
+  and corrupted cache entries through;
+* :mod:`repro.engine.telemetry`  — the live observability layer:
+  :class:`SpanTracer` (Chrome trace-event export, fleet-merged
+  timelines), :class:`MetricsRegistry` (Prometheus exposition behind
+  ``repro serve --metrics-port``), and the one lock-guarded stderr
+  writer.
 """
 
 from .backends import (
@@ -107,6 +112,14 @@ from .runner import (
     Scenario,
     validate_scenario,
 )
+from .telemetry import (
+    MetricsRegistry,
+    SpanTracer,
+    log_line,
+    metrics,
+    serve_metrics,
+    tracing,
+)
 from .settings import (
     BACKEND_ENV_VAR,
     CACHE_DIR_ENV_VAR,
@@ -119,6 +132,7 @@ from .settings import (
     TRACE_WORKERS_ENV_VAR,
     WORKERS_ENV_VAR,
     EngineSettings,
+    TelemetrySettings,
 )
 from .simulators import (
     DenseAccSimulator,
@@ -196,6 +210,7 @@ __all__ = [
     "GatherDramSim",
     "InjectedFault",
     "MappingSim",
+    "MetricsRegistry",
     "PlatformSim",
     "PointAccSim",
     "ProcessBackend",
@@ -211,9 +226,11 @@ __all__ = [
     "ServiceError",
     "SimResult",
     "Simulator",
+    "SpanTracer",
     "SpConv2DSim",
     "SpadeNoOverlapSim",
     "SpadeSimulator",
+    "TelemetrySettings",
     "ThreadBackend",
     "TraceCache",
     "TraceStatsSim",
@@ -225,9 +242,11 @@ __all__ = [
     "clear_disk_tier",
     "frame_fingerprint",
     "git_revision",
+    "log_line",
     "manifest_path_for",
     "scan_disk_tier",
     "mean_result",
+    "metrics",
     "read_journal",
     "spec_hash",
     "register_backend",
@@ -235,8 +254,10 @@ __all__ = [
     "register_simulator",
     "resolve_backend",
     "resolve_simulators",
+    "serve_metrics",
     "shared_trace_cache",
     "spec_fingerprint",
+    "tracing",
     "unit_key",
     "validate_scenario",
 ]

@@ -39,7 +39,6 @@ from __future__ import annotations
 
 import contextlib
 import shutil
-import sys
 import tempfile
 import threading
 import time
@@ -47,6 +46,7 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import partial
 
+from . import telemetry
 from .cache import TraceCache
 from .registry import BACKENDS, register_backend
 from .result import mean_result
@@ -86,12 +86,19 @@ def execute_cell(scenario, simulator, traces) -> list:
     """
     batched = scenario.frames > 1
     per_frame = []
-    for index, trace in enumerate(traces):
-        result = simulator.run(trace)
-        result.scenario = scenario.name
-        if batched:
-            result.frame = index
-        per_frame.append(result)
+    started = time.perf_counter()
+    with telemetry.span("simulate", "engine", scenario=scenario.name,
+                        simulator=simulator.name):
+        for index, trace in enumerate(traces):
+            result = simulator.run(trace)
+            result.scenario = scenario.name
+            if batched:
+                result.frame = index
+            per_frame.append(result)
+    telemetry.metrics().observe(
+        "repro_simulate_seconds", time.perf_counter() - started,
+        scenario=scenario.name, simulator=simulator.name,
+    )
     rows = list(per_frame)
     if batched:
         rows.append(mean_result(per_frame))
@@ -173,8 +180,11 @@ class ProgressReporter:
     distributed coordinator from connection handlers.  ``sink`` may be a
     callable ``(done, total, elapsed_seconds)`` for programmatic
     consumers (tests, dashboards); the default prints
-    ``groups done/total (elapsed)`` lines to ``stderr`` so ``--out -``
-    tables stay clean.
+    ``groups done/total (elapsed)`` lines to ``stderr`` — through
+    :func:`repro.engine.telemetry.log_line`, the one lock-guarded
+    line-buffered writer worker warnings also use, so concurrent
+    emitters never interleave mid-line — and ``--out -`` tables stay
+    clean.
     """
 
     def __init__(self, total: int, sink=None, label: str = "groups"):
@@ -195,10 +205,9 @@ class ProgressReporter:
             if self._sink is not None:
                 self._sink(self.done, self.total, elapsed)
             else:
-                print(
+                telemetry.log_line(
                     f"[repro] {self.label} {self.done}/{self.total} "
-                    f"({elapsed:.1f}s)",
-                    file=sys.stderr,
+                    f"({elapsed:.1f}s)"
                 )
 
 
@@ -255,6 +264,9 @@ def observe_unit_done(runner, scenario_name: str, model_name: str,
     if observer is not None:
         observer.record_unit(scenario_name, model_name, seconds,
                              results=results, worker=worker)
+    telemetry.metrics().observe("repro_unit_seconds", float(seconds),
+                                scenario=scenario_name,
+                                model=model_name)
 
 
 def observe_phase(runner, name: str, seconds: float) -> None:

@@ -35,7 +35,7 @@ import numpy as np
 
 from ..analysis.sparsity import ModelTrace, trace_model
 from ..models.specs import ModelSpec
-from . import faults
+from . import faults, telemetry
 from .settings import CACHE_DIR_ENV_VAR, UNSET, resolve_cache_dir
 
 #: Sentinel distinguishing "no disk_dir given, use the environment" from
@@ -191,6 +191,7 @@ class TraceCache:
                 path.unlink()
             except OSError:
                 pass
+        telemetry.metrics().count("repro_cache_quarantined_total")
         with self._lock:
             self.quarantined += 1
 
@@ -251,6 +252,8 @@ class TraceCache:
             with self._lock:
                 if key in self._entries:
                     self.hits += 1
+                    telemetry.metrics().count(
+                        "repro_cache_gets_total", result="hit")
                     return self._entries[key]
                 event = self._inflight.get(key)
                 if event is None:
@@ -261,15 +264,21 @@ class TraceCache:
             event.wait()
         from_disk = True
         try:
-            trace = self._disk_load(key)
+            with telemetry.span("cache-get", "cache"):
+                trace = self._disk_load(key)
             if trace is None:
                 from_disk = False
-                trace = trace_model(spec, coords, importance,
-                                    grid_shape=grid_shape,
-                                    rulegen_shards=rulegen_shards,
-                                    prev_trace=prev_trace,
-                                    delta_threshold=delta_threshold)
-                if self._disk_store(key, trace):
+                span_name = ("delta-patch" if prev_trace is not None
+                             else "trace")
+                with telemetry.span(span_name, "engine"):
+                    trace = trace_model(spec, coords, importance,
+                                        grid_shape=grid_shape,
+                                        rulegen_shards=rulegen_shards,
+                                        prev_trace=prev_trace,
+                                        delta_threshold=delta_threshold)
+                with telemetry.span("cache-put", "cache"):
+                    stored = self._disk_store(key, trace)
+                if stored:
                     with self._lock:
                         self.disk_writes += 1
         except BaseException:
@@ -289,6 +298,9 @@ class TraceCache:
             full_count = sum(
                 1 for layer in trace.layers if layer.rules is not None
             ) - delta_count
+        telemetry.metrics().count(
+            "repro_cache_gets_total",
+            result="disk_hit" if from_disk else "miss")
         with self._lock:
             if from_disk:
                 self.disk_hits += 1

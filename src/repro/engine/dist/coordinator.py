@@ -46,7 +46,7 @@ import time
 from collections import deque
 from datetime import datetime, timezone
 
-from .. import faults
+from .. import faults, telemetry
 from ..backends import (
     Backend,
     BackendUnavailable,
@@ -384,9 +384,7 @@ class Coordinator:
 
     def _log(self, text: str) -> None:
         """Operational chatter — stderr, like the worker's log lines."""
-        import sys
-
-        print(f"[repro coordinator] {text}", file=sys.stderr, flush=True)
+        telemetry.log_line(f"[repro coordinator] {text}")
 
     def _authenticate(self, conn, first: dict) -> bool:
         """Challenge the peer when a token is configured.
@@ -461,11 +459,14 @@ class Coordinator:
                 cache_dir=self.cache_dir,
                 heartbeat_interval=self.settings.heartbeat_interval,
                 batch_rows=getattr(self.settings, "batch_rows", 0),
+                telemetry=telemetry.active_tracer() is not None,
             ))
             while True:
                 msg = recv_message(conn)
                 kind = msg.get("type")
                 if kind == "heartbeat":
+                    telemetry.metrics().count(
+                        "repro_heartbeats_total", worker=worker.worker_id)
                     with self._cond:
                         worker.last_seen = time.monotonic()
                 elif kind == "request":
@@ -504,7 +505,10 @@ class Coordinator:
         drops the connection.
         """
         idle_deadline = time.monotonic() + self.IDLE_REPLY_SECONDS
-        with self._cond:
+        # The span covers request arrival to reply choice: the time a
+        # ready worker sat waiting for the scheduler to hand it a unit.
+        with telemetry.span("queue-wait", "scheduler",
+                            worker=worker.worker_id), self._cond:
             while True:
                 if worker.dead:
                     return False
@@ -586,6 +590,19 @@ class Coordinator:
                     entry["completed_at"] = _utc_now()
                     break
             self._cond.notify_all()
+        # Only an *accepted* result reaches this point (duplicates
+        # returned above, still holding their spans) — so a resent
+        # unit's spans and row counts book exactly once, from
+        # whichever worker's result won, like the stats below.
+        tracer = telemetry.active_tracer()
+        spans = msg.get("spans")
+        if spans and tracer is not None:
+            tracer.ingest(spans, worker.worker_id)
+        telemetry.metrics().count(
+            "repro_rows_streamed_total",
+            sum(len(rows) for rows in decoded.values()),
+            worker=worker.worker_id,
+        )
         # Callbacks run outside the lock; stats ride the same accepted
         # result as the rows, so requeued units still report exactly
         # once, from whichever worker's result won.
@@ -653,6 +670,7 @@ class Coordinator:
             self._register_failure(unit_id, error)
         else:
             self.stats["requeues"] += 1
+            telemetry.metrics().count("repro_requeues_total")
             self._pending.appendleft(unit_id)
 
     def _register_failure(self, unit_id, error) -> None:

@@ -22,11 +22,16 @@ worker →   heartbeat   liveness beacon (background thread, every
 worker →   result      ``unit`` (id), ``groups`` ({index: [row records]}),
                        ``timings``; ``done: false`` marks a partial
                        flush (result batching — the final frame of the
-                       unit omits ``done`` or sends ``true``)
+                       unit omits ``done`` or sends ``true``); traced
+                       runs add ``spans`` (the worker's Chrome
+                       trace-event batch for the unit) on the final
+                       frame
 worker →   error       ``unit`` (id), ``error`` (message string)
 worker →   goodbye     announced clean exit (drain mode) — not a failure
 coord  →   welcome     ``cache_dir``, ``heartbeat_interval``,
-                       ``batch_rows``
+                       ``batch_rows``, ``telemetry`` (true when the
+                       coordinator's run is traced and span batches
+                       should ship back)
 coord  →   unit        ``unit`` (id), ``groups`` ([{index, spec}, ...])
 coord  →   wait        nothing to do right now; re-request (bounds the
                        worker's read timeout while idle)
@@ -44,8 +49,12 @@ client →   status      ``run`` (id, optional — omitted asks for the
 client →   results     ``run`` (id)
 client →   cancel      ``run`` (id)
 client →   queue       (no payload) — the dispatch-ordered queue
-service →  submitted / status / results / cancelled / queue — the
-           matching replies; ``error`` (``error`` string) for rejects
+client →   metrics     (no payload) — the service's metrics-registry
+                       snapshot (same numbers as the Prometheus
+                       endpoint)
+service →  submitted / status / results / cancelled / queue / metrics
+           — the matching replies; ``error`` (``error`` string) for
+           rejects
 ========== =========== ====================================================
 
 When a shared secret is configured (``REPRO_ENGINE_DIST_TOKEN``), the
@@ -68,7 +77,7 @@ import json
 import os
 import struct
 
-from .. import faults
+from .. import faults, telemetry
 
 #: 4-byte big-endian unsigned frame-length header.
 _HEADER = struct.Struct(">I")
@@ -105,13 +114,15 @@ def send_message(sock, payload: dict) -> None:
     # protocol traffic through this one site.
     faults.check("protocol.message", direction="send",
                  msg_type=payload.get("type"))
-    data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
-    if len(data) > MAX_MESSAGE_BYTES:
-        raise ProtocolError(
-            f"refusing to send a {len(data)}-byte message "
-            f"(limit {MAX_MESSAGE_BYTES})"
-        )
-    sock.sendall(_HEADER.pack(len(data)) + data)
+    with telemetry.span("protocol-send", "protocol",
+                        msg_type=payload.get("type")):
+        data = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        if len(data) > MAX_MESSAGE_BYTES:
+            raise ProtocolError(
+                f"refusing to send a {len(data)}-byte message "
+                f"(limit {MAX_MESSAGE_BYTES})"
+            )
+        sock.sendall(_HEADER.pack(len(data)) + data)
 
 
 def _recv_exact(sock, count: int) -> bytes:
@@ -144,7 +155,11 @@ def recv_message(sock) -> dict:
             f"peer announced a {length}-byte message "
             f"(limit {MAX_MESSAGE_BYTES})"
         )
-    body = _recv_exact(sock, length)
+    # The span covers body transfer + decode only: the header read
+    # above blocks while the peer is idle, which would record the
+    # waiting as protocol time.
+    with telemetry.span("protocol-recv", "protocol"):
+        body = _recv_exact(sock, length)
     try:
         payload = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as error:

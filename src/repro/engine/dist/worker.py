@@ -34,12 +34,11 @@ from __future__ import annotations
 import os
 import random
 import socket
-import sys
 import threading
 import time
 import traceback
 
-from .. import faults
+from .. import faults, telemetry
 from ..cache import TraceCache
 from ..runner import FrameProvider
 from ..settings import UNSET, resolve_dist_token
@@ -162,8 +161,7 @@ class Worker:
         self._rng = random.Random(f"repro-worker-{self.worker_id}")
 
     def _log(self, text: str) -> None:
-        print(f"[repro worker {self.worker_id}] {text}",
-              file=sys.stderr, flush=True)
+        telemetry.log_line(f"[repro worker {self.worker_id}] {text}")
 
     # -- connection --------------------------------------------------------
 
@@ -223,8 +221,9 @@ class Worker:
             timings = {}
             groups = execute_unit(entries, cache, providers,
                                   timings=timings)
-            return message("result", unit=unit_id, groups=groups,
-                           timings=timings)
+            return self._with_spans(message(
+                "result", unit=unit_id, groups=groups, timings=timings,
+            ))
         staged, timings, buffered = {}, {}, 0
         for position, entry in enumerate(entries):
             part = execute_unit([entry], cache, providers,
@@ -239,9 +238,27 @@ class Worker:
                     done=False,
                 ))
                 staged, buffered = {}, 0
-        return message("result", unit=unit_id, groups=staged,
-                       timings={k: timings[k] for k in staged},
-                       done=True)
+        return self._with_spans(message(
+            "result", unit=unit_id, groups=staged,
+            timings={k: timings[k] for k in staged},
+            done=True,
+        ))
+
+    def _with_spans(self, reply: dict) -> dict:
+        """Attach the unit's traced span batch to its final ``result``.
+
+        Only a tracer this worker activated itself is drained: an
+        in-process loopback worker shares the coordinator's tracer
+        (same process-wide global), where its spans already record
+        directly — draining there would ship the coordinator's own
+        events back as a worker batch.
+        """
+        if not getattr(self, "_ships_spans", False):
+            return reply
+        spans = telemetry.drain_spans()
+        if spans:
+            reply["spans"] = spans
+        return reply
 
     # -- the loop ----------------------------------------------------------
 
@@ -312,6 +329,15 @@ class Worker:
         providers = {DEFAULT_FRAME_PROVIDER: FrameProvider()}
         batch_rows = int(welcome.get("batch_rows") or 0)
         interval = float(welcome.get("heartbeat_interval") or 1.0)
+        # A traced coordinator asks the fleet to trace too: spans
+        # recorded while a unit executes ride home on its final
+        # `result` frame (see _with_spans) and merge into one timeline.
+        owns_tracer = False
+        if welcome.get("telemetry") and telemetry.active_tracer() is None:
+            telemetry.activate(
+                telemetry.SpanTracer(process=self.worker_id))
+            owns_tracer = True
+        self._ships_spans = owns_tracer
         heartbeat = threading.Thread(
             target=self._heartbeat_loop, args=(sock, interval),
             name="repro-worker-heartbeat", daemon=True,
@@ -321,38 +347,45 @@ class Worker:
             f"connected to {self.address[0]}:{self.address[1]} "
             f"(cache_dir={cache.disk_dir})"
         )
-        while True:
-            self._send(sock, message("request"))
-            msg = recv_message(sock)
-            kind = msg.get("type")
-            if kind == "shutdown":
-                self._log(f"shutdown after {self.units_done} unit(s)")
-                return 0
-            if kind != "unit":
-                continue                  # ignore unknown message types
-            unit_id = msg.get("unit")
-            # Chaos harness: kill_worker:unit=K exits hard (os._exit,
-            # status 137) just before this process's K-th unit runs.
-            faults.check("worker.unit", unit=unit_id)
-            try:
-                reply = self._run_unit(sock, unit_id,
-                                       msg.get("groups") or [], cache,
-                                       providers, batch_rows)
-            except Exception as error:   # noqa: BLE001 — reported upstream
-                detail = traceback.format_exception_only(
-                    type(error), error
-                )[-1].strip()
-                self._log(f"unit {unit_id} failed: {detail}")
-                reply = message("error", unit=unit_id, error=detail)
-            self._send(sock, reply)
-            self.units_done += 1
-            if (self.max_units is not None
-                    and self.units_done >= self.max_units):
-                # Announce the exit so the coordinator books it as a
-                # drain, not a worker failure.
-                self._send(sock, message("goodbye"))
-                self._log(
-                    f"drained after {self.units_done} unit(s) "
-                    f"(--max-units)"
-                )
-                return 0
+        try:
+            while True:
+                self._send(sock, message("request"))
+                msg = recv_message(sock)
+                kind = msg.get("type")
+                if kind == "shutdown":
+                    self._log(
+                        f"shutdown after {self.units_done} unit(s)")
+                    return 0
+                if kind != "unit":
+                    continue              # ignore unknown message types
+                unit_id = msg.get("unit")
+                # Chaos harness: kill_worker:unit=K exits hard
+                # (os._exit, status 137) just before this process's
+                # K-th unit runs.
+                faults.check("worker.unit", unit=unit_id)
+                try:
+                    reply = self._run_unit(sock, unit_id,
+                                           msg.get("groups") or [],
+                                           cache, providers, batch_rows)
+                except Exception as error:  # noqa: BLE001 — reported upstream
+                    detail = traceback.format_exception_only(
+                        type(error), error
+                    )[-1].strip()
+                    self._log(f"unit {unit_id} failed: {detail}")
+                    reply = message("error", unit=unit_id, error=detail)
+                self._send(sock, reply)
+                self.units_done += 1
+                if (self.max_units is not None
+                        and self.units_done >= self.max_units):
+                    # Announce the exit so the coordinator books it as
+                    # a drain, not a worker failure.
+                    self._send(sock, message("goodbye"))
+                    self._log(
+                        f"drained after {self.units_done} unit(s) "
+                        f"(--max-units)"
+                    )
+                    return 0
+        finally:
+            self._ships_spans = False
+            if owns_tracer:
+                telemetry.activate(None)

@@ -128,6 +128,9 @@ class RunObserver:
             (populated by :meth:`finish`).
         dist: Distributed-run detail (coordinator stats, worker roster,
             resolved dist settings), or None for local backends.
+        telemetry: Span counts + metrics-registry snapshot from
+            :mod:`repro.engine.telemetry` for traced runs, or None
+            (untraced manifests don't carry the key).
     """
 
     def __init__(self, analyzer: SparsityAnalyzer = None):
@@ -137,6 +140,7 @@ class RunObserver:
             else SparsityAnalyzer()
         self.cache_stats = {}
         self.dist = None
+        self.telemetry = None
         self._lock = threading.Lock()
         self._started = None
         self._cache_before = None
@@ -212,6 +216,12 @@ class RunObserver:
                 "settings": dict(settings) if settings else None,
             }
 
+    def record_telemetry(self, snapshot: dict) -> None:
+        """The traced run's telemetry snapshot (span counts +
+        metrics); set once by the runner as a traced run finishes."""
+        with self._lock:
+            self.telemetry = snapshot
+
     # -- snapshot ----------------------------------------------------------
 
     def unit_seconds(self) -> float:
@@ -229,6 +239,9 @@ class RunObserver:
                 "dist": (None if self.dist is None
                          else json.loads(json.dumps(self.dist))),
                 "analysis": self.analyzer.summary(),
+                "telemetry": (None if self.telemetry is None
+                              else json.loads(
+                                  json.dumps(self.telemetry))),
             }
 
 
@@ -261,6 +274,9 @@ class RunManifest:
         journal: Run-journal summary (path, spec hash, resumed vs
             appended unit counts, torn/dropped line recovery), or None
             when the run was not journaled.
+        telemetry: Span counts + metrics-registry snapshot from
+            :mod:`repro.engine.telemetry`; only present (in the dict
+            form) for traced runs, so untraced manifests are unchanged.
     """
 
     name: str
@@ -277,6 +293,7 @@ class RunManifest:
     dist: dict = None
     analysis: dict = field(default_factory=dict)
     journal: dict = None
+    telemetry: dict = None
 
     @classmethod
     def collect(cls, runner, table, observer: RunObserver = None,
@@ -343,13 +360,14 @@ class RunManifest:
             analysis=observed.get("analysis", {}),
             journal=(journal.summary()
                      if hasattr(journal, "summary") else journal),
+            telemetry=observed.get("telemetry"),
         )
 
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> dict:
         """The manifest as a JSON-safe dict (schema-stamped)."""
-        return {
+        out = {
             "schema": MANIFEST_SCHEMA,
             "version": MANIFEST_VERSION,
             "name": self.name,
@@ -367,6 +385,11 @@ class RunManifest:
             "analysis": self.analysis,
             "journal": self.journal,
         }
+        # Untraced manifests stay byte-compatible with earlier
+        # versions: the key exists only when telemetry was recorded.
+        if self.telemetry is not None:
+            out["telemetry"] = self.telemetry
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunManifest":
@@ -388,7 +411,7 @@ class RunManifest:
             for key in ("name", "created", "spec", "spec_hash",
                         "git_rev", "backend", "settings", "table",
                         "phases", "units", "cache", "dist", "analysis",
-                        "journal")
+                        "journal", "telemetry")
         })
 
     def to_json(self, indent: int = 2) -> str:

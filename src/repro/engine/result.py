@@ -23,6 +23,8 @@ from pathlib import Path
 
 import numpy as np
 
+from . import telemetry
+
 #: Canonical column order for tabular output.  ``frame`` distinguishes
 #: the per-frame and ``"mean"`` rows of batched scenarios (``None`` for
 #: unbatched rows).
@@ -575,15 +577,16 @@ class ExperimentTable:
         ``None`` metrics render as empty cells.  When ``path`` is given
         the text is also written there; the text is returned either way.
         """
-        buffer = io.StringIO()
-        writer = csv.writer(buffer, lineterminator="\n")
-        writer.writerow(columns)
-        pulled = [self._column_values(name) for name in columns]
-        for values in zip(*pulled):
-            writer.writerow([
-                "" if value is None else value for value in values
-            ])
-        text = buffer.getvalue()
+        with telemetry.span("serialize", "engine", sink="csv"):
+            buffer = io.StringIO()
+            writer = csv.writer(buffer, lineterminator="\n")
+            writer.writerow(columns)
+            pulled = [self._column_values(name) for name in columns]
+            for values in zip(*pulled):
+                writer.writerow([
+                    "" if value is None else value for value in values
+                ])
+            text = buffer.getvalue()
         if path is not None:
             Path(path).write_text(text)
         return text
@@ -592,21 +595,23 @@ class ExperimentTable:
         """Every row as a JSON-ready record (scalar columns plus the
         JSON-safe ``per_layer`` / ``extras`` detail) — the dist
         backend's wire format, read back by :meth:`append_record`."""
-        pulled = {name: self._column_values(name)
-                  for name in RESULT_COLUMNS}
-        records = []
-        for row in range(self._length):
-            payload = self._rows[row]
-            if isinstance(payload, SimResult):
-                per_layer, extras = payload.per_layer, payload.extras
-            else:
-                per_layer, extras = payload
-            record = {name: _jsonable(pulled[name][row])
+        with telemetry.span("serialize", "engine", sink="records"):
+            pulled = {name: self._column_values(name)
                       for name in RESULT_COLUMNS}
-            record["per_layer"] = _jsonable(per_layer)
-            record["extras"] = _jsonable(extras)
-            records.append(record)
-        return records
+            records = []
+            for row in range(self._length):
+                payload = self._rows[row]
+                if isinstance(payload, SimResult):
+                    per_layer, extras = (payload.per_layer,
+                                         payload.extras)
+                else:
+                    per_layer, extras = payload
+                record = {name: _jsonable(pulled[name][row])
+                          for name in RESULT_COLUMNS}
+                record["per_layer"] = _jsonable(per_layer)
+                record["extras"] = _jsonable(extras)
+                records.append(record)
+            return records
 
     def to_json(self, path=None, indent: int = 2) -> str:
         """The table as a JSON document that :meth:`from_json` reads back.

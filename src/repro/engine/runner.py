@@ -24,7 +24,6 @@ session fixtures straight in.
 
 from __future__ import annotations
 
-import sys
 import threading
 from dataclasses import dataclass
 
@@ -34,6 +33,7 @@ from ..data.synthetic import KITTI_SCENE, SceneGenerator, nuscenes_scene_config
 from ..models.specs import ModelSpec, build_model_spec
 from ..models.zoo import TABLE1_PAPER, grid_for, scene_config_for
 from . import faults as _faults
+from . import telemetry
 from .backends import (
     BackendUnavailable,
     ProcessBackend,
@@ -475,10 +475,9 @@ class ExperimentRunner:
                         if not self.degrade:
                             raise
                         fallback = self._degraded_backend(error)
-                        print(
+                        telemetry.log_line(
                             f"warning: {chosen.name} backend unavailable "
-                            f"({error}); degrading to {fallback.name}",
-                            file=sys.stderr,
+                            f"({error}); degrading to {fallback.name}"
                         )
                         nested = fallback.execute(self, pending)
         finally:
@@ -487,6 +486,12 @@ class ExperimentRunner:
             if journal is not None:
                 journal.close()
             if observer is not None:
+                # A traced run snapshots its span counts and the
+                # metrics registry into the manifest's `telemetry`
+                # key; untraced manifests don't carry the key at all.
+                if telemetry.active_tracer() is not None:
+                    observer.record_telemetry(
+                        telemetry.telemetry_snapshot())
                 observer.finish(self)
                 self._observer = None
         if done:

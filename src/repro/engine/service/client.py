@@ -93,6 +93,11 @@ class ServiceClient:
         """The scheduler's queue snapshot, in dispatch order."""
         return self.request("queue")
 
+    def metrics(self) -> dict:
+        """The service's metrics-registry snapshot (counters, gauges,
+        histograms — the same numbers the Prometheus endpoint serves)."""
+        return self.request("metrics")
+
     def wait(self, run_id: str, timeout: float = None,
              poll: float = 0.2) -> dict:
         """Poll until one run reaches a terminal state; return it.

@@ -31,6 +31,7 @@ import dataclasses
 import threading
 import time
 
+from .. import telemetry
 from ..backends import (
     Backend,
     _model_name,
@@ -304,6 +305,8 @@ class ExperimentService:
         self._active = {}                   # run id -> ActiveRun
         self._threads = {}                  # run id -> executor thread
         self._dispatcher = None
+        self._gauge_bands = set()           # priority bands seen by scrapes
+        telemetry.metrics().add_collector(self._collect_fleet_gauges)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -395,6 +398,7 @@ class ExperimentService:
         self.fleet.shutdown()
         if self._dispatcher is not None:
             self._dispatcher.join(timeout=2.0)
+        telemetry.metrics().remove_collector(self._collect_fleet_gauges)
 
     # -- intake ------------------------------------------------------------
 
@@ -556,7 +560,11 @@ class ExperimentService:
             run_id = msg.get("run")
             if run_id is None:
                 return self._summary_reply()
-            return message("status", **self.store.state(run_id))
+            state = self.store.state(run_id)
+            seconds = self._journal_seconds(run_id)
+            if seconds is not None:
+                state.setdefault("unit_seconds", seconds)
+            return message("status", **state)
         if kind == "results":
             return self._results_reply(msg.get("run"))
         if kind == "cancel":
@@ -564,6 +572,8 @@ class ExperimentService:
         if kind == "queue":
             with self._lock:
                 return message("queue", **self.scheduler.snapshot())
+        if kind == "metrics":
+            return message("metrics", **telemetry.metrics().snapshot())
         raise ValueError(f"unknown request type {kind!r}")
 
     def _summary_reply(self) -> dict:
@@ -580,6 +590,50 @@ class ExperimentService:
             queue=snapshot,
             workers=self.fleet.worker_snapshot(),
         )
+
+    def _journal_seconds(self, run_id: str) -> float:
+        """Total journaled unit seconds for one run, or ``None``.
+
+        The same total ``repro journal inspect --timings`` computes
+        from the run's journal file — surfaced in the run's status
+        reply so operators see it without store access.
+        """
+        path = self.store.journal_path(run_id)
+        if not path.exists():
+            return None
+        from ..journal import read_journal
+
+        try:
+            info = read_journal(path)
+        except (OSError, ValueError):
+            return None
+        return round(sum(float(record.get("seconds") or 0.0)
+                         for record in info["units"]), 6)
+
+    def _collect_fleet_gauges(self) -> None:
+        """Registry collector: live fleet/queue gauges, set at scrape time.
+
+        Runs under the registry's collector pass (metrics verb,
+        Prometheus scrape, manifest snapshot), so the gauges always
+        reflect the moment of observation instead of per-transition
+        bookkeeping.  Bands seen once keep reporting (as zero) so a
+        drained band's series drops to 0 rather than going stale.
+        """
+        registry = telemetry.metrics()
+        with self._lock:
+            snapshot = self.scheduler.snapshot()
+        depth = {}
+        for entry in snapshot.get("queued") or []:
+            band = int(entry.get("priority") or 0)
+            depth[band] = depth.get(band, 0) + 1
+        self._gauge_bands.update(depth)
+        for band in self._gauge_bands:
+            registry.gauge("repro_queue_depth", depth.get(band, 0),
+                           band=str(band))
+        registry.gauge("repro_inflight_runs",
+                       len(snapshot.get("inflight") or []))
+        registry.gauge("repro_workers_connected",
+                       len(self.fleet.worker_snapshot()))
 
     def _results_reply(self, run_id: str) -> dict:
         state = self.store.state(run_id)          # KeyError on unknown

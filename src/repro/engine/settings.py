@@ -122,6 +122,19 @@ SERVICE_SUBMITTER_CAP_ENV_VAR = "REPRO_ENGINE_SERVICE_SUBMITTER_CAP"
 #: drain into the run journals before closing its sockets.
 SERVICE_DRAIN_TIMEOUT_ENV_VAR = "REPRO_ENGINE_SERVICE_DRAIN_TIMEOUT"
 
+#: Span tracing on/off: when truthy, every run records counted nested
+#: spans (trace/simulate/cache/protocol/queue-wait) and snapshots the
+#: metrics registry into its manifest's ``telemetry`` key.
+TELEMETRY_ENV_VAR = "REPRO_ENGINE_TELEMETRY"
+
+#: Default Chrome trace-event export path for traced runs (what
+#: ``repro run --trace-out PATH`` overrides); unset = no export file.
+TELEMETRY_TRACE_OUT_ENV_VAR = "REPRO_ENGINE_TELEMETRY_TRACE_OUT"
+
+#: Port the Prometheus ``/metrics`` endpoint binds (``repro serve
+#: --metrics-port``); 0 = ephemeral, unset = endpoint disabled.
+TELEMETRY_METRICS_PORT_ENV_VAR = "REPRO_ENGINE_TELEMETRY_METRICS_PORT"
+
 #: Every environment variable the engine reads, in one tuple — the
 #: contract tested by ``tests/test_engine_settings.py``.
 ENGINE_ENV_VARS = (
@@ -151,6 +164,9 @@ ENGINE_ENV_VARS = (
     SERVICE_MAX_INFLIGHT_ENV_VAR,
     SERVICE_SUBMITTER_CAP_ENV_VAR,
     SERVICE_DRAIN_TIMEOUT_ENV_VAR,
+    TELEMETRY_ENV_VAR,
+    TELEMETRY_TRACE_OUT_ENV_VAR,
+    TELEMETRY_METRICS_PORT_ENV_VAR,
 )
 
 #: Sentinel distinguishing "no value given, consult the environment"
@@ -523,6 +539,46 @@ def resolve_service_drain_timeout(value=None,
                         source, positive_float)
 
 
+def resolve_telemetry_enabled(value=None,
+                              source: str = "enabled") -> bool:
+    """Span tracing on/off: value > ``REPRO_ENGINE_TELEMETRY`` >
+    off."""
+    return _resolve_env(value, TELEMETRY_ENV_VAR, False, source,
+                        boolean_flag)
+
+
+def resolve_telemetry_trace_out(value=None):
+    """Default trace export path: value >
+    ``REPRO_ENGINE_TELEMETRY_TRACE_OUT`` > ``None`` (no file)."""
+    if value is not None:
+        return str(value)
+    return os.environ.get(TELEMETRY_TRACE_OUT_ENV_VAR) or None
+
+
+def resolve_telemetry_metrics_port(value=None, source: str = "metrics_port"):
+    """Prometheus endpoint port: value >
+    ``REPRO_ENGINE_TELEMETRY_METRICS_PORT`` > ``None`` (disabled).
+
+    0 is allowed and binds an ephemeral port.
+    """
+    if value is None:
+        value = os.environ.get(TELEMETRY_METRICS_PORT_ENV_VAR)
+        if value is None:
+            return None
+        source = TELEMETRY_METRICS_PORT_ENV_VAR
+    try:
+        port = int(str(value).strip())
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{source} must be a TCP port (0-65535), got {value!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise ValueError(
+            f"{source} must be a TCP port (0-65535), got {value!r}"
+        )
+    return port
+
+
 @dataclass(frozen=True)
 class DistSettings:
     """One fully-resolved snapshot of every distributed-backend knob.
@@ -661,6 +717,48 @@ class ServiceSettings:
             "max_inflight": self.max_inflight,
             "submitter_cap": self.submitter_cap,
             "drain_timeout": self.drain_timeout,
+        }
+
+
+@dataclass(frozen=True)
+class TelemetrySettings:
+    """One fully-resolved snapshot of every telemetry knob.
+
+    Attributes:
+        enabled: When True, runs record counted nested spans (the
+            :mod:`repro.engine.telemetry` tracer) and snapshot the
+            metrics registry into the run manifest's ``telemetry``
+            key; off by default so the hot paths stay no-op.
+        trace_out: Chrome trace-event JSON export path for traced runs
+            (``repro run --trace-out`` overrides it), or ``None`` for
+            no export file.
+        metrics_port: Port the Prometheus ``/metrics`` endpoint binds
+            (``repro serve --metrics-port`` overrides it); 0 binds an
+            ephemeral port, ``None`` disables the endpoint.
+    """
+
+    enabled: bool = False
+    trace_out: str = None
+    metrics_port: int = None
+
+    @classmethod
+    def resolve(cls, enabled=None, trace_out=None,
+                metrics_port=None) -> "TelemetrySettings":
+        """Resolve every telemetry knob: explicit argument >
+        environment > default — the same contract as
+        :meth:`EngineSettings.resolve`."""
+        return cls(
+            enabled=resolve_telemetry_enabled(enabled),
+            trace_out=resolve_telemetry_trace_out(trace_out),
+            metrics_port=resolve_telemetry_metrics_port(metrics_port),
+        )
+
+    def as_dict(self) -> dict:
+        """The resolved telemetry knobs as a JSON-safe dict."""
+        return {
+            "enabled": self.enabled,
+            "trace_out": self.trace_out,
+            "metrics_port": self.metrics_port,
         }
 
 

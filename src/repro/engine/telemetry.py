@@ -1,0 +1,525 @@
+"""Live telemetry: span tracer, metrics registry, and fleet exposition.
+
+Three cooperating pieces, all engineered to cost nothing when off:
+
+* :class:`SpanTracer` — a low-overhead tracer of counted, nested spans
+  (``trace`` / ``delta-patch`` / ``simulate`` / ``serialize`` /
+  ``cache-get`` / ``cache-put`` / ``protocol-send`` / ``protocol-recv``
+  / ``queue-wait``).  Each thread keeps its own span stack; completed
+  spans become Chrome trace-event dicts (``ph: "X"``) that
+  :meth:`SpanTracer.export` writes as a Perfetto-loadable
+  ``{"traceEvents": [...]}`` JSON file.  Distributed workers trace
+  locally and ship their span batches back inside the existing result
+  stream; the coordinator :meth:`ingests <SpanTracer.ingest>` accepted
+  batches with ``pid``/``tid`` mapped to worker ids, so one timeline
+  covers the whole fleet.  The module-level :func:`span` helper is the
+  instrumentation seam every layer calls: when no tracer is active it
+  returns a shared no-op context manager — one global read, no
+  allocation.
+
+* :class:`MetricsRegistry` — counters, gauges and fixed-bucket latency
+  histograms (cache hits/misses/quarantines, rows streamed,
+  heartbeats, requeues, scheduler queue depth per band, unit-seconds
+  per (scenario, model, simulator)).  The process-wide instance from
+  :func:`metrics` is what runner/cache/backends/dist/journal/service
+  all increment; it renders to Prometheus text exposition format
+  (:meth:`MetricsRegistry.render_prometheus`) and to a JSON-safe
+  snapshot stored in the :class:`~repro.engine.manifest.RunManifest`
+  under ``telemetry``.
+
+* :func:`log_line` + :func:`serve_metrics` — the one line-buffered,
+  lock-guarded stderr writer progress lines and worker warnings both
+  route through (no more interleaved half-lines under concurrent dist
+  groups), and the tiny stdlib HTTP endpoint behind
+  ``repro serve --metrics-port N``.
+
+Tracing is activated per run — ``repro run spec.json --trace-out
+run.trace.json`` or ``REPRO_ENGINE_TELEMETRY=1`` — via
+:func:`activate`; see ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+
+#: Span categories used by the engine's instrumentation sites; purely
+#: informative (Perfetto colors by category), not an enum contract.
+SPAN_CATEGORIES = (
+    "engine", "cache", "protocol", "dist", "service",
+)
+
+#: Upper edges (seconds) of the fixed latency-histogram buckets; the
+#: implicit final bucket is +Inf.  Spans from micro cache probes to
+#: multi-minute simulate units all land usefully.
+LATENCY_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0,
+    60.0, 300.0,
+)
+
+
+class _NoopSpan:
+    """The shared do-nothing context manager :func:`span` hands out
+    when tracing is off — one instance, zero per-call allocation."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NOOP = _NoopSpan()
+
+#: The process-wide active tracer (None = tracing off).  A plain module
+#: attribute on purpose: the disabled fast path is a single load.
+_ACTIVE_TRACER = None
+
+
+class _Span:
+    """One open span on a thread's stack (context-manager form)."""
+
+    __slots__ = ("tracer", "name", "cat", "args", "ts", "start")
+
+    def __init__(self, tracer, name, cat, args):
+        self.tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.args = args
+        self.ts = 0
+        self.start = 0
+
+    def __enter__(self):
+        self.ts = time.time_ns() // 1_000
+        self.start = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc):
+        duration = (time.perf_counter_ns() - self.start) // 1_000
+        self.tracer._record(self.name, self.cat, self.ts, duration,
+                            self.args)
+        return False
+
+
+class SpanTracer:
+    """Collects counted, nested spans into Chrome trace-event JSON.
+
+    Spans open and close per thread (``tid`` is the OS thread id of the
+    emitting thread), timestamps are wall-clock microseconds (so
+    batches from loopback workers merge onto one consistent timeline),
+    and every completed span bumps a per-name counter.  All mutation of
+    the shared event list happens under one lock; the per-span cost is
+    two clock reads plus one locked append.
+
+    Args:
+        process: ``pid`` label for locally-emitted spans (the
+            coordinator/runner process; workers get their own pids via
+            :meth:`ingest`).
+    """
+
+    def __init__(self, process: str = "repro"):
+        self.process = process
+        self._lock = threading.Lock()
+        self._events = []
+        self._counts = {}
+        self._micros = {}
+        self._processes = {0: process}
+        self._next_pid = 1
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str, cat: str = "engine", **args) -> _Span:
+        """An open-span context manager recording on ``with`` exit."""
+        return _Span(self, name, cat, args or None)
+
+    def _record(self, name, cat, ts, duration, args) -> None:
+        event = {"name": name, "cat": cat, "ph": "X", "ts": ts,
+                 "dur": duration, "pid": 0,
+                 "tid": threading.get_ident()}
+        if args:
+            event["args"] = args
+        with self._lock:
+            self._events.append(event)
+            self._counts[name] = self._counts.get(name, 0) + 1
+            self._micros[name] = self._micros.get(name, 0) + duration
+
+    def ingest(self, spans, worker: str) -> None:
+        """Merge one worker's shipped span batch into the timeline.
+
+        Each distinct ``worker`` id gets its own stable ``pid`` (named
+        in the exported metadata), so Perfetto renders one row group
+        per fleet member under the coordinator's.
+        """
+        if not spans:
+            return
+        with self._lock:
+            pid = next(
+                (p for p, name in self._processes.items()
+                 if name == worker), None,
+            )
+            if pid is None:
+                pid = self._next_pid
+                self._next_pid += 1
+                self._processes[pid] = worker
+            for event in spans:
+                if not isinstance(event, dict):
+                    continue
+                merged = dict(event)
+                merged["pid"] = pid
+                self._events.append(merged)
+                name = merged.get("name")
+                self._counts[name] = self._counts.get(name, 0) + 1
+                self._micros[name] = (self._micros.get(name, 0)
+                                      + int(merged.get("dur") or 0))
+
+    # -- export -------------------------------------------------------------
+
+    def drain(self) -> list:
+        """Remove and return the locally-recorded events (worker side:
+        the batch shipped back inside a ``result`` message)."""
+        with self._lock:
+            events, self._events = self._events, []
+            return events
+
+    def counts(self) -> dict:
+        """``{span name: completed count}`` so far (all processes)."""
+        with self._lock:
+            return dict(self._counts)
+
+    def phase_profile(self) -> dict:
+        """``{span name: {"count", "micros"}}`` — the per-phase totals
+        the manifest stores and the HTML report's timeline renders."""
+        with self._lock:
+            return {
+                name: {"count": count,
+                       "micros": self._micros.get(name, 0)}
+                for name, count in sorted(self._counts.items())
+            }
+
+    def trace_events(self) -> dict:
+        """The Chrome trace-event document (``traceEvents`` + process
+        metadata), JSON-safe and Perfetto-loadable."""
+        with self._lock:
+            events = list(self._events)
+            processes = dict(self._processes)
+        meta = [
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": name}}
+            for pid, name in sorted(processes.items())
+        ]
+        return {"traceEvents": meta + events,
+                "displayTimeUnit": "ms"}
+
+    def export(self, path) -> str:
+        """Write :meth:`trace_events` as JSON; returns the path."""
+        with open(path, "w") as handle:
+            json.dump(self.trace_events(), handle)
+        return str(path)
+
+
+def activate(tracer) -> None:
+    """Make ``tracer`` the process-wide active tracer (None turns
+    tracing off); instrumentation sites pick it up via :func:`span`."""
+    global _ACTIVE_TRACER
+    _ACTIVE_TRACER = tracer
+
+
+def active_tracer():
+    """The currently active :class:`SpanTracer`, or ``None``."""
+    return _ACTIVE_TRACER
+
+
+def drain_spans() -> list:
+    """Drain the active tracer's local events (``[]`` when tracing is
+    off) — the batch a dist worker ships inside its ``result``."""
+    tracer = _ACTIVE_TRACER
+    if tracer is None:
+        return []
+    return tracer.drain()
+
+
+def span(name: str, cat: str = "engine", **args):
+    """A span context manager on the active tracer — or the shared
+    no-op when tracing is off (the disabled cost: one global read)."""
+    tracer = _ACTIVE_TRACER
+    if tracer is None:
+        return _NOOP
+    return tracer.span(name, cat, **args)
+
+
+class _TracerScope:
+    """``with tracing(tracer):`` — activate on enter, restore on exit."""
+
+    def __init__(self, tracer):
+        self.tracer = tracer
+        self._previous = None
+
+    def __enter__(self):
+        self._previous = _ACTIVE_TRACER
+        activate(self.tracer)
+        return self.tracer
+
+    def __exit__(self, *exc):
+        activate(self._previous)
+        return False
+
+
+def tracing(tracer) -> _TracerScope:
+    """Scope ``tracer`` as the active tracer for a ``with`` block."""
+    return _TracerScope(tracer)
+
+
+# ---------------------------------------------------------------------------
+# metrics registry
+# ---------------------------------------------------------------------------
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class MetricsRegistry:
+    """Process-wide counters, gauges and fixed-bucket histograms.
+
+    Instruments never need pre-registration: the first
+    :meth:`count` / :meth:`gauge` / :meth:`observe` call for a
+    ``(name, labels)`` pair creates the series.  ``collectors`` are
+    zero-argument callables run before every snapshot/render — the
+    service registers one that refreshes fleet gauges (worker count,
+    queue depth per priority band) from live state, so scrapes are
+    always current without per-transition bookkeeping.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters = {}     # name -> {label key -> value}
+        self._gauges = {}       # name -> {label key -> value}
+        self._histograms = {}   # name -> {label key -> [counts, sum]}
+        self._collectors = []
+
+    # -- instruments --------------------------------------------------------
+
+    def count(self, name: str, value: float = 1, **labels) -> None:
+        """Add ``value`` (default 1) to a monotonic counter."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._counters.setdefault(name, {})
+            series[key] = series.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels) -> None:
+        """Set a gauge to ``value``."""
+        with self._lock:
+            self._gauges.setdefault(name, {})[_label_key(labels)] = value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record one observation into a fixed-bucket histogram."""
+        key = _label_key(labels)
+        with self._lock:
+            series = self._histograms.setdefault(name, {})
+            entry = series.get(key)
+            if entry is None:
+                entry = series[key] = [
+                    [0] * (len(LATENCY_BUCKETS) + 1), 0.0,
+                ]
+            counts, _ = entry
+            for index, edge in enumerate(LATENCY_BUCKETS):
+                if value <= edge:
+                    counts[index] += 1
+                    break
+            else:
+                counts[-1] += 1
+            entry[1] += value
+
+    def add_collector(self, collector) -> None:
+        """Register a callable run before every snapshot/render."""
+        with self._lock:
+            self._collectors.append(collector)
+
+    def remove_collector(self, collector) -> None:
+        """Deregister a collector (absent collectors are ignored)."""
+        with self._lock:
+            try:
+                self._collectors.remove(collector)
+            except ValueError:
+                pass
+
+    def reset(self) -> None:
+        """Drop every series and collector (test isolation)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._collectors.clear()
+
+    # -- exposition ---------------------------------------------------------
+
+    def _run_collectors(self) -> None:
+        with self._lock:
+            collectors = list(self._collectors)
+        for collector in collectors:
+            try:
+                collector()
+            except Exception:  # noqa: BLE001 — scrapes must not crash
+                pass
+
+    def snapshot(self) -> dict:
+        """A JSON-safe dump of every series (the ``metrics`` service
+        verb reply, and the manifest's ``telemetry.metrics``)."""
+        self._run_collectors()
+        with self._lock:
+            out = {"counters": {}, "gauges": {}, "histograms": {}}
+            for kind, source in (("counters", self._counters),
+                                 ("gauges", self._gauges)):
+                for name, series in sorted(source.items()):
+                    out[kind][name] = [
+                        {"labels": dict(key), "value": value}
+                        for key, value in sorted(series.items())
+                    ]
+            for name, series in sorted(self._histograms.items()):
+                out["histograms"][name] = [
+                    {
+                        "labels": dict(key),
+                        "buckets": list(LATENCY_BUCKETS),
+                        "counts": list(entry[0]),
+                        "sum": entry[1],
+                        "count": sum(entry[0]),
+                    }
+                    for key, entry in sorted(series.items())
+                ]
+            return out
+
+    def render_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format 0.0.4."""
+        self._run_collectors()
+        with self._lock:
+            lines = []
+            for name, series in sorted(self._counters.items()):
+                lines.append(f"# TYPE {name} counter")
+                for key, value in sorted(series.items()):
+                    lines.append(f"{name}{_label_text(key)} "
+                                 f"{_format_value(value)}")
+            for name, series in sorted(self._gauges.items()):
+                lines.append(f"# TYPE {name} gauge")
+                for key, value in sorted(series.items()):
+                    lines.append(f"{name}{_label_text(key)} "
+                                 f"{_format_value(value)}")
+            for name, series in sorted(self._histograms.items()):
+                lines.append(f"# TYPE {name} histogram")
+                for key, entry in sorted(series.items()):
+                    counts, total = entry
+                    cumulative = 0
+                    for edge, count in zip(LATENCY_BUCKETS, counts):
+                        cumulative += count
+                        lines.append(
+                            f"{name}_bucket"
+                            f"{_label_text(key, le=repr(float(edge)))} "
+                            f"{cumulative}"
+                        )
+                    cumulative += counts[-1]
+                    lines.append(
+                        f"{name}_bucket{_label_text(key, le='+Inf')} "
+                        f"{cumulative}"
+                    )
+                    lines.append(f"{name}_sum{_label_text(key)} "
+                                 f"{_format_value(total)}")
+                    lines.append(f"{name}_count{_label_text(key)} "
+                                 f"{cumulative}")
+            return "\n".join(lines) + "\n"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def _label_text(key: tuple, **extra) -> str:
+    pairs = list(key) + sorted(extra.items())
+    if not pairs:
+        return ""
+    inner = ",".join(f'{name}="{value}"' for name, value in pairs)
+    return "{" + inner + "}"
+
+
+_METRICS = MetricsRegistry()
+
+
+def metrics() -> MetricsRegistry:
+    """The process-wide :class:`MetricsRegistry` every layer shares."""
+    return _METRICS
+
+
+def telemetry_snapshot() -> dict:
+    """The manifest's ``telemetry`` value: the per-phase span profile
+    (when a tracer is active) plus the metrics snapshot."""
+    out = {"metrics": _METRICS.snapshot()}
+    tracer = _ACTIVE_TRACER
+    if tracer is not None:
+        out["spans"] = tracer.phase_profile()
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the one stderr writer (progress lines + worker warnings)
+# ---------------------------------------------------------------------------
+
+_STDERR_LOCK = threading.Lock()
+
+
+def log_line(text: str) -> None:
+    """Write one whole line to stderr, lock-guarded and line-buffered.
+
+    Progress reporters and dist worker/coordinator logs all route
+    through here, so concurrent emitters can never interleave
+    mid-line: each line is a single ``write`` under one process-wide
+    lock, flushed before the lock drops.
+    """
+    with _STDERR_LOCK:
+        sys.stderr.write(text + "\n")
+        sys.stderr.flush()
+
+
+# ---------------------------------------------------------------------------
+# Prometheus HTTP endpoint (`repro serve --metrics-port N`)
+# ---------------------------------------------------------------------------
+
+
+def serve_metrics(port: int, host: str = "127.0.0.1",
+                  registry: MetricsRegistry = None):
+    """Serve ``registry`` (default: the shared one) at ``/metrics``.
+
+    A stdlib ``ThreadingHTTPServer`` on a daemon thread; returns the
+    started server (``server.server_address[1]`` is the bound port —
+    pass ``port=0`` for ephemeral; ``server.shutdown()`` stops it).
+    """
+    from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+    target = registry if registry is not None else _METRICS
+
+    class _Handler(BaseHTTPRequestHandler):
+        def do_GET(self):  # noqa: N802 — http.server API
+            if self.path.rstrip("/") not in ("", "/metrics"):
+                self.send_error(404)
+                return
+            body = target.render_prometheus().encode()
+            self.send_response(200)
+            self.send_header(
+                "Content-Type",
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, *args):  # silence per-request chatter
+            pass
+
+    server = ThreadingHTTPServer((host, int(port)), _Handler)
+    thread = threading.Thread(target=server.serve_forever,
+                              name="repro-metrics-http", daemon=True)
+    thread.start()
+    return server

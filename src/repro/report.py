@@ -272,6 +272,40 @@ def fig_utilization(table: ExperimentTable) -> dict:
     }
 
 
+def fig_phase_timeline(manifest) -> dict:
+    """Phase timeline: where a traced run's time went, per span name.
+
+    Reads the manifest's ``telemetry.spans`` profile (written by runs
+    with tracing on — ``repro run --trace-out`` or
+    ``REPRO_ENGINE_TELEMETRY=1``); untraced manifests yield no figure.
+    The share column drives the HTML bar, mirroring the Perfetto
+    timeline the exported Chrome trace gives interactively.
+    """
+    spans = None
+    if manifest is not None and manifest.telemetry:
+        spans = manifest.telemetry.get("spans")
+    if not spans:
+        return None
+    total = sum(int(entry.get("micros") or 0) for entry in spans.values())
+    rows = []
+    for name, entry in sorted(spans.items(),
+                              key=lambda item: -int(
+                                  item[1].get("micros") or 0)):
+        micros = int(entry.get("micros") or 0)
+        rows.append((
+            name,
+            int(entry.get("count") or 0),
+            round(micros / 1e6, 6),
+            round(100.0 * micros / total, 2) if total else 0.0,
+        ))
+    return {
+        "id": "fig-phases",
+        "title": "Phase timeline (traced span totals)",
+        "headers": ["phase", "spans", "seconds", "share %"],
+        "rows": rows,
+    }
+
+
 def build_figures(table: ExperimentTable, baseline: str = None) -> list:
     """The full figure set for one table (figures lacking data are
     omitted, never emitted empty)."""
@@ -555,7 +589,7 @@ def render_html(table: ExperimentTable, manifest: RunManifest = None,
     for figure in (figures or []):
         body.append(f"<h2>{html.escape(figure['title'])}</h2>")
         bar_column = len(figure["headers"]) - 1 \
-            if figure["id"] in ("fig9", "fig10") else None
+            if figure["id"] in ("fig9", "fig10", "fig-phases") else None
         body.append(_html_table(figure["headers"], figure["rows"],
                                 table_id=figure["id"],
                                 bar_column=bar_column))
@@ -609,6 +643,9 @@ def build_report(results_path, manifest_path=None, diff_path=None,
         return render_text(None, manifest=None, figures=None,
                            extra_sections=sections)
     figures = build_figures(table, baseline=baseline)
+    timeline = fig_phase_timeline(manifest)
+    if timeline is not None:
+        figures.append(timeline)
     if as_html:
         return render_html(table, manifest=manifest, figures=figures,
                            title=f"repro report: {name}")
